@@ -1,0 +1,172 @@
+#ifndef CIAO_BENCH_BENCH_COMMON_H_
+#define CIAO_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the figure-reproduction benches. Each bench prints
+// the same rows/series the corresponding paper figure plots; absolute
+// numbers differ from the paper's testbed (simulated datasets, scaled
+// sizes) but the shapes — who wins, by what factor, where crossovers
+// fall — are the reproduction target (see EXPERIMENTS.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/report.h"
+#include "core/system.h"
+#include "costmodel/cost_model.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+#include "workload/templates.h"
+
+namespace ciao::bench {
+
+/// Scale factor from CIAO_BENCH_SCALE (default 1.0); multiplies record
+/// counts so the same binaries can run paper-scale experiments.
+inline double ScaleFactor() {
+  const char* env = std::getenv("CIAO_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * ScaleFactor());
+}
+
+/// Number of queries per end-to-end workload (paper: 200). Override with
+/// CIAO_BENCH_QUERIES.
+inline size_t NumQueries() {
+  const char* env = std::getenv("CIAO_BENCH_QUERIES");
+  if (env == nullptr) return 200;
+  const int v = std::atoi(env);
+  return v > 0 ? static_cast<size_t>(v) : 200;
+}
+
+/// Runs a small throwaway pipeline so page cache, allocator arenas, and
+/// code paths are warm before the measured cells — otherwise the first
+/// cell of every sweep (usually the baseline) pays a visible cold-start
+/// tax. Call once at the top of each figure bench.
+inline void WarmUp() {
+  workload::GeneratorOptions gen;
+  gen.num_records = 4000;
+  gen.seed = 1;
+  const workload::Dataset ds =
+      workload::GenerateDataset(workload::DatasetKind::kWinLog, gen);
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kWinLog).AllCandidates();
+  workload::WorkloadSpec spec;
+  spec.num_queries = 5;
+  spec.seed = 1;
+  const Workload wl = workload::GenerateWorkload(pool, spec);
+  for (const double budget : {0.0, 2.0}) {
+    CiaoConfig config;
+    config.budget_us = budget;
+    config.sample_size = 500;
+    auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                        CostModel::Default());
+    if (!system.ok()) return;
+    (void)(*system)->IngestRecords(ds.records);
+    (void)(*system)->ExecuteWorkload();
+  }
+}
+
+/// Runs one (workload, budget) cell of Fig 3/4/5: bootstrap, ingest the
+/// whole dataset, execute every query; returns the phase report.
+inline EndToEndReport RunE2ECell(const workload::Dataset& ds,
+                                 const Workload& wl, double budget_us,
+                                 const std::string& label) {
+  CiaoConfig config;
+  config.budget_us = budget_us;
+  config.chunk_size = 1000;
+  config.sample_size = 2000;
+  auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                      CostModel::Default());
+  if (!system.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n",
+                 system.status().ToString().c_str());
+    std::exit(1);
+  }
+  Status st = (*system)->IngestRecords(ds.records);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  auto results = (*system)->ExecuteWorkload();
+  if (!results.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 results.status().ToString().c_str());
+    std::exit(1);
+  }
+  return (*system)->BuildReport(label);
+}
+
+/// Fig 3/4/5 driver: three workload presets x a budget sweep; prints one
+/// table per workload plus the headline speedups vs the zero-budget
+/// baseline.
+inline void RunEndToEndFigure(const char* figure, workload::DatasetKind kind,
+                              size_t base_records,
+                              const std::vector<double>& budgets) {
+  WarmUp();
+  workload::GeneratorOptions gen;
+  gen.num_records = Scaled(base_records);
+  gen.seed = 42;
+  const workload::Dataset ds = workload::GenerateDataset(kind, gen);
+  const auto pool = workload::TemplatesFor(kind).AllCandidates();
+
+  std::printf("=== %s: end-to-end, dataset=%s, records=%zu, queries=%zu ===\n",
+              figure, ds.name.c_str(), ds.records.size(), NumQueries());
+  std::printf("(paper axes: budget per record [us] vs. stacked "
+              "prefiltering/loading/query time [s])\n\n");
+
+  struct Preset {
+    const char* name;
+    Workload wl;
+  };
+  Workload wa = workload::WorkloadA(pool);
+  Workload wb = workload::WorkloadB(pool);
+  Workload wc = workload::WorkloadC(pool);
+  wa.queries.resize(std::min(wa.queries.size(), NumQueries()));
+  wb.queries.resize(std::min(wb.queries.size(), NumQueries()));
+  wc.queries.resize(std::min(wc.queries.size(), NumQueries()));
+  const std::vector<Preset> presets = {
+      {"A (Zipfian 1.5, high skew)", std::move(wa)},
+      {"B (Zipfian 2, moderate)", std::move(wb)},
+      {"C (Uniform)", std::move(wc)},
+  };
+
+  for (const Preset& preset : presets) {
+    std::vector<EndToEndReport> reports;
+    for (const double budget : budgets) {
+      reports.push_back(
+          RunE2ECell(ds, preset.wl, budget,
+                     std::string("budget=") + FormatDouble(budget, 1)));
+    }
+    std::printf("--- Workload %s ---\n", preset.name);
+    std::printf("%s", FormatReports(reports).c_str());
+
+    const EndToEndReport& base = reports.front();
+    double best_load = 1.0, best_query = 1.0, best_total = 1.0;
+    for (const EndToEndReport& r : reports) {
+      if (r.loading_seconds > 0) {
+        best_load = std::max(best_load, base.loading_seconds / r.loading_seconds);
+      }
+      if (r.query_seconds > 0) {
+        best_query = std::max(best_query, base.query_seconds / r.query_seconds);
+      }
+      if (r.TotalSeconds() > 0) {
+        best_total = std::max(best_total, base.TotalSeconds() / r.TotalSeconds());
+      }
+    }
+    std::printf(
+        "headline vs budget=0 baseline: loading up to %.1fx, query up to "
+        "%.1fx, end-to-end up to %.1fx\n\n",
+        best_load, best_query, best_total);
+  }
+}
+
+}  // namespace ciao::bench
+
+#endif  // CIAO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,11 @@
+// Fig 3 reproduction: end-to-end prefiltering/loading/query time on the
+// Windows System Log dataset for workloads A/B/C, budgets 0..9 us/record.
+
+#include "bench_common.h"
+
+int main() {
+  ciao::bench::RunEndToEndFigure("Fig 3", ciao::workload::DatasetKind::kWinLog,
+                                 /*base_records=*/30000,
+                                 {0.0, 1.0, 3.0, 5.0, 7.0, 9.0});
+  return 0;
+}

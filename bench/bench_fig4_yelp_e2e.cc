@@ -1,0 +1,13 @@
+// Fig 4 reproduction: end-to-end prefiltering/loading/query time on the
+// Yelp Review dataset for workloads A/B/C, budgets 0..50 us/record.
+// (Yelp records are long — review text — so the same predicate counts
+// need a larger per-record budget than the log dataset, as in the paper.)
+
+#include "bench_common.h"
+
+int main() {
+  ciao::bench::RunEndToEndFigure("Fig 4", ciao::workload::DatasetKind::kYelp,
+                                 /*base_records=*/15000,
+                                 {0.0, 10.0, 20.0, 30.0, 40.0, 50.0});
+  return 0;
+}

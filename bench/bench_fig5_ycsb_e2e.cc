@@ -1,0 +1,12 @@
+// Fig 5 reproduction: end-to-end prefiltering/loading/query time on the
+// YCSB customer dataset for workloads A/B/C, budgets 0..125 us/record.
+// (YCSB documents are the longest records with the most templates.)
+
+#include "bench_common.h"
+
+int main() {
+  ciao::bench::RunEndToEndFigure("Fig 5", ciao::workload::DatasetKind::kYcsb,
+                                 /*base_records=*/10000,
+                                 {0.0, 25.0, 50.0, 75.0, 100.0, 125.0});
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig 6 reproduction: on the 'challenging' YCSB uniform workload (C) the
+// aggregate improvement is small, but a large fraction of individual
+// queries still run faster thanks to data skipping. The paper reports
+// 37%-68% of queries benefiting across budgets 25..125 us.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ciao;
+  using namespace ciao::bench;
+
+  WarmUp();
+  workload::GeneratorOptions gen;
+  gen.num_records = Scaled(10000);
+  gen.seed = 42;
+  const workload::Dataset ds =
+      workload::GenerateDataset(workload::DatasetKind::kYcsb, gen);
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYcsb).AllCandidates();
+  Workload wl = workload::WorkloadC(pool);
+  wl.queries.resize(std::min(wl.queries.size(), NumQueries()));
+
+  std::printf(
+      "=== Fig 6: %% of queries benefiting from data skipping "
+      "(YCSB workload C, records=%zu, queries=%zu) ===\n\n",
+      ds.records.size(), wl.queries.size());
+
+  // Baseline per-query times (budget 0: full load, no skipping).
+  const auto run = [&](double budget) {
+    CiaoConfig config;
+    config.budget_us = budget;
+    config.sample_size = 2000;
+    auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                        CostModel::Default());
+    if (!system.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n",
+                   system.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (!(*system)->IngestRecords(ds.records).ok()) std::exit(1);
+    auto results = (*system)->ExecuteWorkload();
+    if (!results.ok()) std::exit(1);
+    return std::move(results).value();
+  };
+
+  const std::vector<QueryResult> baseline = run(0.0);
+
+  TablePrinter table({"budget_us", "faster_queries", "skipping_queries",
+                      "total_queries", "fraction_benefiting"});
+  for (const double budget : {25.0, 50.0, 75.0, 100.0, 125.0}) {
+    const std::vector<QueryResult> results = run(budget);
+    size_t faster = 0, skipping = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].plan == PlanKind::kSkippingScan) {
+        ++skipping;
+        if (results[i].seconds < baseline[i].seconds) ++faster;
+      }
+    }
+    table.AddRow({FormatDouble(budget, 0), StrFormat("%zu", faster),
+                  StrFormat("%zu", skipping),
+                  StrFormat("%zu", results.size()),
+                  FormatDouble(static_cast<double>(faster) /
+                                   static_cast<double>(results.size()),
+                               3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\n(paper Fig 6: fraction rises from ~0.37 to ~0.68 as the budget "
+      "grows; aggregate workload-C time in Fig 5 stays nearly flat)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro: bitvector operation throughput (AND / popcount / set-bit
+// iteration / serialization) — the per-chunk annotation machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "bitvec/bitvector.h"
+#include "bitvec/bitvector_set.h"
+#include "common/random.h"
+
+namespace {
+
+using ciao::BitVector;
+using ciao::BitVectorSet;
+using ciao::Rng;
+
+BitVector RandomBits(size_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  BitVector v(n);
+  for (size_t i = 0; i < n; ++i) v.Set(i, rng.NextBool(density));
+  return v;
+}
+
+void BM_And(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  BitVector a = RandomBits(n, 0.3, 1);
+  const BitVector b = RandomBits(n, 0.3, 2);
+  for (auto _ : state) {
+    BitVector c = a;
+    benchmark::DoNotOptimize(c.AndWith(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_And)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_CountOnes(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const BitVector v = RandomBits(n, 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.CountOnes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CountOnes)->Arg(1000)->Arg(1000000);
+
+void BM_SetBits(benchmark::State& state) {
+  const size_t n = 100000;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const BitVector v = RandomBits(n, density, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.SetBits());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SetBits)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const BitVectorSet set = [] {
+    BitVectorSet s(8, 100000);
+    Rng rng(5);
+    for (size_t p = 0; p < 8; ++p) {
+      for (size_t r = 0; r < 100000; ++r) {
+        s.mutable_vector(p)->Set(r, rng.NextBool(0.2));
+      }
+    }
+    return s;
+  }();
+  for (auto _ : state) {
+    std::string buf;
+    set.SerializeTo(&buf);
+    size_t offset = 0;
+    benchmark::DoNotOptimize(BitVectorSet::Deserialize(buf, &offset));
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_CompactBy(benchmark::State& state) {
+  const size_t n = 100000;
+  const BitVector values = RandomBits(n, 0.3, 6);
+  const BitVector mask = RandomBits(n, 0.4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(values.CompactBy(mask));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CompactBy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Micro: columnar codec throughput — encode and decode per column type,
+// plus dictionary vs plain strings (the server-side loading/scan costs).
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/encoding.h"
+#include "common/random.h"
+
+namespace {
+
+using namespace ciao;
+using columnar::ColumnType;
+using columnar::ColumnVector;
+
+ColumnVector MakeColumn(ColumnType type, size_t rows, size_t distinct) {
+  Rng rng(11);
+  ColumnVector col(type);
+  for (size_t i = 0; i < rows; ++i) {
+    switch (type) {
+      case ColumnType::kInt64:
+        col.AppendInt64(rng.NextInt(-1000000, 1000000));
+        break;
+      case ColumnType::kDouble:
+        col.AppendDouble(rng.NextDouble());
+        break;
+      case ColumnType::kBool:
+        col.AppendBool(rng.NextBool());
+        break;
+      case ColumnType::kString:
+        col.AppendString("value_" +
+                         std::to_string(rng.NextBounded(distinct)));
+        break;
+    }
+  }
+  return col;
+}
+
+void BM_Encode(benchmark::State& state, ColumnType type, size_t distinct) {
+  const size_t rows = 100000;
+  const ColumnVector col = MakeColumn(type, rows, distinct);
+  for (auto _ : state) {
+    std::string buf;
+    columnar::EncodeColumn(col, &buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+
+void BM_Decode(benchmark::State& state, ColumnType type, size_t distinct) {
+  const size_t rows = 100000;
+  const ColumnVector col = MakeColumn(type, rows, distinct);
+  std::string buf;
+  columnar::EncodeColumn(col, &buf);
+  state.counters["encoded_bytes"] = static_cast<double>(buf.size());
+  for (auto _ : state) {
+    size_t offset = 0;
+    benchmark::DoNotOptimize(columnar::DecodeColumn(buf, &offset));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Encode, int64, ColumnType::kInt64, 0);
+BENCHMARK_CAPTURE(BM_Encode, double, ColumnType::kDouble, 0);
+BENCHMARK_CAPTURE(BM_Encode, bool, ColumnType::kBool, 0);
+BENCHMARK_CAPTURE(BM_Encode, string_dict, ColumnType::kString, 8);
+BENCHMARK_CAPTURE(BM_Encode, string_plain, ColumnType::kString, 1000000);
+BENCHMARK_CAPTURE(BM_Decode, int64, ColumnType::kInt64, 0);
+BENCHMARK_CAPTURE(BM_Decode, double, ColumnType::kDouble, 0);
+BENCHMARK_CAPTURE(BM_Decode, bool, ColumnType::kBool, 0);
+BENCHMARK_CAPTURE(BM_Decode, string_dict, ColumnType::kString, 8);
+BENCHMARK_CAPTURE(BM_Decode, string_plain, ColumnType::kString, 1000000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Micro: JSON parser and writer throughput on realistic records — the
+// dominant cost of eager loading (paper §I: parsing/validation is the
+// bottleneck CIAO avoids for irrelevant records).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "json/parser.h"
+#include "json/writer.h"
+#include "workload/dataset.h"
+
+namespace {
+
+using namespace ciao;
+
+const workload::Dataset& Data(workload::DatasetKind kind) {
+  static auto* cache =
+      new std::map<workload::DatasetKind, workload::Dataset>();
+  auto it = cache->find(kind);
+  if (it == cache->end()) {
+    workload::GeneratorOptions gen;
+    gen.num_records = 1000;
+    gen.seed = 3;
+    it = cache->emplace(kind, workload::GenerateDataset(kind, gen)).first;
+  }
+  return it->second;
+}
+
+void BM_Parse(benchmark::State& state, workload::DatasetKind kind) {
+  const auto& ds = Data(kind);
+  uint64_t bytes = 0;
+  for (const auto& r : ds.records) bytes += r.size();
+  for (auto _ : state) {
+    for (const std::string& r : ds.records) {
+      benchmark::DoNotOptimize(json::Parse(r));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.records.size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+
+void BM_WriteRoundTrip(benchmark::State& state, workload::DatasetKind kind) {
+  const auto& ds = Data(kind);
+  std::vector<json::Value> parsed;
+  for (const auto& r : ds.records) parsed.push_back(*json::Parse(r));
+  for (auto _ : state) {
+    std::string out;
+    for (const json::Value& v : parsed) {
+      out.clear();
+      json::WriteTo(v, &out);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(parsed.size()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Parse, winlog, ciao::workload::DatasetKind::kWinLog);
+BENCHMARK_CAPTURE(BM_Parse, yelp, ciao::workload::DatasetKind::kYelp);
+BENCHMARK_CAPTURE(BM_Parse, ycsb, ciao::workload::DatasetKind::kYcsb);
+BENCHMARK_CAPTURE(BM_WriteRoundTrip, yelp,
+                  ciao::workload::DatasetKind::kYelp);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// The paper's core premise, measured directly: evaluating a predicate by
+// substring matching on the raw record is an order of magnitude cheaper
+// than parsing the record (let alone parse + convert + load). This is
+// why shipping pattern strings to clients is viable where shipping a
+// parser is not (§I, §IV).
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/json_converter.h"
+#include "json/parser.h"
+#include "matcher/compiled_pattern.h"
+#include "predicate/pattern_compiler.h"
+#include "predicate/semantic_eval.h"
+#include "workload/dataset.h"
+
+namespace {
+
+using namespace ciao;
+
+const workload::Dataset& Data() {
+  static const auto* ds = [] {
+    workload::GeneratorOptions gen;
+    gen.num_records = 2000;
+    gen.seed = 9;
+    return new workload::Dataset(workload::GenerateYelp(gen));
+  }();
+  return *ds;
+}
+
+// (a) Raw prefilter: one substring predicate per record.
+void BM_RawPrefilter(benchmark::State& state) {
+  const auto& ds = Data();
+  auto program = RawClauseProgram::Compile(
+      Clause::Of(SimplePredicate::Substring("text", "delicious")));
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (const std::string& r : ds.records) {
+      if (program->Matches(r)) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.records.size()));
+}
+BENCHMARK(BM_RawPrefilter);
+
+// (b) Full parse + semantic evaluation (what raw-format query processing
+// pays per record).
+void BM_ParseAndEvaluate(benchmark::State& state) {
+  const auto& ds = Data();
+  const SimplePredicate pred = SimplePredicate::Substring("text", "delicious");
+  size_t hits = 0;
+  for (auto _ : state) {
+    for (const std::string& r : ds.records) {
+      auto v = json::Parse(r);
+      if (v.ok() && EvaluateSimple(pred, *v)) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.records.size()));
+}
+BENCHMARK(BM_ParseAndEvaluate);
+
+// (c) Full load: parse + type conversion into columnar form (what the
+// server pays for every loaded record).
+void BM_ParseAndConvert(benchmark::State& state) {
+  const auto& ds = Data();
+  for (auto _ : state) {
+    columnar::BatchBuilder builder(ds.schema);
+    for (const std::string& r : ds.records) {
+      benchmark::DoNotOptimize(builder.AppendSerialized(r).ok());
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.records.size()));
+}
+BENCHMARK(BM_ParseAndConvert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Ablation: zone-map (server-only min/max) skipping vs client-assisted
+// bitvector skipping. Zone maps prune groups only when data is clustered
+// on the predicate column; CIAO's bitvectors prune per-row for arbitrary
+// string predicates regardless of layout — the paper's core advantage
+// over classic data skipping [Sun et al.].
+
+#include <benchmark/benchmark.h>
+
+#include "engine/executor.h"
+#include "json/chunk.h"
+#include "storage/partial_loader.h"
+#include "workload/dataset.h"
+
+namespace {
+
+using namespace ciao;
+
+struct Fixture {
+  workload::Dataset ds;
+  PredicateRegistry registry;
+  TableCatalog catalog;
+  Query id_query;       // clustered numeric predicate: zone maps shine
+  Query string_query;   // string predicate: only bitvectors can skip
+
+  Fixture() : ds(workload::GenerateYcsb({12000, 7})), catalog(ds.schema) {
+    id_query.clauses = {Clause::Of(SimplePredicate::KeyValue("id", 6000))};
+    string_query.clauses = {
+        Clause::Of(SimplePredicate::Exact("age_group", "child"))};
+    registry.Register(string_query.clauses[0], 0.1, 1.0).ok();
+
+    PartialLoader loader(ds.schema, 1);
+    LoadStats stats;
+    const size_t chunk_size = 1000;
+    for (size_t start = 0; start < ds.records.size(); start += chunk_size) {
+      json::JsonChunk chunk;
+      const size_t end = std::min(ds.records.size(), start + chunk_size);
+      for (size_t i = start; i < end; ++i) {
+        chunk.AppendSerialized(ds.records[i]);
+      }
+      BitVectorSet annotations(1, chunk.size());
+      const auto& program = registry.Get(0).program;
+      for (size_t r = 0; r < chunk.size(); ++r) {
+        if (program.Matches(chunk.Record(r))) {
+          annotations.mutable_vector(0)->Set(r, true);
+        }
+      }
+      loader
+          .IngestChunk(chunk, annotations, /*partial_loading_enabled=*/false,
+                       &catalog, &stats)
+          .ok();
+    }
+  }
+};
+
+Fixture& Fx() {
+  static auto* fx = new Fixture();
+  return *fx;
+}
+
+void BM_ClusteredId_NoSkipping(benchmark::State& state) {
+  ExecutorOptions opt;
+  opt.use_zone_maps = false;
+  QueryExecutor executor(&Fx().catalog, &Fx().registry, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.ExecuteFullScan(Fx().id_query));
+  }
+}
+BENCHMARK(BM_ClusteredId_NoSkipping);
+
+void BM_ClusteredId_ZoneMaps(benchmark::State& state) {
+  QueryExecutor executor(&Fx().catalog, &Fx().registry);  // zone maps on
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.ExecuteFullScan(Fx().id_query));
+  }
+}
+BENCHMARK(BM_ClusteredId_ZoneMaps);
+
+void BM_StringPredicate_ZoneMapsOnly(benchmark::State& state) {
+  // Zone maps cannot help string equality; this is the full-scan cost.
+  QueryExecutor executor(&Fx().catalog, &Fx().registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.ExecuteFullScan(Fx().string_query));
+  }
+}
+BENCHMARK(BM_StringPredicate_ZoneMapsOnly);
+
+void BM_StringPredicate_Bitvectors(benchmark::State& state) {
+  // CIAO's client-computed bitvectors skip rows for the same predicate.
+  QueryExecutor executor(&Fx().catalog, &Fx().registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.ExecuteWithSkipping(Fx().string_query, {0}));
+  }
+}
+BENCHMARK(BM_StringPredicate_Bitvectors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

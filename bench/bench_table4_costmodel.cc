@@ -1,0 +1,96 @@
+// Table IV reproduction: cost-model calibration quality (R^2) on three
+// hardware platforms. The paper calibrates on physical machines; we
+// cannot, so the three platforms are simulated noise profiles
+// (DESIGN.md §2) — and, additionally, a real wall-clock calibration of
+// THIS host is reported, which the paper's pipeline would produce here.
+// 100 probe predicates per dataset, multivariate linear regression.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/report.h"
+#include "costmodel/calibration.h"
+#include "costmodel/regression.h"
+#include "workload/dataset.h"
+
+int main() {
+  using namespace ciao;
+  using workload::DatasetKind;
+
+  std::printf("=== Table IV: cost-model calibration (R-squared) ===\n\n");
+
+  // Build probe observations from all three datasets, as the paper does
+  // ("randomly choose 100 predicates respectively from three datasets").
+  std::vector<CostObservation> probes;
+  std::vector<std::string> all_records;
+  for (const auto kind :
+       {DatasetKind::kYelp, DatasetKind::kWinLog, DatasetKind::kYcsb}) {
+    workload::GeneratorOptions gen;
+    gen.num_records = 2000;
+    gen.seed = 7;
+    workload::Dataset ds = workload::GenerateDataset(kind, gen);
+    const double len_t = ds.MeanRecordLength();
+    const auto patterns = BuildProbePatterns(ds.records, 100, 11);
+    for (const auto& pattern : patterns) {
+      size_t hits = 0;
+      for (const auto& r : ds.records) {
+        if (r.find(pattern) != std::string::npos) ++hits;
+      }
+      CostObservation o;
+      o.selectivity =
+          static_cast<double>(hits) / static_cast<double>(ds.records.size());
+      o.len_p = static_cast<double>(pattern.size());
+      o.len_t = len_t;
+      probes.push_back(o);
+    }
+    for (auto& r : ds.records) all_records.push_back(std::move(r));
+  }
+
+  TablePrinter table({"Platform", "Hardware", "R-squared", "paper R^2"});
+  const char* paper_r2[] = {"0.897", "0.666", "0.978"};
+  int i = 0;
+  for (const HardwareProfile& profile : AllHardwareProfiles()) {
+    auto result = CalibrateSimulated(profile, probes, /*seed=*/1);
+    if (!result.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({profile.name, profile.description,
+                  FormatDouble(result->model.r_squared(), 3), paper_r2[i++]});
+    std::printf("%-14s coefficients: %s\n", profile.name.c_str(),
+                result->model.coefficients().ToString().c_str());
+  }
+  std::printf("\n%s", table.ToString().c_str());
+
+  // Bonus: real wall-clock calibration of this machine. Calibrate per
+  // dataset (so len_t varies across observations: short log lines vs
+  // long YCSB documents), then fit one pooled model — without the len_t
+  // spread the k2/k4 terms are unidentifiable.
+  std::vector<CostObservation> wall_obs;
+  for (const auto kind :
+       {DatasetKind::kYelp, DatasetKind::kWinLog, DatasetKind::kYcsb}) {
+    workload::GeneratorOptions gen;
+    gen.num_records = 2000;
+    gen.seed = 7;
+    const workload::Dataset ds = workload::GenerateDataset(kind, gen);
+    const auto ds_patterns = BuildProbePatterns(ds.records, 60, 23);
+    auto wall = CalibrateWallClock(ds.records, ds_patterns,
+                                   SearchKernel::kStdFind, /*repeats=*/5);
+    if (wall.ok()) {
+      for (const auto& o : wall->observations) wall_obs.push_back(o);
+    }
+  }
+  auto pooled = FitCostModel(wall_obs);
+  if (pooled.ok()) {
+    std::printf(
+        "\nwall-clock calibration of this host (pooled over 3 datasets): "
+        "R^2 = %.3f, %s\n",
+        pooled->r_squared(), pooled->coefficients().ToString().c_str());
+    std::printf(
+        "(expect a weaker fit than the paper's 2015-era i7: modern "
+        "memchr-based search runs at ns/record where timer noise and "
+        "cache effects dominate the linear terms)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: deploying CIAO on new hardware. The cost model's constants
+// k1..k4 and c are hardware-dependent (paper §V-D); this tool measures
+// real substring searches on this machine over the three simulated
+// datasets, fits the model by multivariate regression, and reports the
+// coefficients + R^2 (what Table IV does per platform).
+//
+// Build & run:  ./build/examples/calibrate_cost_model
+
+#include <cstdio>
+
+#include "costmodel/calibration.h"
+#include "costmodel/regression.h"
+#include "workload/dataset.h"
+
+using namespace ciao;
+
+int main() {
+  std::printf("calibrating the predicate cost model on this host...\n\n");
+
+  for (const auto kind :
+       {workload::DatasetKind::kYelp, workload::DatasetKind::kWinLog,
+        workload::DatasetKind::kYcsb}) {
+    workload::GeneratorOptions gen;
+    gen.num_records = 3000;
+    gen.seed = 99;
+    const workload::Dataset ds = workload::GenerateDataset(kind, gen);
+    const auto patterns = BuildProbePatterns(ds.records, 100, 13);
+
+    auto result = CalibrateWallClock(ds.records, patterns,
+                                     SearchKernel::kStdFind, /*repeats=*/3);
+    if (!result.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s mean_len=%5.0fB  R^2=%.3f  %s\n", ds.name.c_str(),
+                ds.MeanRecordLength(), result->model.r_squared(),
+                result->model.coefficients().ToString().c_str());
+
+    // Show a few observations vs. predictions.
+    std::printf("   sel    len_p  measured_us  predicted_us\n");
+    for (size_t i = 0; i < result->observations.size(); i += 25) {
+      const CostObservation& o = result->observations[i];
+      std::printf("   %.3f  %5.0f  %10.4f  %12.4f\n", o.selectivity, o.len_p,
+                  o.measured_us,
+                  result->model.PredictUs(o.selectivity, o.len_p, o.len_t));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "use these coefficients in CiaoConfig by constructing CostModel with "
+      "them (CostModel::Default() ships laptop-scale constants).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#ifndef CIAO_BITVEC_BITVECTOR_H_
+#define CIAO_BITVEC_BITVECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ciao {
+
+/// Packed bitvector. One instance per pushed-down predicate per chunk:
+/// bit i == 1 means record i *may* satisfy the predicate (false positives
+/// allowed), bit i == 0 means it definitely does not (no false negatives).
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// `n` bits, all initialized to `value`.
+  explicit BitVector(size_t n, bool value = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Reads bit `i`; i must be < size().
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Writes bit `i`.
+  void Set(size_t i, bool value) {
+    const uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Appends one bit.
+  void PushBack(bool value);
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+
+  /// Number of set bits among the first `prefix` bits.
+  size_t Rank(size_t prefix) const;
+
+  /// In-place AND/OR with `other`; sizes must match (returns
+  /// InvalidArgument otherwise).
+  Status AndWith(const BitVector& other);
+  Status OrWith(const BitVector& other);
+
+  /// Flips every bit.
+  void Negate();
+
+  /// True iff any bit is set.
+  bool Any() const;
+
+  /// True iff every bit is set.
+  bool All() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint32_t> SetBits() const;
+
+  /// Keeps only the bits at positions where `mask` is set, preserving
+  /// order; the result has mask.CountOnes() bits. This re-indexes a
+  /// chunk-level bitvector to the rows that survived partial loading
+  /// (paper §VI-A). Sizes must match.
+  Result<BitVector> CompactBy(const BitVector& mask) const;
+
+  /// Binary serialization: [uint64 size][words...], little-endian.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses a serialization produced by SerializeTo starting at
+  /// `(*offset)`; advances `*offset` past it. Fails with Corruption on a
+  /// truncated buffer.
+  static Result<BitVector> Deserialize(std::string_view buffer,
+                                       size_t* offset);
+
+  /// Serialized size in bytes for a vector of `bits` bits.
+  static size_t SerializedBytes(size_t bits) {
+    return 8 + ((bits + 63) / 64) * 8;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Static helper: AND of several vectors (must be same length, >= 1).
+  static Result<BitVector> IntersectAll(
+      const std::vector<const BitVector*>& vectors);
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+
+  void ClearPadding();
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_BITVEC_BITVECTOR_H_

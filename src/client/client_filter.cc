@@ -1,0 +1,40 @@
+#include "client/client_filter.h"
+
+#include "common/timer.h"
+
+namespace ciao {
+
+ClientFilter::ClientFilter(const PredicateRegistry* registry)
+    : registry_(registry) {
+  ids_.reserve(registry->size());
+  for (size_t i = 0; i < registry->size(); ++i) {
+    ids_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+ClientFilter::ClientFilter(const PredicateRegistry* registry,
+                           std::vector<uint32_t> ids)
+    : registry_(registry), ids_(std::move(ids)) {}
+
+BitVectorSet ClientFilter::Evaluate(const json::JsonChunk& chunk,
+                                    PrefilterStats* stats) const {
+  BitVectorSet out(ids_.size(), chunk.size());
+  ScopedTimer timer(&stats->seconds);
+  stats->records_filtered += chunk.size();
+  for (size_t p = 0; p < ids_.size(); ++p) {
+    const RawClauseProgram& program = registry_->Get(ids_[p]).program;
+    BitVector* bits = out.mutable_vector(p);
+    for (size_t r = 0; r < chunk.size(); ++r) {
+      if (program.Matches(chunk.Record(r))) bits->Set(r, true);
+    }
+  }
+  return out;
+}
+
+double ClientFilter::ExpectedCostUs() const {
+  double total = 0.0;
+  for (const uint32_t id : ids_) total += registry_->Get(id).cost_us;
+  return total;
+}
+
+}  // namespace ciao

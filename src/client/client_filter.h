@@ -1,0 +1,61 @@
+#ifndef CIAO_CLIENT_CLIENT_FILTER_H_
+#define CIAO_CLIENT_CLIENT_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bitvector_set.h"
+#include "common/status.h"
+#include "json/chunk.h"
+#include "predicate/registry.h"
+
+namespace ciao {
+
+/// Cumulative client-side statistics (drives the "Prefiltering" bars of
+/// Fig 3–5).
+struct PrefilterStats {
+  uint64_t records_filtered = 0;
+  double seconds = 0.0;
+
+  /// Average observed prefilter cost per record, in µs — directly
+  /// comparable to the budget B the optimizer planned under.
+  double MicrosPerRecord() const {
+    return records_filtered == 0
+               ? 0.0
+               : seconds * 1e6 / static_cast<double>(records_filtered);
+  }
+};
+
+/// Step 1 of the paper (Fig 1) on the client: evaluate every pushed-down
+/// predicate on each raw JSON record with substring matching (no parsing)
+/// and emit one bitvector per predicate. The filter never produces false
+/// negatives (property-tested).
+class ClientFilter {
+ public:
+  /// Takes the predicate ids + programs to evaluate. The registry must
+  /// outlive the filter.
+  explicit ClientFilter(const PredicateRegistry* registry);
+
+  /// Subset variant for budget-limited clients: evaluate only `ids`.
+  ClientFilter(const PredicateRegistry* registry,
+               std::vector<uint32_t> ids);
+
+  /// Evaluates all predicates over the chunk; the returned set has one
+  /// vector per evaluated id (in `evaluated_ids()` order).
+  BitVectorSet Evaluate(const json::JsonChunk& chunk, PrefilterStats* stats) const;
+
+  const std::vector<uint32_t>& evaluated_ids() const { return ids_; }
+  size_t num_predicates() const { return ids_.size(); }
+
+  /// Expected per-record cost (Σ cost_us of evaluated predicates), i.e.
+  /// what the optimizer budgeted for this client.
+  double ExpectedCostUs() const;
+
+ private:
+  const PredicateRegistry* registry_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_CLIENT_CLIENT_FILTER_H_

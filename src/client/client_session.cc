@@ -1,0 +1,27 @@
+#include "client/client_session.h"
+
+namespace ciao {
+
+Status ClientSession::SendRecords(const std::vector<std::string>& records) {
+  for (size_t start = 0; start < records.size(); start += chunk_size_) {
+    json::JsonChunk chunk;
+    const size_t end = std::min(records.size(), start + chunk_size_);
+    for (size_t i = start; i < end; ++i) {
+      chunk.AppendSerialized(records[i]);
+    }
+    CIAO_RETURN_IF_ERROR(SendChunk(chunk));
+  }
+  return Status::OK();
+}
+
+Status ClientSession::SendChunk(const json::JsonChunk& chunk) {
+  ChunkMessage msg;
+  msg.chunk = chunk;
+  msg.predicate_ids = filter_.evaluated_ids();
+  msg.annotations = filter_.Evaluate(chunk, &stats_);
+  std::string payload;
+  msg.SerializeTo(&payload);
+  return transport_->Send(std::move(payload));
+}
+
+}  // namespace ciao

@@ -1,0 +1,27 @@
+#include "client/coordinator.h"
+
+namespace ciao {
+
+MultiClientCoordinator::MultiClientCoordinator(
+    const PredicateRegistry* registry, Transport* transport, size_t chunk_size)
+    : registry_(registry), transport_(transport), chunk_size_(chunk_size) {}
+
+size_t MultiClientCoordinator::AddClient(const ClientSpec& spec) {
+  // Registry order is selection order (best predicates first), so the
+  // maximal affordable prefix is the natural budget-constrained subset.
+  std::vector<uint32_t> ids;
+  double cost = 0.0;
+  for (size_t i = 0; i < registry_->size(); ++i) {
+    const RegisteredPredicate& p = registry_->Get(static_cast<uint32_t>(i));
+    if (cost + p.cost_us > spec.budget_us + 1e-12) continue;
+    cost += p.cost_us;
+    ids.push_back(static_cast<uint32_t>(i));
+  }
+  specs_.push_back(spec);
+  assigned_.push_back(ids);
+  sessions_.push_back(std::make_unique<ClientSession>(
+      ClientFilter(registry_, std::move(ids)), transport_, chunk_size_));
+  return sessions_.size() - 1;
+}
+
+}  // namespace ciao

@@ -1,0 +1,58 @@
+#ifndef CIAO_CLIENT_COORDINATOR_H_
+#define CIAO_CLIENT_COORDINATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client_session.h"
+#include "common/status.h"
+#include "predicate/registry.h"
+#include "storage/transport.h"
+
+namespace ciao {
+
+/// Per-client capability declaration: how many µs per record this client
+/// can spend prefiltering. The paper's abstract calls this out: "CIAO
+/// will address the trade-off between client cost and server savings by
+/// setting different budgets for different clients."
+struct ClientSpec {
+  std::string name;
+  double budget_us = 0.0;
+};
+
+/// Assigns each client the maximal prefix of the registry (which is in
+/// greedy selection order, i.e. best-first) that fits its budget, and
+/// builds a session per client. Weak clients evaluate fewer predicates;
+/// the server conservatively treats their unevaluated predicates as
+/// "maybe" (all-ones) when loading — sound for skipping and loading.
+class MultiClientCoordinator {
+ public:
+  /// `registry` and `transport` must outlive the coordinator.
+  MultiClientCoordinator(const PredicateRegistry* registry,
+                         Transport* transport, size_t chunk_size = 1000);
+
+  /// Registers a client; returns its index.
+  size_t AddClient(const ClientSpec& spec);
+
+  size_t num_clients() const { return sessions_.size(); }
+  ClientSession* session(size_t i) { return sessions_[i].get(); }
+  const ClientSpec& spec(size_t i) const { return specs_[i]; }
+
+  /// Ids assigned to client `i`.
+  const std::vector<uint32_t>& assigned_ids(size_t i) const {
+    return assigned_[i];
+  }
+
+ private:
+  const PredicateRegistry* registry_;
+  Transport* transport_;
+  size_t chunk_size_;
+  std::vector<ClientSpec> specs_;
+  std::vector<std::vector<uint32_t>> assigned_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_CLIENT_COORDINATOR_H_

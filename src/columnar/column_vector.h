@@ -1,0 +1,78 @@
+#ifndef CIAO_COLUMNAR_COLUMN_VECTOR_H_
+#define CIAO_COLUMNAR_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitvec/bitvector.h"
+#include "columnar/schema.h"
+
+namespace ciao::columnar {
+
+/// In-memory column of one type with a validity bitmap. String payloads
+/// live in a single arena buffer addressed by offsets, so scans return
+/// zero-copy string_views (significant for per-query scan cost, which the
+/// paper's Fig 8/10/12 measure).
+class ColumnVector {
+ public:
+  explicit ColumnVector(ColumnType type = ColumnType::kString);
+
+  ColumnType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  /// Appends a NULL slot (placeholder value keeps indexes aligned).
+  void AppendNull();
+
+  /// Typed appends; must match type().
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string_view v);
+
+  bool IsValid(size_t i) const { return validity_.Get(i); }
+  size_t NullCount() const { return size_ - validity_.CountOnes(); }
+
+  /// Typed accessors; defined only when IsValid(i) and type matches
+  /// (NULL slots return the placeholder).
+  int64_t GetInt64(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  bool GetBool(size_t i) const { return bools_.Get(i); }
+  std::string_view GetString(size_t i) const {
+    return std::string_view(buffer_).substr(offsets_[i],
+                                            offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// Numeric value as double (int64 widened); only for numeric columns.
+  double GetNumeric(size_t i) const {
+    return type_ == ColumnType::kInt64 ? static_cast<double>(ints_[i])
+                                       : doubles_[i];
+  }
+
+  const BitVector& validity() const { return validity_; }
+
+  /// Deep equality (type, validity, and valid values).
+  bool Equals(const ColumnVector& other) const;
+
+  // Internal storage accessors for the codec.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const BitVector& bools() const { return bools_; }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  ColumnType type_;
+  size_t size_ = 0;
+  BitVector validity_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  BitVector bools_;
+  std::vector<uint32_t> offsets_{0};
+  std::string buffer_;
+};
+
+}  // namespace ciao::columnar
+
+#endif  // CIAO_COLUMNAR_COLUMN_VECTOR_H_

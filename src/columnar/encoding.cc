@@ -1,0 +1,247 @@
+#include "columnar/encoding.h"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "columnar/wire.h"
+
+namespace ciao::columnar {
+
+namespace {
+
+void EncodeStringPlain(const ColumnVector& col, std::string* out) {
+  // Offsets (n+1) then the arena buffer.
+  for (const uint32_t off : col.offsets()) wire::PutU32(off, out);
+  wire::PutBytes(col.buffer(), out);
+}
+
+void EncodeStringDictionary(const ColumnVector& col,
+                            const std::map<std::string_view, uint32_t>& dict,
+                            std::string* out) {
+  wire::PutU32(static_cast<uint32_t>(dict.size()), out);
+  // Entries ordered by code: invert the map.
+  std::vector<std::string_view> by_code(dict.size());
+  for (const auto& [value, code] : dict) by_code[code] = value;
+  for (const std::string_view value : by_code) wire::PutBytes(value, out);
+
+  const uint8_t code_width = dict.size() <= 0xFF ? 1 : 2;
+  wire::PutU8(code_width, out);
+  for (size_t i = 0; i < col.size(); ++i) {
+    // NULL rows get code 0 (any value; validity masks them out).
+    uint32_t code = 0;
+    if (col.IsValid(i)) code = dict.at(col.GetString(i));
+    if (code_width == 1) {
+      wire::PutU8(static_cast<uint8_t>(code), out);
+    } else {
+      wire::PutU8(static_cast<uint8_t>(code & 0xFF), out);
+      wire::PutU8(static_cast<uint8_t>(code >> 8), out);
+    }
+  }
+}
+
+Result<ColumnVector> DecodeStringPlain(wire::Cursor* cursor, size_t rows,
+                                       const BitVector& validity) {
+  std::vector<uint32_t> offsets(rows + 1);
+  for (uint32_t& off : offsets) {
+    CIAO_RETURN_IF_ERROR(cursor->ReadU32(&off));
+  }
+  std::string_view buffer;
+  CIAO_RETURN_IF_ERROR(cursor->ReadBytes(&buffer));
+  if (offsets[0] != 0 || offsets[rows] != buffer.size()) {
+    return Status::Corruption("string column: inconsistent offsets");
+  }
+  ColumnVector col(ColumnType::kString);
+  for (size_t i = 0; i < rows; ++i) {
+    if (offsets[i + 1] < offsets[i] || offsets[i + 1] > buffer.size()) {
+      return Status::Corruption("string column: offset out of range");
+    }
+    if (validity.Get(i)) {
+      col.AppendString(buffer.substr(offsets[i], offsets[i + 1] - offsets[i]));
+    } else {
+      col.AppendNull();
+    }
+  }
+  return col;
+}
+
+Result<ColumnVector> DecodeStringDictionary(wire::Cursor* cursor, size_t rows,
+                                            const BitVector& validity) {
+  uint32_t dict_size = 0;
+  CIAO_RETURN_IF_ERROR(cursor->ReadU32(&dict_size));
+  std::vector<std::string_view> entries(dict_size);
+  for (uint32_t i = 0; i < dict_size; ++i) {
+    CIAO_RETURN_IF_ERROR(cursor->ReadBytes(&entries[i]));
+  }
+  uint8_t code_width = 0;
+  CIAO_RETURN_IF_ERROR(cursor->ReadU8(&code_width));
+  if (code_width != 1 && code_width != 2) {
+    return Status::Corruption("dictionary column: bad code width");
+  }
+  ColumnVector col(ColumnType::kString);
+  for (size_t i = 0; i < rows; ++i) {
+    uint32_t code = 0;
+    uint8_t b0 = 0;
+    CIAO_RETURN_IF_ERROR(cursor->ReadU8(&b0));
+    code = b0;
+    if (code_width == 2) {
+      uint8_t b1 = 0;
+      CIAO_RETURN_IF_ERROR(cursor->ReadU8(&b1));
+      code |= static_cast<uint32_t>(b1) << 8;
+    }
+    if (!validity.Get(i)) {
+      col.AppendNull();
+      continue;
+    }
+    if (code >= dict_size) {
+      return Status::Corruption("dictionary column: code out of range");
+    }
+    col.AppendString(entries[code]);
+  }
+  return col;
+}
+
+}  // namespace
+
+bool ShouldDictionaryEncode(size_t distinct, size_t rows) {
+  return rows >= 16 && distinct <= 0xFFFF && distinct * 2 <= rows;
+}
+
+void EncodeColumn(const ColumnVector& column, std::string* out) {
+  wire::PutU8(static_cast<uint8_t>(column.type()), out);
+
+  Encoding encoding = Encoding::kPlain;
+  std::map<std::string_view, uint32_t> dict;
+  if (column.type() == ColumnType::kString) {
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (column.IsValid(i)) dict.emplace(column.GetString(i), 0);
+      if (dict.size() > 0xFFFF) break;
+    }
+    if (ShouldDictionaryEncode(dict.size(), column.size())) {
+      encoding = Encoding::kDictionary;
+      uint32_t next = 0;
+      for (auto& [value, code] : dict) code = next++;
+    }
+  }
+  wire::PutU8(static_cast<uint8_t>(encoding), out);
+  wire::PutU64(column.size(), out);
+  column.validity().SerializeTo(out);
+
+  switch (column.type()) {
+    case ColumnType::kInt64: {
+      const auto& v = column.ints();
+      const size_t bytes = v.size() * sizeof(int64_t);
+      const size_t start = out->size();
+      out->resize(start + bytes);
+      if (bytes > 0) std::memcpy(out->data() + start, v.data(), bytes);
+      break;
+    }
+    case ColumnType::kDouble: {
+      const auto& v = column.doubles();
+      const size_t bytes = v.size() * sizeof(double);
+      const size_t start = out->size();
+      out->resize(start + bytes);
+      if (bytes > 0) std::memcpy(out->data() + start, v.data(), bytes);
+      break;
+    }
+    case ColumnType::kBool:
+      column.bools().SerializeTo(out);
+      break;
+    case ColumnType::kString:
+      if (encoding == Encoding::kDictionary) {
+        EncodeStringDictionary(column, dict, out);
+      } else {
+        EncodeStringPlain(column, out);
+      }
+      break;
+  }
+}
+
+Result<ColumnVector> DecodeColumn(std::string_view buffer, size_t* offset) {
+  wire::Cursor cursor(buffer, *offset);
+  uint8_t type_byte = 0;
+  uint8_t encoding_byte = 0;
+  uint64_t rows64 = 0;
+  CIAO_RETURN_IF_ERROR(cursor.ReadU8(&type_byte));
+  CIAO_RETURN_IF_ERROR(cursor.ReadU8(&encoding_byte));
+  CIAO_RETURN_IF_ERROR(cursor.ReadU64(&rows64));
+  if (type_byte > static_cast<uint8_t>(ColumnType::kString)) {
+    return Status::Corruption("column: unknown type byte");
+  }
+  if (encoding_byte > static_cast<uint8_t>(Encoding::kDictionary)) {
+    return Status::Corruption("column: unknown encoding byte");
+  }
+  const auto type = static_cast<ColumnType>(type_byte);
+  const auto encoding = static_cast<Encoding>(encoding_byte);
+  const size_t rows = static_cast<size_t>(rows64);
+
+  size_t cpos = cursor.position();
+  CIAO_ASSIGN_OR_RETURN(BitVector validity,
+                        BitVector::Deserialize(buffer, &cpos));
+  cursor = wire::Cursor(buffer, cpos);
+  if (validity.size() != rows) {
+    return Status::Corruption("column: validity size mismatch");
+  }
+
+  ColumnVector col(type);
+  switch (type) {
+    case ColumnType::kInt64: {
+      std::string_view raw;
+      CIAO_RETURN_IF_ERROR(cursor.ReadRaw(rows * 8, &raw));
+      for (size_t i = 0; i < rows; ++i) {
+        if (validity.Get(i)) {
+          int64_t v = 0;
+          std::memcpy(&v, raw.data() + i * 8, 8);
+          col.AppendInt64(v);
+        } else {
+          col.AppendNull();
+        }
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      std::string_view raw;
+      CIAO_RETURN_IF_ERROR(cursor.ReadRaw(rows * 8, &raw));
+      for (size_t i = 0; i < rows; ++i) {
+        if (validity.Get(i)) {
+          double v = 0.0;
+          std::memcpy(&v, raw.data() + i * 8, 8);
+          col.AppendDouble(v);
+        } else {
+          col.AppendNull();
+        }
+      }
+      break;
+    }
+    case ColumnType::kBool: {
+      size_t bpos = cursor.position();
+      CIAO_ASSIGN_OR_RETURN(BitVector bools,
+                            BitVector::Deserialize(buffer, &bpos));
+      cursor = wire::Cursor(buffer, bpos);
+      if (bools.size() != rows) {
+        return Status::Corruption("bool column: payload size mismatch");
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        if (validity.Get(i)) {
+          col.AppendBool(bools.Get(i));
+        } else {
+          col.AppendNull();
+        }
+      }
+      break;
+    }
+    case ColumnType::kString: {
+      Result<ColumnVector> decoded =
+          encoding == Encoding::kDictionary
+              ? DecodeStringDictionary(&cursor, rows, validity)
+              : DecodeStringPlain(&cursor, rows, validity);
+      CIAO_RETURN_IF_ERROR(decoded.status());
+      col = std::move(decoded).value();
+      break;
+    }
+  }
+  *offset = cursor.position();
+  return col;
+}
+
+}  // namespace ciao::columnar

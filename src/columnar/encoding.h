@@ -1,0 +1,36 @@
+#ifndef CIAO_COLUMNAR_ENCODING_H_
+#define CIAO_COLUMNAR_ENCODING_H_
+
+#include <string>
+#include <string_view>
+
+#include "columnar/column_vector.h"
+#include "common/status.h"
+
+namespace ciao::columnar {
+
+/// Physical encodings. The encoder picks automatically: strings switch to
+/// dictionary when the distinct count is small (low-cardinality columns
+/// like log levels, age groups); everything else is PLAIN. Bools are
+/// bit-packed inside PLAIN.
+enum class Encoding : uint8_t {
+  kPlain = 0,
+  kDictionary = 1,
+};
+
+/// Encodes a column: [type u8][encoding u8][num_rows u64][validity]
+/// [payload]. The encoding choice is embedded so readers are
+/// self-describing.
+void EncodeColumn(const ColumnVector& column, std::string* out);
+
+/// Decodes one column starting at `*offset`; advances past it. All reads
+/// are bounds-checked; corruption yields Status, never UB.
+Result<ColumnVector> DecodeColumn(std::string_view buffer, size_t* offset);
+
+/// Heuristic used by EncodeColumn, exposed for tests: dictionary pays off
+/// when distinct < 1/2 of rows and fits narrow codes.
+bool ShouldDictionaryEncode(size_t distinct, size_t rows);
+
+}  // namespace ciao::columnar
+
+#endif  // CIAO_COLUMNAR_ENCODING_H_

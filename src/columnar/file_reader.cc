@@ -1,0 +1,165 @@
+#include "columnar/file_reader.h"
+
+#include "columnar/encoding.h"
+#include "columnar/wire.h"
+#include "common/crc32.h"
+
+namespace ciao::columnar {
+
+namespace {
+
+constexpr std::string_view kMagic = "CIAOCOL1";
+constexpr std::string_view kEndMagic = "CIAOEND1";
+constexpr uint32_t kGroupMarker = 0x50555247;   // "GRUP"
+constexpr uint32_t kFooterMarker = 0x544F4F46;  // "FOOT"
+
+}  // namespace
+
+Result<TableReader> TableReader::Open(std::string file_bytes) {
+  TableReader reader;
+  reader.owned_ = std::move(file_bytes);
+  return OpenImpl(std::move(reader));
+}
+
+Result<TableReader> TableReader::OpenBorrowed(std::string_view file_bytes) {
+  TableReader reader;
+  reader.borrowed_ = file_bytes;
+  return OpenImpl(std::move(reader));
+}
+
+Result<TableReader> TableReader::OpenImpl(TableReader reader) {
+  const std::string_view data = reader.data();
+
+  if (data.size() < kMagic.size() || data.substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("columnar file: bad magic");
+  }
+  size_t offset = kMagic.size();
+  CIAO_ASSIGN_OR_RETURN(reader.schema_, Schema::Deserialize(data, &offset));
+
+  wire::Cursor cursor(data, offset);
+  while (true) {
+    uint32_t marker = 0;
+    CIAO_RETURN_IF_ERROR(cursor.ReadU32(&marker));
+    if (marker == kFooterMarker) break;
+    if (marker != kGroupMarker) {
+      return Status::Corruption("columnar file: bad group marker");
+    }
+    GroupIndex g;
+    uint32_t header_len = 0;
+    CIAO_RETURN_IF_ERROR(cursor.ReadU32(&header_len));
+    g.header_offset = cursor.position();
+    g.header_len = header_len;
+    CIAO_RETURN_IF_ERROR(cursor.Skip(header_len));
+    uint32_t body_len = 0;
+    CIAO_RETURN_IF_ERROR(cursor.ReadU32(&body_len));
+    g.body_offset = cursor.position();
+    g.body_len = body_len;
+    CIAO_RETURN_IF_ERROR(cursor.Skip(body_len));
+    CIAO_RETURN_IF_ERROR(cursor.ReadU32(&g.crc));
+    reader.groups_.push_back(g);
+  }
+  uint32_t declared_groups = 0;
+  CIAO_RETURN_IF_ERROR(cursor.ReadU32(&declared_groups));
+  if (declared_groups != reader.groups_.size()) {
+    return Status::Corruption("columnar file: footer group count mismatch");
+  }
+  std::string_view end;
+  CIAO_RETURN_IF_ERROR(cursor.ReadRaw(kEndMagic.size(), &end));
+  if (end != kEndMagic) {
+    return Status::Corruption("columnar file: bad end magic");
+  }
+  return reader;
+}
+
+Result<RowGroupMeta> TableReader::ReadMeta(size_t i) const {
+  if (i >= groups_.size()) {
+    return Status::OutOfRange("ReadMeta: group index out of range");
+  }
+  const GroupIndex& g = groups_[i];
+  const std::string_view header =
+      data().substr(g.header_offset, g.header_len);
+  wire::Cursor cursor(header);
+  RowGroupMeta meta;
+  CIAO_RETURN_IF_ERROR(cursor.ReadU64(&meta.num_rows));
+  size_t pos = cursor.position();
+  CIAO_ASSIGN_OR_RETURN(meta.annotations,
+                        BitVectorSet::Deserialize(header, &pos));
+  cursor = wire::Cursor(header, pos);
+  uint32_t zm_count = 0;
+  CIAO_RETURN_IF_ERROR(cursor.ReadU32(&zm_count));
+  meta.zone_maps.resize(zm_count);
+  for (ZoneMap& zm : meta.zone_maps) {
+    uint8_t has = 0;
+    CIAO_RETURN_IF_ERROR(cursor.ReadU8(&has));
+    zm.has_minmax = has != 0;
+    CIAO_RETURN_IF_ERROR(cursor.ReadF64(&zm.min));
+    CIAO_RETURN_IF_ERROR(cursor.ReadF64(&zm.max));
+    CIAO_RETURN_IF_ERROR(cursor.ReadU64(&zm.null_count));
+  }
+  if (meta.annotations.num_predicates() > 0 &&
+      meta.annotations.num_records() != meta.num_rows) {
+    return Status::Corruption("row group: annotation length mismatch");
+  }
+  return meta;
+}
+
+Result<RecordBatch> TableReader::ReadBatch(size_t i) const {
+  CIAO_ASSIGN_OR_RETURN(
+      RecordBatch batch,
+      ReadBatchProjected(i, std::vector<bool>(schema_.num_fields(), true)));
+  CIAO_RETURN_IF_ERROR(batch.Validate());
+  return batch;
+}
+
+Result<RecordBatch> TableReader::ReadBatchProjected(
+    size_t i, const std::vector<bool>& wanted) const {
+  if (i >= groups_.size()) {
+    return Status::OutOfRange("ReadBatch: group index out of range");
+  }
+  if (wanted.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "ReadBatchProjected: projection mask size != schema");
+  }
+  const GroupIndex& g = groups_[i];
+  const std::string_view data = this->data();
+  const std::string_view header = data.substr(g.header_offset, g.header_len);
+  const std::string_view body = data.substr(g.body_offset, g.body_len);
+  uint32_t crc = Crc32(header);
+  crc = Crc32(body.data(), body.size(), crc);
+  if (crc != g.crc) {
+    return Status::Corruption("row group: CRC mismatch");
+  }
+
+  wire::Cursor cursor(body);
+  uint32_t ncols = 0;
+  CIAO_RETURN_IF_ERROR(cursor.ReadU32(&ncols));
+  if (ncols != schema_.num_fields()) {
+    return Status::Corruption("row group: column count != schema");
+  }
+  RecordBatch batch(schema_);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    // Columns are length-prefixed, so unwanted ones are skipped without
+    // decoding — the point of columnar layouts.
+    std::string_view encoded;
+    CIAO_RETURN_IF_ERROR(cursor.ReadBytes(&encoded));
+    if (!wanted[c]) continue;
+    size_t pos = 0;
+    CIAO_ASSIGN_OR_RETURN(ColumnVector col, DecodeColumn(encoded, &pos));
+    if (col.type() != schema_.field(c).type) {
+      return Status::Corruption("row group: column type != schema");
+    }
+    *batch.mutable_column(c) = std::move(col);
+  }
+  return batch;
+}
+
+Result<uint64_t> TableReader::TotalRows() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    CIAO_ASSIGN_OR_RETURN(RowGroupMeta meta, ReadMeta(i));
+    total += meta.num_rows;
+  }
+  return total;
+}
+
+}  // namespace ciao::columnar

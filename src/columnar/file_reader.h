@@ -1,0 +1,84 @@
+#ifndef CIAO_COLUMNAR_FILE_READER_H_
+#define CIAO_COLUMNAR_FILE_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "bitvec/bitvector_set.h"
+#include "columnar/file_writer.h"
+#include "columnar/record_batch.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+
+namespace ciao::columnar {
+
+/// Header of one row group, readable without decoding any column data —
+/// the cheap path the skipping scan uses to decide whether to touch the
+/// group at all.
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  BitVectorSet annotations;
+  std::vector<ZoneMap> zone_maps;
+};
+
+/// Reads files produced by TableWriter. Opening validates magic/footer/
+/// group framing; column payloads are decoded lazily per row group, with
+/// CRC verification.
+class TableReader {
+ public:
+  /// Parses framing and builds the group index, taking ownership.
+  static Result<TableReader> Open(std::string file_bytes);
+
+  /// Borrowing variant: `file_bytes` must outlive the reader. The query
+  /// executor uses this so per-query scans never copy segment bytes.
+  static Result<TableReader> OpenBorrowed(std::string_view file_bytes);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_row_groups() const { return groups_.size(); }
+
+  /// Decodes only the header (annotations + zone maps) of group `i`.
+  Result<RowGroupMeta> ReadMeta(size_t i) const;
+
+  /// Decodes the columns of group `i` (CRC-verified).
+  Result<RecordBatch> ReadBatch(size_t i) const;
+
+  /// Column-pruned read: decodes only the columns with `wanted[c]` set;
+  /// the others stay empty placeholder vectors. The returned batch is a
+  /// *projection* — only access wanted columns, and take the row count
+  /// from ReadMeta, not from the batch. `wanted` must have one entry per
+  /// schema field.
+  Result<RecordBatch> ReadBatchProjected(size_t i,
+                                         const std::vector<bool>& wanted) const;
+
+  /// Total rows across all groups (from headers; no column decode).
+  Result<uint64_t> TotalRows() const;
+
+ private:
+  struct GroupIndex {
+    size_t header_offset = 0;
+    size_t header_len = 0;
+    size_t body_offset = 0;
+    size_t body_len = 0;
+    uint32_t crc = 0;
+  };
+
+  TableReader() = default;
+
+  static Result<TableReader> OpenImpl(TableReader reader);
+
+  /// The file bytes: owned_ when Open() was used, borrowed_ otherwise.
+  /// Always access through data() — it re-anchors after moves (an SSO
+  /// string's buffer address changes when the reader is moved).
+  std::string_view data() const {
+    return owned_.empty() ? borrowed_ : std::string_view(owned_);
+  }
+
+  std::string owned_;
+  std::string_view borrowed_;
+  Schema schema_;
+  std::vector<GroupIndex> groups_;
+};
+
+}  // namespace ciao::columnar
+
+#endif  // CIAO_COLUMNAR_FILE_READER_H_

@@ -1,0 +1,98 @@
+#include "columnar/file_writer.h"
+
+#include "columnar/encoding.h"
+#include "columnar/wire.h"
+#include "common/crc32.h"
+
+namespace ciao::columnar {
+
+namespace {
+
+constexpr std::string_view kMagic = "CIAOCOL1";
+constexpr std::string_view kEndMagic = "CIAOEND1";
+constexpr uint32_t kGroupMarker = 0x50555247;   // "GRUP"
+constexpr uint32_t kFooterMarker = 0x544F4F46;  // "FOOT"
+
+}  // namespace
+
+std::vector<ZoneMap> ComputeZoneMaps(const RecordBatch& batch) {
+  std::vector<ZoneMap> maps(batch.num_columns());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const ColumnVector& col = batch.column(c);
+    ZoneMap& zm = maps[c];
+    zm.null_count = col.NullCount();
+    if (col.type() != ColumnType::kInt64 &&
+        col.type() != ColumnType::kDouble) {
+      continue;
+    }
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsValid(i)) continue;
+      const double v = col.GetNumeric(i);
+      if (!zm.has_minmax) {
+        zm.has_minmax = true;
+        zm.min = v;
+        zm.max = v;
+      } else {
+        if (v < zm.min) zm.min = v;
+        if (v > zm.max) zm.max = v;
+      }
+    }
+  }
+  return maps;
+}
+
+TableWriter::TableWriter(Schema schema) : schema_(std::move(schema)) {
+  buffer_.append(kMagic);
+  schema_.SerializeTo(&buffer_);
+}
+
+Status TableWriter::AppendRowGroup(const RecordBatch& batch,
+                                   const BitVectorSet& annotations) {
+  CIAO_RETURN_IF_ERROR(batch.Validate());
+  if (!(batch.schema() == schema_)) {
+    return Status::InvalidArgument("AppendRowGroup: schema mismatch");
+  }
+  if (annotations.num_predicates() > 0 &&
+      annotations.num_records() != batch.num_rows()) {
+    return Status::InvalidArgument(
+        "AppendRowGroup: annotation length != row count");
+  }
+
+  std::string header;
+  wire::PutU64(batch.num_rows(), &header);
+  annotations.SerializeTo(&header);
+  const std::vector<ZoneMap> zone_maps = ComputeZoneMaps(batch);
+  wire::PutU32(static_cast<uint32_t>(zone_maps.size()), &header);
+  for (const ZoneMap& zm : zone_maps) {
+    wire::PutU8(zm.has_minmax ? 1 : 0, &header);
+    wire::PutF64(zm.min, &header);
+    wire::PutF64(zm.max, &header);
+    wire::PutU64(zm.null_count, &header);
+  }
+
+  std::string body;
+  wire::PutU32(static_cast<uint32_t>(batch.num_columns()), &body);
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    std::string encoded;
+    EncodeColumn(batch.column(c), &encoded);
+    wire::PutBytes(encoded, &body);
+  }
+
+  wire::PutU32(kGroupMarker, &buffer_);
+  wire::PutBytes(header, &buffer_);
+  wire::PutBytes(body, &buffer_);
+  uint32_t crc = Crc32(header);
+  crc = Crc32(body.data(), body.size(), crc);
+  wire::PutU32(crc, &buffer_);
+  ++num_groups_;
+  return Status::OK();
+}
+
+std::string TableWriter::Finish() && {
+  wire::PutU32(kFooterMarker, &buffer_);
+  wire::PutU32(static_cast<uint32_t>(num_groups_), &buffer_);
+  buffer_.append(kEndMagic);
+  return std::move(buffer_);
+}
+
+}  // namespace ciao::columnar

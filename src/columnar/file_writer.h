@@ -1,0 +1,60 @@
+#ifndef CIAO_COLUMNAR_FILE_WRITER_H_
+#define CIAO_COLUMNAR_FILE_WRITER_H_
+
+#include <string>
+
+#include "bitvec/bitvector_set.h"
+#include "columnar/record_batch.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+
+namespace ciao::columnar {
+
+/// Per-column min/max/null statistics stored in the row-group header —
+/// the classic data-skipping block metadata [Sun et al.]; numeric only.
+struct ZoneMap {
+  bool has_minmax = false;
+  double min = 0.0;
+  double max = 0.0;
+  uint64_t null_count = 0;
+};
+
+/// Computes zone maps for every column of `batch` (non-numeric columns
+/// get null_count only).
+std::vector<ZoneMap> ComputeZoneMaps(const RecordBatch& batch);
+
+/// Serializes a table file:
+///
+///   "CIAOCOL1" | schema | group* | footer("FOOT", count, "CIAOEND1")
+///   group: "GRUP" | u32 header_len | header | u32 body_len | body | crc32
+///   header: u64 num_rows | annotations (BitVectorSet) | zone maps
+///   body:   u32 ncols | encoded column*
+///
+/// The header is separable from the body so readers can inspect
+/// annotations and zone maps *without* decoding columns — that is what
+/// makes group-level data skipping nearly free (paper §VI-B).
+class TableWriter {
+ public:
+  explicit TableWriter(Schema schema);
+
+  /// Appends one row group. `annotations` carries the per-predicate
+  /// bitvectors for the batch's rows (may be empty: zero predicates).
+  /// Fails if the batch does not validate against the schema or the
+  /// annotation length mismatches the row count.
+  Status AppendRowGroup(const RecordBatch& batch,
+                        const BitVectorSet& annotations);
+
+  size_t num_row_groups() const { return num_groups_; }
+
+  /// Finalizes and returns the file bytes. The writer is consumed.
+  std::string Finish() &&;
+
+ private:
+  Schema schema_;
+  std::string buffer_;
+  size_t num_groups_ = 0;
+};
+
+}  // namespace ciao::columnar
+
+#endif  // CIAO_COLUMNAR_FILE_WRITER_H_

@@ -1,0 +1,46 @@
+#include "columnar/record_batch.h"
+
+#include "common/string_util.h"
+
+namespace ciao::columnar {
+
+RecordBatch::RecordBatch(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+const ColumnVector* RecordBatch::ColumnByName(std::string_view name) const {
+  const int idx = schema_.FieldIndex(name);
+  if (idx < 0) return nullptr;
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status RecordBatch::Validate() const {
+  if (columns_.size() != schema_.num_fields()) {
+    return Status::Internal("RecordBatch: column/field count mismatch");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type() != schema_.field(i).type) {
+      return Status::Internal(StrFormat(
+          "RecordBatch: column %zu type mismatch with schema field '%s'", i,
+          schema_.field(i).name.c_str()));
+    }
+    if (columns_[i].size() != columns_[0].size()) {
+      return Status::Internal("RecordBatch: ragged columns");
+    }
+  }
+  return Status::OK();
+}
+
+bool RecordBatch::Equals(const RecordBatch& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  if (num_rows() != other.num_rows()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].Equals(other.columns_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace ciao::columnar

@@ -1,0 +1,45 @@
+#ifndef CIAO_COLUMNAR_RECORD_BATCH_H_
+#define CIAO_COLUMNAR_RECORD_BATCH_H_
+
+#include <vector>
+
+#include "columnar/column_vector.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+
+namespace ciao::columnar {
+
+/// A horizontal slice of a table: one ColumnVector per schema field, all
+/// the same length. The unit of encoding (one batch = one row group).
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+
+  /// Creates an empty batch with one (empty) column per field.
+  explicit RecordBatch(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+  ColumnVector* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Column by field name; nullptr if absent.
+  const ColumnVector* ColumnByName(std::string_view name) const;
+
+  /// Verifies all columns have equal length and types match the schema.
+  Status Validate() const;
+
+  bool Equals(const RecordBatch& other) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace ciao::columnar
+
+#endif  // CIAO_COLUMNAR_RECORD_BATCH_H_

@@ -1,0 +1,61 @@
+#ifndef CIAO_COLUMNAR_SCHEMA_H_
+#define CIAO_COLUMNAR_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ciao::columnar {
+
+/// Physical column types of the columnar format. JSON arrays/objects that
+/// appear under a String field are stored as their serialized JSON text.
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kBool = 2,
+  kString = 3,
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+
+/// A named, typed, always-nullable column. `name` may be a dotted path
+/// ("url.domain") extracted from nested JSON objects by the converter.
+struct Field {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered field list of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1.
+  int FieldIndex(std::string_view name) const;
+
+  /// Wire encoding used in the columnar file header.
+  void SerializeTo(std::string* out) const;
+  static Result<Schema> Deserialize(std::string_view buffer, size_t* offset);
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace ciao::columnar
+
+#endif  // CIAO_COLUMNAR_SCHEMA_H_

@@ -1,0 +1,100 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace ciao {
+
+Matrix Matrix::TransposeTimesSelf() const {
+  Matrix out(cols_, cols_);
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i; j < cols_; ++j) {
+      double acc = 0.0;
+      for (size_t r = 0; r < rows_; ++r) acc += At(r, i) * At(r, j);
+      out.At(i, j) = acc;
+      out.At(j, i) = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeTimesVector(
+    const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out[c] += At(r, c) * v[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TimesVector(const std::vector<double>& x) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += At(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: shape mismatch");
+  }
+  // Augmented working copy.
+  Matrix m(n, n + 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m.At(r, c) = a.At(r, c);
+    m.At(r, n) = b[r];
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(m.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(m.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::Internal("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = col; c <= n; ++c) std::swap(m.At(col, c), m.At(pivot, c));
+    }
+    const double diag = m.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = m.At(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c <= n; ++c) m.At(r, c) -= factor * m.At(col, c);
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = m.At(ri, n);
+    for (size_t c = ri + 1; c < n; ++c) acc -= m.At(ri, c) * x[c];
+    x[ri] = acc / m.At(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double ridge) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("LeastSquares: row count != y size");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument("LeastSquares: underdetermined system");
+  }
+  Matrix xtx = x.TransposeTimesSelf();
+  for (size_t i = 0; i < xtx.rows(); ++i) xtx.At(i, i) += ridge;
+  const std::vector<double> xty = x.TransposeTimesVector(y);
+  return SolveLinearSystem(xtx, xty);
+}
+
+}  // namespace ciao

@@ -1,0 +1,55 @@
+#ifndef CIAO_COMMON_MATRIX_H_
+#define CIAO_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ciao {
+
+/// Minimal dense row-major matrix of doubles; just enough linear algebra
+/// for the cost model's multivariate least squares (DESIGN.md §5).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// A^T * A (cols x cols).
+  Matrix TransposeTimesSelf() const;
+
+  /// A^T * v, where v has `rows()` entries.
+  std::vector<double> TransposeTimesVector(const std::vector<double>& v) const;
+
+  /// A * x, where x has `cols()` entries.
+  std::vector<double> TimesVector(const std::vector<double>& x) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the square system `a * x = b` by Gaussian elimination with
+/// partial pivoting. Fails with InvalidArgument on shape mismatch and
+/// Internal on a (near-)singular matrix.
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Ordinary least squares: finds beta minimizing ||X beta - y||² via the
+/// normal equations with a small ridge term for numerical robustness.
+/// X is n x p with n >= p.
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double ridge = 1e-9);
+
+}  // namespace ciao
+
+#endif  // CIAO_COMMON_MATRIX_H_

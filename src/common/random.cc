@@ -1,0 +1,140 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace ciao {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  // Box–Muller; avoid log(0).
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+int64_t Rng::NextGeometric(double p, int64_t max) {
+  if (p <= 0.0) return max;
+  if (p >= 1.0) return 0;
+  int64_t k = 0;
+  while (k < max && NextDouble() >= p) ++k;
+  return k;
+}
+
+std::string Rng::NextIdentifier(int len) {
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + NextBounded(26)));
+  }
+  return s;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    total += pmf_[k];
+  }
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    pmf_[k] /= total;
+    acc += pmf_[k];
+    cdf_[k] = acc;
+  }
+  if (!cdf_.empty()) cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double r = rng->NextDouble();
+  // Binary search the CDF.
+  size_t lo = 0;
+  size_t hi = cdf_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < r) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+double ZipfSampler::Pmf(size_t k) const { return k < pmf_.size() ? pmf_[k] : 0.0; }
+
+}  // namespace ciao

@@ -1,0 +1,89 @@
+#ifndef CIAO_COMMON_RANDOM_H_
+#define CIAO_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ciao {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded through SplitMix64).
+/// Every generator, workload, and bench in this repository draws from an
+/// explicitly seeded Rng so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool NextBool(double p = 0.5);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Geometric-ish skewed non-negative integer with success prob `p`,
+  /// capped at `max`. Used for long-tailed count attributes (votes, etc.).
+  int64_t NextGeometric(double p, int64_t max);
+
+  /// Random lowercase ASCII identifier of `len` characters.
+  std::string NextIdentifier(int len);
+
+  /// Random index drawn from the (unnormalized) weight vector.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBounded(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Rank-frequency Zipf sampler over {0, 1, ..., n-1} with exponent `s`:
+/// P(rank k) ∝ 1 / (k+1)^s. Matches the paper's use of Zipfian predicate
+/// popularity (NumPy convention: smaller s parameter => heavier skew is
+/// handled by the caller choosing s; here larger s => more skew toward
+/// rank 0, and s = 0 degenerates to uniform).
+class ZipfSampler {
+ public:
+  /// Builds the cumulative distribution for `n` ranks with exponent `s`.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `k`.
+  double Pmf(size_t k) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+/// Stateless 64-bit mix (SplitMix64 finalizer); used to derive independent
+/// deterministic noise from (seed, index) pairs without shared state.
+uint64_t HashMix64(uint64_t x);
+
+}  // namespace ciao
+
+#endif  // CIAO_COMMON_RANDOM_H_

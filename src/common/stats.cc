@@ -1,0 +1,90 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace ciao {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double SkewnessFactor(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean(xs);
+  const double sigma = StdDev(xs);
+  if (sigma <= 0.0) return 0.0;
+  double cubed = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    cubed += d * d * d;
+  }
+  return cubed / (static_cast<double>(n - 1) * sigma * sigma * sigma);
+}
+
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted) {
+  if (observed.empty() || observed.size() != predicted.size()) return 0.0;
+  const double mu = Mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    const double d = observed[i] - mu;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.empty() || xs.size() != ys.size()) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ciao

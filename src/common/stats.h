@@ -1,0 +1,62 @@
+#ifndef CIAO_COMMON_STATS_H_
+#define CIAO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ciao {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divide by N); 0 for fewer than one element.
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// The paper's predicate-skewness factor (§VII-E3):
+///   skew = Σ (X_i - X̄)^3 / ((N - 1) σ^3),   σ = sqrt(Σ (X_i - X̄)^2 / N).
+/// Returns 0 when σ == 0 (all counts equal) or N < 2.
+double SkewnessFactor(const std::vector<double>& xs);
+
+/// Coefficient of determination of predictions vs. observations:
+///   R² = 1 - Σ(y_i - ŷ_i)² / Σ(y_i - ȳ)².
+/// Returns 1 when observations are constant and perfectly predicted,
+/// 0 when constant and imperfectly predicted.
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted);
+
+/// Pearson correlation; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Streaming accumulator for min/max/mean/variance without storing samples.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation (Welford update).
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Population variance.
+  double variance() const { return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_COMMON_STATS_H_

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace ciao {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  Status annotated = *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  annotated.message_ = std::move(msg);
+  return annotated;
+}
+
+}  // namespace ciao

@@ -1,0 +1,180 @@
+#ifndef CIAO_COMMON_STATUS_H_
+#define CIAO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ciao {
+
+/// Error category for a failed operation. `kOk` means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kUnsupported,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Corruption").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. The library never throws; every
+/// fallible API returns `Status` (or `Result<T>` when it also produces a
+/// value). Follows the RocksDB/Arrow convention from the database guides.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Returns this status with `context` prepended to the message, so call
+  /// sites can add breadcrumbs as errors propagate upward.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A `Status` or a value of type `T`. Analogous to absl::StatusOr /
+/// arrow::Result. Accessing the value of a failed result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the common error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK iff a value is present).
+  const Status& status() const {
+    static const Status kOk;
+    return value_.has_value() ? kOk : status_;
+  }
+
+  /// The contained value; must only be called when `ok()`.
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Token-pasting helpers for the macros below.
+#define CIAO_CONCAT_IMPL(x, y) x##y
+#define CIAO_CONCAT(x, y) CIAO_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates a non-OK Status out of the current function.
+#define CIAO_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::ciao::Status _ciao_status = (expr);             \
+    if (!_ciao_status.ok()) return _ciao_status;      \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or assigning the
+/// value to `lhs`. Usage: CIAO_ASSIGN_OR_RETURN(auto v, MakeValue());
+#define CIAO_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  CIAO_ASSIGN_OR_RETURN_IMPL(CIAO_CONCAT(_ciao_result_, __LINE__), \
+                             lhs, rexpr)
+
+#define CIAO_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+}  // namespace ciao
+
+#endif  // CIAO_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef CIAO_COMMON_STRING_UTIL_H_
+#define CIAO_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ciao {
+
+/// Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True iff `s` contains `needle` as a substring.
+bool Contains(std::string_view s, std::string_view needle);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width two-digit zero-padded decimal ("07"), used by the log and
+/// date generators to mirror the paper's "%-[0-1][0-9]-%" style patterns.
+std::string ZeroPad2(int v);
+
+/// Formats a double with `digits` fractional digits.
+std::string FormatDouble(double v, int digits);
+
+/// Human-readable byte count ("12.3 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Parses a non-negative decimal int64 from the full string; returns false
+/// on any non-digit or overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+}  // namespace ciao
+
+#endif  // CIAO_COMMON_STRING_UTIL_H_

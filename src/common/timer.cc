@@ -1,0 +1,3 @@
+#include "common/timer.h"
+
+// Header-only implementation; this translation unit anchors the library.

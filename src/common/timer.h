@@ -1,0 +1,52 @@
+#ifndef CIAO_COMMON_TIMER_H_
+#define CIAO_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ciao {
+
+/// Monotonic wall-clock stopwatch for phase timing in benches and the
+/// end-to-end report (prefiltering / loading / query, as in Fig 3–5).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// RAII accumulator: adds the scope's elapsed seconds into `*sink` on
+/// destruction. Used to attribute time to pipeline phases.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += watch_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_COMMON_TIMER_H_

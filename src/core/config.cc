@@ -1,0 +1,4 @@
+#include "core/config.h"
+
+// Header-only configuration struct; this translation unit anchors the
+// library.

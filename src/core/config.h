@@ -1,0 +1,48 @@
+#ifndef CIAO_CORE_CONFIG_H_
+#define CIAO_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "matcher/kernels.h"
+#include "optimizer/selection.h"
+
+namespace ciao {
+
+/// Tuning knobs of a CIAO deployment. The one the administrator actually
+/// sets is `budget_us` — "the average amount of computation cost of
+/// evaluating predicates for each new tuple" (paper §III). Budget 0 is
+/// the paper's baseline: nothing pushed down, full loading, no skipping.
+struct CiaoConfig {
+  /// Client computation budget B, µs per record.
+  double budget_us = 0.0;
+
+  /// Records per client chunk (paper §III: "e.g. 1k objects per chunk").
+  size_t chunk_size = 1000;
+
+  /// Substring-search kernel used by the client filter.
+  SearchKernel kernel = SearchKernel::kStdFind;
+
+  /// Records sampled for selectivity estimation.
+  size_t sample_size = 2000;
+
+  /// Selection algorithm (default: the paper's 0.316-approximation).
+  SelectionAlgorithm algorithm = SelectionAlgorithm::kBestOfBoth;
+
+  /// Paper-faithful mode: keep adding zero-gain predicates while budget
+  /// remains (see GreedyOptions::keep_zero_gain).
+  bool keep_zero_gain = false;
+
+  /// Master switch for partial loading. Even when true, the pipeline
+  /// auto-disables it if the selected predicates do not cover every
+  /// prospective query (otherwise uncovered queries would have to scan
+  /// raw JSON at query time — the paper's servers only "employ partial
+  /// loading" for covered workloads, §VII-D/E).
+  bool enable_partial_loading = true;
+
+  /// Seed for sampling.
+  uint64_t seed = 42;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_CORE_CONFIG_H_

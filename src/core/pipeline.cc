@@ -1,0 +1,87 @@
+#include "core/pipeline.h"
+
+#include <set>
+
+namespace ciao {
+
+Result<PlanningOutcome> PlanPushdown(
+    const Workload& workload, const std::vector<std::string>& sample_records,
+    const CiaoConfig& config, const CostModel& cost_model) {
+  PlanningOutcome outcome;
+
+  const std::vector<Clause> distinct = workload.DistinctClauses();
+  CIAO_ASSIGN_OR_RETURN(
+      workload::SampleEstimate estimate,
+      workload::EstimateClauseStats(sample_records, distinct,
+                                    config.sample_size, config.seed));
+  outcome.mean_record_len = estimate.mean_record_len;
+
+  GreedyOptions extra;
+  extra.keep_zero_gain = config.keep_zero_gain;
+  CIAO_ASSIGN_OR_RETURN(
+      outcome.plan,
+      SelectPredicates(workload, estimate.clause_stats, cost_model,
+                       estimate.mean_record_len, config.budget_us,
+                       config.algorithm, extra));
+  CIAO_ASSIGN_OR_RETURN(outcome.registry,
+                        BuildRegistry(outcome.plan, config.kernel));
+  outcome.partial_loading_enabled =
+      config.enable_partial_loading && outcome.plan.covers_all_queries &&
+      !outcome.registry.empty();
+  return outcome;
+}
+
+Result<PlanningOutcome> PlanManualPushdown(
+    const std::vector<Clause>& push_down, const Workload& workload,
+    const std::vector<std::string>& sample_records, const CiaoConfig& config,
+    const CostModel& cost_model) {
+  PlanningOutcome outcome;
+
+  CIAO_ASSIGN_OR_RETURN(
+      workload::SampleEstimate estimate,
+      workload::EstimateClauseStats(sample_records, push_down,
+                                    config.sample_size, config.seed));
+  outcome.mean_record_len = estimate.mean_record_len;
+
+  outcome.plan.algorithm = "manual";
+  outcome.plan.budget_us = config.budget_us;
+  outcome.plan.num_candidates = push_down.size();
+  for (size_t i = 0; i < push_down.size(); ++i) {
+    CandidatePredicate cand;
+    cand.clause = push_down[i];
+    cand.selectivity = estimate.clause_stats[i].selectivity;
+    cand.term_selectivities = estimate.clause_stats[i].term_selectivities;
+    CIAO_ASSIGN_OR_RETURN(
+        cand.cost_us,
+        cost_model.ClauseCostUs(cand.clause, cand.term_selectivities,
+                                estimate.mean_record_len));
+    outcome.plan.selected.push_back(std::move(cand));
+    outcome.plan.total_cost_us += outcome.plan.selected.back().cost_us;
+  }
+  CIAO_ASSIGN_OR_RETURN(outcome.registry,
+                        BuildRegistry(outcome.plan, config.kernel));
+
+  // Coverage check against the workload.
+  std::set<std::string> pushed_keys;
+  for (const Clause& c : push_down) pushed_keys.insert(c.CanonicalKey());
+  bool covered = !workload.queries.empty();
+  for (const Query& q : workload.queries) {
+    bool query_covered = false;
+    for (const Clause& c : q.clauses) {
+      if (pushed_keys.count(c.CanonicalKey()) > 0) {
+        query_covered = true;
+        break;
+      }
+    }
+    if (!query_covered) {
+      covered = false;
+      break;
+    }
+  }
+  outcome.plan.covers_all_queries = covered;
+  outcome.partial_loading_enabled = config.enable_partial_loading && covered &&
+                                    !outcome.registry.empty();
+  return outcome;
+}
+
+}  // namespace ciao

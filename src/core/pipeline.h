@@ -1,0 +1,44 @@
+#ifndef CIAO_CORE_PIPELINE_H_
+#define CIAO_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "costmodel/cost_model.h"
+#include "optimizer/selection.h"
+#include "predicate/registry.h"
+#include "workload/selectivity.h"
+
+namespace ciao {
+
+/// Everything the offline planning phase produces: the pushdown decision,
+/// the compiled registry, and whether partial loading is safe to enable.
+struct PlanningOutcome {
+  PushdownPlan plan;
+  PredicateRegistry registry;
+  /// Mean record length from the sample (cost model's len(t)).
+  double mean_record_len = 0.0;
+  /// Final decision after the coverage check (DESIGN.md §5).
+  bool partial_loading_enabled = false;
+};
+
+/// Optimizer-driven planning (paper Fig 1, Step 1): estimate selectivities
+/// on a sample, cost candidates, run the selection algorithm under the
+/// budget, compile the registry.
+Result<PlanningOutcome> PlanPushdown(
+    const Workload& workload, const std::vector<std::string>& sample_records,
+    const CiaoConfig& config, const CostModel& cost_model);
+
+/// Manual planning for the §VII-E micro-benchmarks: push exactly
+/// `push_down` (still estimating their stats on the sample, still doing
+/// the coverage check against `workload`).
+Result<PlanningOutcome> PlanManualPushdown(
+    const std::vector<Clause>& push_down, const Workload& workload,
+    const std::vector<std::string>& sample_records, const CiaoConfig& config,
+    const CostModel& cost_model);
+
+}  // namespace ciao
+
+#endif  // CIAO_CORE_PIPELINE_H_

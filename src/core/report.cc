@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ciao {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+  append_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule;
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string FormatReports(const std::vector<EndToEndReport>& reports) {
+  TablePrinter table({"label", "budget_us", "pushed", "partial_load",
+                      "prefilter_s", "loading_s", "query_s", "total_s",
+                      "load_ratio", "skipping_queries"});
+  for (const EndToEndReport& r : reports) {
+    table.AddRow({
+        r.label,
+        FormatDouble(r.budget_us, 2),
+        StrFormat("%zu", r.predicates_pushed),
+        r.partial_loading ? "yes" : "no",
+        FormatDouble(r.prefilter_seconds, 3),
+        FormatDouble(r.loading_seconds, 3),
+        FormatDouble(r.query_seconds, 3),
+        FormatDouble(r.TotalSeconds(), 3),
+        FormatDouble(r.loading_ratio, 3),
+        StrFormat("%zu/%zu", r.queries_skipping, r.queries_run),
+    });
+  }
+  return table.ToString();
+}
+
+}  // namespace ciao

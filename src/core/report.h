@@ -1,0 +1,57 @@
+#ifndef CIAO_CORE_REPORT_H_
+#define CIAO_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ciao {
+
+/// The three phase timings the paper plots per budget (Fig 3–5), plus
+/// loading/skipping detail.
+struct EndToEndReport {
+  std::string label;
+  double budget_us = 0.0;
+  size_t predicates_pushed = 0;
+  bool partial_loading = false;
+
+  double prefilter_seconds = 0.0;  // client
+  double loading_seconds = 0.0;    // server partial loading
+  double query_seconds = 0.0;      // total workload execution
+
+  double loading_ratio = 1.0;
+  uint64_t rows_loaded = 0;
+  uint64_t rows_sidelined = 0;
+
+  size_t queries_run = 0;
+  size_t queries_skipping = 0;  // executed with the skipping plan
+  uint64_t total_result_rows = 0;
+  double objective_value = 0.0;
+
+  double TotalSeconds() const {
+    return prefilter_seconds + loading_seconds + query_seconds;
+  }
+};
+
+/// Fixed-width text table builder used by the benches to print the same
+/// rows/series the paper's figures plot.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One row per report: budget | prefilter | loading | query | total | ...
+std::string FormatReports(const std::vector<EndToEndReport>& reports);
+
+}  // namespace ciao
+
+#endif  // CIAO_CORE_REPORT_H_

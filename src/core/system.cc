@@ -1,0 +1,106 @@
+#include "core/system.h"
+
+namespace ciao {
+
+CiaoSystem::CiaoSystem(columnar::Schema schema, Workload workload,
+                       CiaoConfig config, PlanningOutcome outcome)
+    : schema_(std::move(schema)),
+      workload_(std::move(workload)),
+      config_(config),
+      outcome_(std::move(outcome)) {
+  transport_ = std::make_unique<InMemoryTransport>();
+  client_ = std::make_unique<ClientSession>(
+      ClientFilter(&outcome_.registry), transport_.get(), config_.chunk_size);
+  catalog_ = std::make_unique<TableCatalog>(schema_);
+  loader_ =
+      std::make_unique<PartialLoader>(schema_, outcome_.registry.size());
+  executor_ =
+      std::make_unique<QueryExecutor>(catalog_.get(), &outcome_.registry);
+}
+
+Result<std::unique_ptr<CiaoSystem>> CiaoSystem::Bootstrap(
+    columnar::Schema schema, Workload workload,
+    const std::vector<std::string>& sample_records, const CiaoConfig& config,
+    const CostModel& cost_model) {
+  CIAO_ASSIGN_OR_RETURN(
+      PlanningOutcome outcome,
+      PlanPushdown(workload, sample_records, config, cost_model));
+  return std::unique_ptr<CiaoSystem>(
+      new CiaoSystem(std::move(schema), std::move(workload), config,
+                     std::move(outcome)));
+}
+
+Result<std::unique_ptr<CiaoSystem>> CiaoSystem::BootstrapManual(
+    columnar::Schema schema, Workload workload,
+    const std::vector<Clause>& push_down,
+    const std::vector<std::string>& sample_records, const CiaoConfig& config,
+    const CostModel& cost_model) {
+  CIAO_ASSIGN_OR_RETURN(
+      PlanningOutcome outcome,
+      PlanManualPushdown(push_down, workload, sample_records, config,
+                         cost_model));
+  return std::unique_ptr<CiaoSystem>(
+      new CiaoSystem(std::move(schema), std::move(workload), config,
+                     std::move(outcome)));
+}
+
+Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
+  CIAO_RETURN_IF_ERROR(client_->SendRecords(records));
+  return DrainTransport();
+}
+
+Status CiaoSystem::DrainTransport() {
+  while (true) {
+    CIAO_ASSIGN_OR_RETURN(std::optional<std::string> payload,
+                          transport_->Receive());
+    if (!payload.has_value()) break;
+    CIAO_ASSIGN_OR_RETURN(ChunkMessage msg,
+                          ChunkMessage::Deserialize(*payload));
+    CIAO_ASSIGN_OR_RETURN(BitVectorSet annotations,
+                          msg.ExpandAnnotations(outcome_.registry.size()));
+    CIAO_RETURN_IF_ERROR(loader_->IngestChunk(
+        msg.chunk, annotations, outcome_.partial_loading_enabled,
+        catalog_.get(), &load_stats_));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> CiaoSystem::ExecuteQuery(const Query& query) {
+  CIAO_ASSIGN_OR_RETURN(QueryResult result, executor_->Execute(query));
+  query_seconds_ += result.seconds;
+  ++queries_run_;
+  if (result.plan == PlanKind::kSkippingScan) ++queries_skipping_;
+  total_result_rows_ += result.count;
+  return result;
+}
+
+Result<std::vector<QueryResult>> CiaoSystem::ExecuteWorkload() {
+  std::vector<QueryResult> results;
+  results.reserve(workload_.queries.size());
+  for (const Query& query : workload_.queries) {
+    CIAO_ASSIGN_OR_RETURN(QueryResult result, ExecuteQuery(query));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+EndToEndReport CiaoSystem::BuildReport(const std::string& label) const {
+  EndToEndReport report;
+  report.label = label;
+  report.budget_us = config_.budget_us;
+  report.predicates_pushed = outcome_.registry.size();
+  report.partial_loading = outcome_.partial_loading_enabled;
+  report.prefilter_seconds = client_->stats().seconds;
+  report.loading_seconds = load_stats_.total_seconds;
+  report.query_seconds = query_seconds_;
+  report.loading_ratio = load_stats_.LoadingRatio();
+  report.rows_loaded = load_stats_.records_loaded;
+  report.rows_sidelined = load_stats_.records_sidelined;
+  report.queries_run = queries_run_;
+  report.queries_skipping = queries_skipping_;
+  report.total_result_rows = total_result_rows_;
+  report.objective_value = outcome_.plan.objective_value;
+  return report;
+}
+
+}  // namespace ciao

@@ -1,0 +1,110 @@
+#ifndef CIAO_CORE_SYSTEM_H_
+#define CIAO_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client_session.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "costmodel/cost_model.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "predicate/registry.h"
+#include "storage/catalog.h"
+#include "storage/partial_loader.h"
+#include "storage/transport.h"
+
+namespace ciao {
+
+/// The CIAO facade: wires predicate selection, the client prefilter, the
+/// transport, partial loading, and the skipping query engine into one
+/// pipeline (paper Fig 1). One instance = one table + one prospective
+/// workload + one budget.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   auto system = CiaoSystem::Bootstrap(schema, workload, sample,
+///                                       config, CostModel::Default());
+///   system->IngestRecords(records);   // client filter -> partial load
+///   auto results = system->ExecuteWorkload();
+///   EndToEndReport report = system->BuildReport("my-run");
+class CiaoSystem {
+ public:
+  /// Optimizer-driven bootstrap: plans the pushdown under
+  /// `config.budget_us` using `sample_records` for statistics.
+  static Result<std::unique_ptr<CiaoSystem>> Bootstrap(
+      columnar::Schema schema, Workload workload,
+      const std::vector<std::string>& sample_records, const CiaoConfig& config,
+      const CostModel& cost_model);
+
+  /// Micro-benchmark bootstrap: pushes exactly `push_down`.
+  static Result<std::unique_ptr<CiaoSystem>> BootstrapManual(
+      columnar::Schema schema, Workload workload,
+      const std::vector<Clause>& push_down,
+      const std::vector<std::string>& sample_records, const CiaoConfig& config,
+      const CostModel& cost_model);
+
+  CiaoSystem(const CiaoSystem&) = delete;
+  CiaoSystem& operator=(const CiaoSystem&) = delete;
+
+  /// Client side: prefilter + ship `records` (chunked), then drain the
+  /// transport into the partial loader. One call = the full ingest path.
+  Status IngestRecords(const std::vector<std::string>& records);
+
+  /// Executes one query through the planner (skipping scan when its
+  /// clauses were pushed down, full scan otherwise).
+  Result<QueryResult> ExecuteQuery(const Query& query);
+
+  /// Executes every workload query in order; accumulates query-phase
+  /// timing into the report.
+  Result<std::vector<QueryResult>> ExecuteWorkload();
+
+  /// Snapshot of phase timings and loading counters.
+  EndToEndReport BuildReport(const std::string& label) const;
+
+  // --- Introspection ---
+  const PushdownPlan& plan() const { return outcome_.plan; }
+  const PredicateRegistry& registry() const { return outcome_.registry; }
+  bool partial_loading_enabled() const {
+    return outcome_.partial_loading_enabled;
+  }
+  const TableCatalog& catalog() const { return *catalog_; }
+  const LoadStats& load_stats() const { return load_stats_; }
+  const PrefilterStats& prefilter_stats() const { return client_->stats(); }
+  const Workload& workload() const { return workload_; }
+
+ private:
+  CiaoSystem(columnar::Schema schema, Workload workload, CiaoConfig config,
+             PlanningOutcome outcome);
+
+  /// Receives every pending transport message and loads it.
+  Status DrainTransport();
+
+  columnar::Schema schema_;
+  Workload workload_;
+  CiaoConfig config_;
+  PlanningOutcome outcome_;
+
+  // unique_ptr members keep internal cross-pointers stable if the
+  // enclosing unique_ptr<CiaoSystem> moves.
+  std::unique_ptr<InMemoryTransport> transport_;
+  std::unique_ptr<ClientSession> client_;
+  std::unique_ptr<TableCatalog> catalog_;
+  std::unique_ptr<PartialLoader> loader_;
+  std::unique_ptr<QueryExecutor> executor_;
+
+  LoadStats load_stats_;
+  double query_seconds_ = 0.0;
+  size_t queries_run_ = 0;
+  size_t queries_skipping_ = 0;
+  uint64_t total_result_rows_ = 0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_CORE_SYSTEM_H_

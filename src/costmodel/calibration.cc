@@ -1,0 +1,104 @@
+#include "costmodel/calibration.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "costmodel/regression.h"
+#include "matcher/compiled_pattern.h"
+
+namespace ciao {
+
+std::vector<std::string> BuildProbePatterns(
+    const std::vector<std::string>& records, size_t count, uint64_t seed) {
+  std::vector<std::string> patterns;
+  if (records.empty() || count == 0) return patterns;
+  Rng rng(seed);
+  patterns.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Mix of true substrings (high/med selectivity, found case) and
+    // mangled ones (miss case) across a range of lengths.
+    const std::string& rec = records[rng.NextBounded(records.size())];
+    const size_t len = static_cast<size_t>(rng.NextInt(3, 24));
+    if (rec.size() <= len + 2) {
+      patterns.push_back(rng.NextIdentifier(static_cast<int>(len)));
+      continue;
+    }
+    const size_t start = rng.NextBounded(rec.size() - len);
+    std::string p = rec.substr(start, len);
+    if (rng.NextBool(0.5)) {
+      // Mangle: make it unlikely to occur anywhere -> miss case.
+      for (size_t j = 0; j < p.size(); j += 2) {
+        p[j] = static_cast<char>('\x01' + (j % 7));
+      }
+    }
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+Result<CalibrationResult> CalibrateWallClock(
+    const std::vector<std::string>& records,
+    const std::vector<std::string>& patterns, SearchKernel kernel,
+    int repeats) {
+  if (records.empty()) {
+    return Status::InvalidArgument("CalibrateWallClock: no records");
+  }
+  if (patterns.size() < 5) {
+    return Status::InvalidArgument("CalibrateWallClock: need >= 5 patterns");
+  }
+  if (repeats < 1) repeats = 1;
+
+  double total_len = 0.0;
+  for (const std::string& r : records) {
+    total_len += static_cast<double>(r.size());
+  }
+  const double len_t = total_len / static_cast<double>(records.size());
+
+  CalibrationResult result;
+  result.observations.reserve(patterns.size());
+  volatile size_t sink = 0;  // defeat dead-code elimination
+  for (const std::string& pattern : patterns) {
+    const CompiledPattern compiled(pattern, kernel);
+    size_t hits = 0;
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      hits = 0;
+      Stopwatch watch;
+      for (const std::string& rec : records) {
+        const size_t pos = compiled.FindIn(rec);
+        if (pos != std::string::npos) ++hits;
+        sink = sink + pos;
+      }
+      const double s = watch.ElapsedSeconds();
+      if (rep == 0 || s < best_seconds) best_seconds = s;
+    }
+    CostObservation obs;
+    obs.selectivity =
+        static_cast<double>(hits) / static_cast<double>(records.size());
+    obs.len_p = static_cast<double>(pattern.size());
+    obs.len_t = len_t;
+    obs.measured_us = best_seconds * 1e6 / static_cast<double>(records.size());
+    result.observations.push_back(obs);
+  }
+  CIAO_ASSIGN_OR_RETURN(result.model, FitCostModel(result.observations));
+  return result;
+}
+
+Result<CalibrationResult> CalibrateSimulated(
+    const HardwareProfile& profile,
+    const std::vector<CostObservation>& probe_points, uint64_t seed) {
+  if (probe_points.size() < 5) {
+    return Status::InvalidArgument("CalibrateSimulated: need >= 5 probes");
+  }
+  CalibrationResult result;
+  result.observations = probe_points;
+  for (size_t i = 0; i < result.observations.size(); ++i) {
+    CostObservation& o = result.observations[i];
+    o.measured_us = profile.Measure(o.selectivity, o.len_p, o.len_t, seed, i);
+  }
+  CIAO_ASSIGN_OR_RETURN(result.model, FitCostModel(result.observations));
+  return result;
+}
+
+}  // namespace ciao

@@ -1,0 +1,49 @@
+#ifndef CIAO_COSTMODEL_CALIBRATION_H_
+#define CIAO_COSTMODEL_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/hardware_profile.h"
+#include "matcher/kernels.h"
+#include "predicate/predicate.h"
+
+namespace ciao {
+
+/// Result of a calibration run: the fitted model and the raw observations
+/// (kept so benches can report R² and residuals).
+struct CalibrationResult {
+  CostModel model;
+  std::vector<CostObservation> observations;
+};
+
+/// Calibrates the cost model against real wall-clock substring searches on
+/// this host (paper §VII-F: "The client evaluates the predicates and
+/// records the time cost and selectivity for each predicate"). `patterns`
+/// are the probe pattern strings; each is timed over all of `records`.
+/// `repeats` controls timing stability.
+Result<CalibrationResult> CalibrateWallClock(
+    const std::vector<std::string>& records,
+    const std::vector<std::string>& patterns,
+    SearchKernel kernel = SearchKernel::kStdFind, int repeats = 3);
+
+/// Calibrates against a simulated hardware platform: generates noisy
+/// "measurements" from the profile's ground truth for the given probe
+/// pattern workload and fits the model — the Table IV pipeline without
+/// physical machines. `len_t` is the dataset's mean record length.
+Result<CalibrationResult> CalibrateSimulated(
+    const HardwareProfile& profile,
+    const std::vector<CostObservation>& probe_points, uint64_t seed);
+
+/// Builds a spread of probe observations (selectivity × pattern length
+/// combinations) used by both calibration modes. Selectivities and
+/// lengths are derived from `records` by sampling actual substrings (so
+/// found/miss cases both occur, as the model requires).
+std::vector<std::string> BuildProbePatterns(
+    const std::vector<std::string>& records, size_t count, uint64_t seed);
+
+}  // namespace ciao
+
+#endif  // CIAO_COSTMODEL_CALIBRATION_H_

@@ -1,0 +1,86 @@
+#include "costmodel/cost_model.h"
+
+#include "common/string_util.h"
+#include "json/writer.h"
+
+namespace ciao {
+
+std::string CostModelCoefficients::ToString() const {
+  return StrFormat("k1=%.6g k2=%.6g k3=%.6g k4=%.6g c=%.6g", k1, k2, k3, k4,
+                   c);
+}
+
+double CostModel::PredictUs(double selectivity, double len_p,
+                            double len_t) const {
+  const double sel = selectivity < 0.0 ? 0.0 : (selectivity > 1.0 ? 1.0 : selectivity);
+  const double found = coeffs_.k1 * len_p + coeffs_.k2 * len_t;
+  const double miss = coeffs_.k3 * len_p + coeffs_.k4 * len_t;
+  double t = sel * found + (1.0 - sel) * miss + coeffs_.c;
+  return t > 0.0 ? t : 0.0;
+}
+
+double CostModel::SimplePredicateCostUs(const SimplePredicate& p,
+                                        double selectivity,
+                                        double len_t) const {
+  switch (p.kind) {
+    case PredicateKind::kExactMatch: {
+      // Pattern is the quoted operand.
+      const double len_pattern =
+          static_cast<double>(p.operand.is_string()
+                                  ? p.operand.as_string().size() + 2
+                                  : json::Write(p.operand).size());
+      return PredictUs(selectivity, len_pattern, len_t);
+    }
+    case PredicateKind::kSubstringMatch: {
+      const double len_pattern = static_cast<double>(
+          p.operand.is_string() ? p.operand.as_string().size() : 0);
+      return PredictUs(selectivity, len_pattern, len_t);
+    }
+    case PredicateKind::kKeyPresence: {
+      // Pattern `"key":`.
+      const double len_pattern = static_cast<double>(p.field.size() + 3);
+      return PredictUs(selectivity, len_pattern, len_t);
+    }
+    case PredicateKind::kKeyValueMatch: {
+      // Key search over the record, then a short bounded value search.
+      const double len_key = static_cast<double>(p.field.size() + 3);
+      const double len_value =
+          static_cast<double>(json::Write(p.operand).size());
+      // The value scan window is tiny (to the next delimiter); model it as
+      // a search over ~16 bytes.
+      return PredictUs(selectivity, len_key, len_t) +
+             PredictUs(selectivity, len_value, 16.0);
+    }
+    case PredicateKind::kRangeLess:
+      // Not client-evaluable; cost only appears if someone asks anyway.
+      return PredictUs(selectivity, 8.0, len_t);
+  }
+  return 0.0;
+}
+
+Result<double> CostModel::ClauseCostUs(
+    const Clause& clause, const std::vector<double>& term_selectivities,
+    double len_t) const {
+  if (clause.terms.size() != term_selectivities.size()) {
+    return Status::InvalidArgument(
+        "ClauseCostUs: term selectivity count mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < clause.terms.size(); ++i) {
+    total +=
+        SimplePredicateCostUs(clause.terms[i], term_selectivities[i], len_t);
+  }
+  return total;
+}
+
+CostModel CostModel::Default() {
+  CostModelCoefficients k;
+  k.k1 = 0.004;    // found: per pattern byte
+  k.k2 = 0.0002;   // found: per record byte (partial scan on average)
+  k.k3 = 0.002;    // miss: per pattern byte
+  k.k4 = 0.0005;   // miss: full record scan
+  k.c = 0.05;      // startup per search
+  return CostModel(k, 1.0);
+}
+
+}  // namespace ciao

@@ -1,0 +1,77 @@
+#ifndef CIAO_COSTMODEL_COST_MODEL_H_
+#define CIAO_COSTMODEL_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/predicate.h"
+
+namespace ciao {
+
+/// Coefficients of the paper's predicate-evaluation cost model (§V-D):
+///
+///   T = sel·(k1·len_p + k2·len_t) + (1-sel)·(k3·len_p + k4·len_t) + c
+///
+/// where len_p is the pattern-string length, len_t the average record
+/// length, and T is in microseconds per record. The first term models a
+/// search that finds the pattern (early exit), the second a full scan
+/// without a match, and c the per-search startup cost.
+struct CostModelCoefficients {
+  double k1 = 0.0;  ///< found-case cost per pattern byte
+  double k2 = 0.0;  ///< found-case cost per record byte
+  double k3 = 0.0;  ///< miss-case cost per pattern byte
+  double k4 = 0.0;  ///< miss-case cost per record byte
+  double c = 0.0;   ///< startup cost per substring search
+
+  std::string ToString() const;
+};
+
+/// One observation used to fit the model: a pattern of length `len_p`
+/// evaluated over records of mean length `len_t`, matching a fraction
+/// `selectivity` of them, measured at `measured_us` per record.
+struct CostObservation {
+  double selectivity = 0.0;
+  double len_p = 0.0;
+  double len_t = 0.0;
+  double measured_us = 0.0;
+};
+
+/// The fitted cost model plus its fit quality (Table IV reports R²).
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostModelCoefficients coeffs, double r_squared = 1.0)
+      : coeffs_(coeffs), r_squared_(r_squared) {}
+
+  /// Predicted microseconds for one substring search.
+  double PredictUs(double selectivity, double len_p, double len_t) const;
+
+  /// Cost of one simple predicate: key-value predicates perform one
+  /// key search plus (on key hit) a bounded value search; we charge both
+  /// pattern strings, matching the paper's "summation" rule.
+  double SimplePredicateCostUs(const SimplePredicate& p, double selectivity,
+                               double len_t) const;
+
+  /// Clause cost = Σ term costs (§V-D: disjunction cost is the sum of the
+  /// costs of its simple predicates). `term_selectivities` must align with
+  /// `clause.terms`.
+  Result<double> ClauseCostUs(const Clause& clause,
+                              const std::vector<double>& term_selectivities,
+                              double len_t) const;
+
+  const CostModelCoefficients& coefficients() const { return coeffs_; }
+  double r_squared() const { return r_squared_; }
+
+  /// A hand-set default resembling the paper's local server: ~GB/s scan
+  /// rates and a sub-µs startup. Used when callers skip calibration.
+  static CostModel Default();
+
+ private:
+  CostModelCoefficients coeffs_;
+  double r_squared_ = 0.0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_COSTMODEL_COST_MODEL_H_

@@ -1,0 +1,49 @@
+#include "costmodel/regression.h"
+
+#include "common/matrix.h"
+#include "common/stats.h"
+
+namespace ciao {
+
+Result<CostModel> FitCostModel(const std::vector<CostObservation>& obs) {
+  if (obs.size() < 5) {
+    return Status::InvalidArgument(
+        "FitCostModel: need at least 5 observations");
+  }
+  Matrix x(obs.size(), 5);
+  std::vector<double> y(obs.size());
+  for (size_t i = 0; i < obs.size(); ++i) {
+    const CostObservation& o = obs[i];
+    x.At(i, 0) = o.selectivity * o.len_p;
+    x.At(i, 1) = o.selectivity * o.len_t;
+    x.At(i, 2) = (1.0 - o.selectivity) * o.len_p;
+    x.At(i, 3) = (1.0 - o.selectivity) * o.len_t;
+    x.At(i, 4) = 1.0;
+    y[i] = o.measured_us;
+  }
+  CIAO_ASSIGN_OR_RETURN(std::vector<double> beta, LeastSquares(x, y));
+  CostModelCoefficients k;
+  k.k1 = beta[0];
+  k.k2 = beta[1];
+  k.k3 = beta[2];
+  k.k4 = beta[3];
+  k.c = beta[4];
+  CostModel model(k, 0.0);
+  const double r2 = EvaluateRSquared(model, obs);
+  return CostModel(k, r2);
+}
+
+double EvaluateRSquared(const CostModel& model,
+                        const std::vector<CostObservation>& obs) {
+  std::vector<double> observed;
+  std::vector<double> predicted;
+  observed.reserve(obs.size());
+  predicted.reserve(obs.size());
+  for (const CostObservation& o : obs) {
+    observed.push_back(o.measured_us);
+    predicted.push_back(model.PredictUs(o.selectivity, o.len_p, o.len_t));
+  }
+  return RSquared(observed, predicted);
+}
+
+}  // namespace ciao

@@ -1,0 +1,25 @@
+#ifndef CIAO_COSTMODEL_REGRESSION_H_
+#define CIAO_COSTMODEL_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "costmodel/cost_model.h"
+
+namespace ciao {
+
+/// Fits the 5-parameter cost model by multivariate linear regression on
+/// observations (paper §VII-F: "we conduct multivariate linear regression
+/// on the results and compute the coefficients"). The design matrix rows
+/// are [sel·len_p, sel·len_t, (1-sel)·len_p, (1-sel)·len_t, 1]. Requires
+/// at least 5 observations with non-degenerate features.
+Result<CostModel> FitCostModel(const std::vector<CostObservation>& obs);
+
+/// R² of an already-fitted model against observations, as reported in
+/// Table IV.
+double EvaluateRSquared(const CostModel& model,
+                        const std::vector<CostObservation>& obs);
+
+}  // namespace ciao
+
+#endif  // CIAO_COSTMODEL_REGRESSION_H_

@@ -1,0 +1,152 @@
+#include "csv/converter.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "csv/csv.h"
+
+namespace ciao::csv {
+
+namespace {
+
+bool ParseInt64Field(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+CsvBatchBuilder::CsvBatchBuilder(columnar::Schema schema)
+    : schema_(schema), batch_(std::move(schema)) {}
+
+Status CsvBatchBuilder::AppendLine(std::string_view line) {
+  Result<std::vector<std::string>> fields = ParseLine(line);
+  if (!fields.ok()) {
+    ++parse_errors_;
+    return fields.status();
+  }
+  if (fields->size() != schema_.num_fields()) {
+    ++parse_errors_;
+    return Status::InvalidArgument("CSV: field count != schema");
+  }
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    const std::string& text = (*fields)[c];
+    columnar::ColumnVector* col = batch_.mutable_column(c);
+    if (text.empty()) {
+      col->AppendNull();
+      continue;
+    }
+    switch (schema_.field(c).type) {
+      case columnar::ColumnType::kInt64: {
+        int64_t v = 0;
+        if (ParseInt64Field(text, &v)) {
+          col->AppendInt64(v);
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+      }
+      case columnar::ColumnType::kDouble: {
+        double v = 0.0;
+        if (ParseDoubleField(text, &v)) {
+          col->AppendDouble(v);
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+      }
+      case columnar::ColumnType::kBool:
+        if (text == "true") {
+          col->AppendBool(true);
+        } else if (text == "false") {
+          col->AppendBool(false);
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+      case columnar::ColumnType::kString:
+        col->AppendString(text);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+columnar::RecordBatch CsvBatchBuilder::Finish() {
+  columnar::RecordBatch out = std::move(batch_);
+  batch_ = columnar::RecordBatch(schema_);
+  return out;
+}
+
+Result<json::Value> CsvLineToJson(std::string_view line,
+                                  const columnar::Schema& schema) {
+  CIAO_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseLine(line));
+  if (fields.size() != schema.num_fields()) {
+    return Status::InvalidArgument("CSV: field count != schema");
+  }
+  json::Value record{json::Object{}};
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const std::string& text = fields[c];
+    json::Value value(nullptr);
+    if (!text.empty()) {
+      switch (schema.field(c).type) {
+        case columnar::ColumnType::kInt64: {
+          int64_t v = 0;
+          if (ParseInt64Field(text, &v)) value = json::Value(v);
+          break;
+        }
+        case columnar::ColumnType::kDouble: {
+          double v = 0.0;
+          if (ParseDoubleField(text, &v)) value = json::Value(v);
+          break;
+        }
+        case columnar::ColumnType::kBool:
+          if (text == "true") value = json::Value(true);
+          if (text == "false") value = json::Value(false);
+          break;
+        case columnar::ColumnType::kString:
+          value = json::Value(text);
+          break;
+      }
+    }
+    // Dotted paths become nested objects so FindPath works unchanged.
+    const std::string& name = schema.field(c).name;
+    const size_t dot = name.find('.');
+    if (dot == std::string::npos) {
+      record.Add(name, std::move(value));
+    } else {
+      const std::string outer = name.substr(0, dot);
+      const std::string inner = name.substr(dot + 1);
+      json::Value* existing =
+          const_cast<json::Value*>(record.Find(outer));
+      if (existing != nullptr && existing->is_object()) {
+        existing->Add(inner, std::move(value));
+      } else {
+        json::Value nested{json::Object{}};
+        nested.Add(inner, std::move(value));
+        record.Add(outer, std::move(nested));
+      }
+    }
+  }
+  return record;
+}
+
+}  // namespace ciao::csv

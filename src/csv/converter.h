@@ -1,0 +1,51 @@
+#ifndef CIAO_CSV_CONVERTER_H_
+#define CIAO_CSV_CONVERTER_H_
+
+#include <string_view>
+
+#include "columnar/record_batch.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+#include "json/value.h"
+
+namespace ciao::csv {
+
+/// Loads CSV rows into a RecordBatch, schema-driven and positional: field
+/// i of each line maps to schema field i (the exporter in
+/// workload/csv_export.h writes columns in schema order). The CSV
+/// counterpart of columnar::BatchBuilder.
+///
+/// Coercion: Int64/Double parse the full field text; Bool accepts
+/// "true"/"false"; String is taken verbatim. An empty field is NULL.
+/// Unparseable values become NULL and count as coercion errors. A line
+/// with the wrong field count is a parse error and is skipped.
+class CsvBatchBuilder {
+ public:
+  explicit CsvBatchBuilder(columnar::Schema schema);
+
+  /// Parses and appends one CSV line (no trailing newline).
+  Status AppendLine(std::string_view line);
+
+  size_t num_rows() const { return batch_.num_rows(); }
+  size_t coercion_errors() const { return coercion_errors_; }
+  size_t parse_errors() const { return parse_errors_; }
+
+  /// Returns the accumulated batch; the builder resets to empty.
+  columnar::RecordBatch Finish();
+
+ private:
+  columnar::Schema schema_;
+  columnar::RecordBatch batch_;
+  size_t coercion_errors_ = 0;
+  size_t parse_errors_ = 0;
+};
+
+/// Parses one CSV line into a flat JSON object keyed by schema field
+/// names (dotted paths become nested objects), so the semantic evaluator
+/// and the JIT fallback path work identically for CSV sidelines.
+Result<json::Value> CsvLineToJson(std::string_view line,
+                                  const columnar::Schema& schema);
+
+}  // namespace ciao::csv
+
+#endif  // CIAO_CSV_CONVERTER_H_

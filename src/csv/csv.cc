@@ -1,0 +1,98 @@
+#include "csv/csv.h"
+
+namespace ciao::csv {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  for (const char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void EncodeFieldTo(std::string_view field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (const char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string EncodeField(std::string_view field) {
+  std::string out;
+  EncodeFieldTo(field, &out);
+  return out;
+}
+
+std::string EncodeLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    EncodeFieldTo(fields[i], &out);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  size_t i = 0;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  while (i <= line.size()) {
+    if (i == line.size()) {
+      if (in_quotes) {
+        return Status::InvalidArgument("CSV: unterminated quoted field");
+      }
+      fields.push_back(std::move(current));
+      break;
+    }
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+          // Only a delimiter or end-of-line may follow a closing quote.
+          if (i < line.size() && line[i] != ',') {
+            return Status::InvalidArgument(
+                "CSV: characters after closing quote");
+          }
+        }
+      } else {
+        current.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"' && current.empty() && !was_quoted) {
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  return fields;
+}
+
+}  // namespace ciao::csv

@@ -1,0 +1,34 @@
+#ifndef CIAO_CSV_CSV_H_
+#define CIAO_CSV_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ciao::csv {
+
+/// RFC-4180-style CSV field/line codec. The canonical writer quotes a
+/// field only when it contains a comma, a double quote, or a newline,
+/// doubling embedded quotes — client-side pattern strings are compiled
+/// against exactly this encoding (csv/pattern_compiler.h), mirroring how
+/// the JSON path pins the canonical JSON writer.
+
+/// Appends the encoded form of one field to `*out` (no delimiter).
+void EncodeFieldTo(std::string_view field, std::string* out);
+
+/// Encoded form of one field.
+std::string EncodeField(std::string_view field);
+
+/// Encodes a full row (no trailing newline).
+std::string EncodeLine(const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields. Handles quoted fields with doubled
+/// quotes. Fails with InvalidArgument on dangling quotes or characters
+/// after a closing quote.
+Result<std::vector<std::string>> ParseLine(std::string_view line);
+
+}  // namespace ciao::csv
+
+#endif  // CIAO_CSV_CSV_H_

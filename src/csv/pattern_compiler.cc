@@ -1,0 +1,109 @@
+#include "csv/pattern_compiler.h"
+
+#include "json/writer.h"
+
+namespace ciao::csv {
+
+namespace {
+
+/// The needle as it appears inside a *quoted* CSV field: '"' doubled.
+/// Doubling is per-character, so substring containment is preserved in
+/// both directions of interest (no false negatives).
+std::string QuoteDoubled(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The operand's textual form in a CSV row: strings verbatim, numbers and
+/// booleans via the canonical JSON scalar writer (which the CSV exporter
+/// also uses).
+Result<std::string> OperandText(const SimplePredicate& p) {
+  if (p.operand.is_string()) return p.operand.as_string();
+  if (p.operand.is_number() || p.operand.is_bool()) {
+    return json::Write(p.operand);
+  }
+  return Status::InvalidArgument("CSV: unsupported operand type");
+}
+
+}  // namespace
+
+Result<RawCsvPredicateProgram> RawCsvPredicateProgram::Compile(
+    const SimplePredicate& p, SearchKernel kernel) {
+  switch (p.kind) {
+    case PredicateKind::kExactMatch:
+    case PredicateKind::kSubstringMatch:
+    case PredicateKind::kKeyValueMatch:
+      break;
+    case PredicateKind::kKeyPresence:
+      return Status::Unsupported(
+          "CSV rows carry no keys; key-presence cannot be evaluated by "
+          "substring search");
+    case PredicateKind::kRangeLess:
+      return Status::Unsupported(
+          "range/inequality predicates cannot be evaluated on raw text");
+  }
+  CIAO_ASSIGN_OR_RETURN(std::string needle, OperandText(p));
+  if (needle.empty()) {
+    return Status::InvalidArgument("CSV: empty pattern would match all rows");
+  }
+  RawCsvPredicateProgram prog;
+  const std::string doubled = QuoteDoubled(needle);
+  if (doubled != needle) {
+    prog.has_quoted_variant_ = true;
+    prog.quoted_ = CompiledPattern(doubled, kernel);
+  }
+  prog.raw_ = CompiledPattern(std::move(needle), kernel);
+  return prog;
+}
+
+bool RawCsvPredicateProgram::Matches(std::string_view line) const {
+  if (raw_.Matches(line)) return true;
+  return has_quoted_variant_ && quoted_.Matches(line);
+}
+
+std::vector<std::string> RawCsvPredicateProgram::PatternStrings() const {
+  std::vector<std::string> out = {raw_.pattern()};
+  if (has_quoted_variant_) out.push_back(quoted_.pattern());
+  return out;
+}
+
+size_t RawCsvPredicateProgram::TotalPatternLength() const {
+  return raw_.length() + (has_quoted_variant_ ? quoted_.length() : 0);
+}
+
+Result<RawCsvClauseProgram> RawCsvClauseProgram::Compile(const Clause& clause,
+                                                         SearchKernel kernel) {
+  if (clause.terms.empty()) {
+    return Status::InvalidArgument("cannot compile an empty clause");
+  }
+  RawCsvClauseProgram prog;
+  prog.terms_.reserve(clause.terms.size());
+  for (const SimplePredicate& p : clause.terms) {
+    CIAO_ASSIGN_OR_RETURN(RawCsvPredicateProgram term,
+                          RawCsvPredicateProgram::Compile(p, kernel));
+    prog.terms_.push_back(std::move(term));
+  }
+  return prog;
+}
+
+bool RawCsvClauseProgram::Matches(std::string_view line) const {
+  for (const RawCsvPredicateProgram& term : terms_) {
+    if (term.Matches(line)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> RawCsvClauseProgram::PatternStrings() const {
+  std::vector<std::string> out;
+  for (const RawCsvPredicateProgram& term : terms_) {
+    for (std::string& s : term.PatternStrings()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ciao::csv

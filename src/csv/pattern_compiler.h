@@ -1,0 +1,65 @@
+#ifndef CIAO_CSV_PATTERN_COMPILER_H_
+#define CIAO_CSV_PATTERN_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "matcher/compiled_pattern.h"
+#include "predicate/predicate.h"
+
+namespace ciao::csv {
+
+/// Client-side predicate evaluation on raw CSV lines (the paper's §IV-A
+/// claim that the JSON technique "can also be applied to other text-based
+/// data formats, like CSV"). CSV rows carry no keys, so matching is
+/// value-only — strictly more false positives than the JSON programs
+/// (any column can produce a hit), still zero false negatives against
+/// the canonical CSV writer in csv/csv.h.
+///
+/// Supported kinds: exact match, substring match, key-value match (the
+/// operand's written form is searched). Key-presence is NOT supported:
+/// without keys, "field exists and is non-null" cannot be decided by
+/// substring search, so such clauses simply aren't CSV-pushable.
+class RawCsvPredicateProgram {
+ public:
+  static Result<RawCsvPredicateProgram> Compile(
+      const SimplePredicate& p, SearchKernel kernel = SearchKernel::kStdFind);
+
+  /// Evaluates against one raw CSV line.
+  bool Matches(std::string_view line) const;
+
+  /// The compiled pattern strings (one, or two when the operand encodes
+  /// differently inside a quoted field).
+  std::vector<std::string> PatternStrings() const;
+
+  size_t TotalPatternLength() const;
+
+ private:
+  RawCsvPredicateProgram() = default;
+
+  // The raw form always matches unquoted fields; `quoted_` (optional) is
+  // the doubled-quote form that appears inside quoted fields when the
+  // operand itself contains '"'.
+  CompiledPattern raw_;
+  CompiledPattern quoted_;
+  bool has_quoted_variant_ = false;
+};
+
+/// OR of term programs; compiles only if every term is CSV-supported.
+class RawCsvClauseProgram {
+ public:
+  static Result<RawCsvClauseProgram> Compile(
+      const Clause& clause, SearchKernel kernel = SearchKernel::kStdFind);
+
+  bool Matches(std::string_view line) const;
+  std::vector<std::string> PatternStrings() const;
+  size_t num_terms() const { return terms_.size(); }
+
+ private:
+  std::vector<RawCsvPredicateProgram> terms_;
+};
+
+}  // namespace ciao::csv
+
+#endif  // CIAO_CSV_PATTERN_COMPILER_H_

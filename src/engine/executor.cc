@@ -1,0 +1,130 @@
+#include "engine/executor.h"
+
+#include "columnar/file_reader.h"
+#include "common/timer.h"
+#include "engine/typed_eval.h"
+#include "engine/zone_map_filter.h"
+#include "predicate/semantic_eval.h"
+#include "storage/jit_loader.h"
+
+namespace ciao {
+
+Result<QueryResult> QueryExecutor::Execute(const Query& query) const {
+  const PlanDecision decision = PlanQuery(query, *registry_);
+  if (decision.kind == PlanKind::kSkippingScan) {
+    return ExecuteWithSkipping(query, decision.predicate_ids);
+  }
+  return ExecuteFullScan(query);
+}
+
+Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
+  Stopwatch watch;
+  QueryResult result;
+  result.plan = PlanKind::kFullScan;
+
+  CIAO_ASSIGN_OR_RETURN(
+      CompiledTypedQuery compiled,
+      CompiledTypedQuery::Compile(query, catalog_->schema()));
+
+  const std::vector<bool> wanted =
+      compiled.ReferencedColumns(catalog_->schema().num_fields());
+  for (size_t s = 0; s < catalog_->num_segments(); ++s) {
+    CIAO_ASSIGN_OR_RETURN(
+        columnar::TableReader reader,
+        columnar::TableReader::OpenBorrowed(catalog_->segment(s).file_bytes));
+    for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+      CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
+      if (options_.use_zone_maps &&
+          !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
+                              meta.num_rows)) {
+        ++result.stats.groups_skipped_zonemap;
+        result.stats.rows_skipped += meta.num_rows;
+        continue;
+      }
+      CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
+                            reader.ReadBatchProjected(g, wanted));
+      ++result.stats.groups_scanned;
+      for (size_t r = 0; r < meta.num_rows; ++r) {
+        ++result.stats.rows_evaluated;
+        if (compiled.Matches(batch, r)) ++result.count;
+      }
+    }
+  }
+
+  // The raw sideline must be scanned too: records there were never
+  // loaded, and without a pushed-down clause nothing proves they cannot
+  // satisfy the query.
+  if (!catalog_->raw().empty()) {
+    JitStats jit;
+    CIAO_RETURN_IF_ERROR(ForEachRawRecord(
+        catalog_->raw(),
+        [&](const json::Value& record) {
+          if (EvaluateQuery(query, record)) ++result.count;
+        },
+        &jit));
+    result.stats.raw_records_scanned = jit.records_parsed;
+    result.stats.raw_parse_errors = jit.parse_errors;
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
+    const Query& query, const std::vector<uint32_t>& predicate_ids) const {
+  Stopwatch watch;
+  QueryResult result;
+  result.plan = PlanKind::kSkippingScan;
+  if (predicate_ids.empty()) {
+    return Status::InvalidArgument(
+        "ExecuteWithSkipping: no pushed-down predicate ids");
+  }
+
+  CIAO_ASSIGN_OR_RETURN(
+      CompiledTypedQuery compiled,
+      CompiledTypedQuery::Compile(query, catalog_->schema()));
+  const std::vector<bool> wanted =
+      compiled.ReferencedColumns(catalog_->schema().num_fields());
+
+  for (size_t s = 0; s < catalog_->num_segments(); ++s) {
+    CIAO_ASSIGN_OR_RETURN(
+        columnar::TableReader reader,
+        columnar::TableReader::OpenBorrowed(catalog_->segment(s).file_bytes));
+    for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+      CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
+      // AND the bitvectors of the query's pushed-down clauses (§VI-B).
+      CIAO_ASSIGN_OR_RETURN(BitVector mask,
+                            meta.annotations.Intersect(predicate_ids));
+      const size_t candidates = mask.CountOnes();
+      if (candidates == 0) {
+        // Whole group skipped; columns never decoded.
+        ++result.stats.groups_skipped;
+        result.stats.rows_skipped += meta.num_rows;
+        continue;
+      }
+      if (options_.use_zone_maps &&
+          !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
+                              meta.num_rows)) {
+        ++result.stats.groups_skipped_zonemap;
+        result.stats.rows_skipped += meta.num_rows;
+        continue;
+      }
+      CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
+                            reader.ReadBatchProjected(g, wanted));
+      ++result.stats.groups_scanned;
+      result.stats.rows_skipped += meta.num_rows - candidates;
+      // Verify candidates with the full typed predicate: bitvectors may
+      // contain false positives and the query may have non-pushed clauses.
+      for (const uint32_t r : mask.SetBits()) {
+        ++result.stats.rows_evaluated;
+        if (compiled.Matches(batch, r)) ++result.count;
+      }
+    }
+  }
+  // Raw sideline intentionally not scanned: every record satisfying a
+  // pushed-down clause of this query was loaded (planner invariant).
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ciao

@@ -1,0 +1,48 @@
+#ifndef CIAO_ENGINE_EXECUTOR_H_
+#define CIAO_ENGINE_EXECUTOR_H_
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "predicate/predicate.h"
+#include "predicate/registry.h"
+#include "storage/catalog.h"
+
+namespace ciao {
+
+/// Executor tuning knobs.
+struct ExecutorOptions {
+  /// Zone-map (min/max) group skipping — the classic server-side data
+  /// skipping baseline. Complements bitvector skipping; both sound.
+  bool use_zone_maps = true;
+};
+
+/// COUNT(*) executor over a table catalog — the repository's stand-in for
+/// the Spark scan operator the paper integrates with: the only extension
+/// is "checking corresponding bit vectors to decide whether to discard a
+/// tuple" (§VII-A), which is exactly the skipping path here.
+class QueryExecutor {
+ public:
+  /// Both pointers must outlive the executor. `registry` may be empty
+  /// (baseline: every query full-scans).
+  QueryExecutor(const TableCatalog* catalog, const PredicateRegistry* registry,
+                const ExecutorOptions& options = {})
+      : catalog_(catalog), registry_(registry), options_(options) {}
+
+  /// Plans and executes the query, timing it.
+  Result<QueryResult> Execute(const Query& query) const;
+
+  /// Forced plan variants, used by tests and the ablation benches.
+  Result<QueryResult> ExecuteFullScan(const Query& query) const;
+  Result<QueryResult> ExecuteWithSkipping(
+      const Query& query, const std::vector<uint32_t>& predicate_ids) const;
+
+ private:
+  const TableCatalog* catalog_;
+  const PredicateRegistry* registry_;
+  ExecutorOptions options_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_ENGINE_EXECUTOR_H_

@@ -1,0 +1,56 @@
+#ifndef CIAO_ENGINE_PLAN_H_
+#define CIAO_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ciao {
+
+/// Which physical plan a query ran under.
+enum class PlanKind {
+  /// Scan all columnar rows + parse and scan the raw sideline.
+  kFullScan,
+  /// AND the pushed-down bitvectors, skip 0-rows and all-zero groups,
+  /// verify survivors; raw sideline provably irrelevant (paper §VI-B).
+  kSkippingScan,
+};
+
+std::string_view PlanKindName(PlanKind kind);
+
+/// Counters accumulated while executing one query.
+struct ScanStats {
+  /// Rows on which the (typed) predicate was actually evaluated.
+  uint64_t rows_evaluated = 0;
+  /// Rows skipped because their intersected bit was 0.
+  uint64_t rows_skipped = 0;
+  /// Row groups whose intersected bitvector was all-zero (columns never
+  /// decoded).
+  uint64_t groups_skipped = 0;
+  /// Row groups proved empty by zone maps (numeric min/max statistics).
+  uint64_t groups_skipped_zonemap = 0;
+  uint64_t groups_scanned = 0;
+  /// Raw sideline records parsed + evaluated (full-scan path only).
+  uint64_t raw_records_scanned = 0;
+  uint64_t raw_parse_errors = 0;
+};
+
+/// Result of one COUNT(*) query.
+struct QueryResult {
+  uint64_t count = 0;
+  PlanKind plan = PlanKind::kFullScan;
+  ScanStats stats;
+  /// Wall-clock execution time (the paper's per-query "Query Time").
+  double seconds = 0.0;
+};
+
+/// The planner's decision for a query (see planner.h).
+struct PlanDecision {
+  PlanKind kind = PlanKind::kFullScan;
+  /// Registry ids of the query's pushed-down clauses (skipping scan only).
+  std::vector<uint32_t> predicate_ids;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_ENGINE_PLAN_H_

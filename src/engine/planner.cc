@@ -1,0 +1,13 @@
+#include "engine/planner.h"
+
+namespace ciao {
+
+PlanDecision PlanQuery(const Query& query, const PredicateRegistry& registry) {
+  PlanDecision decision;
+  decision.predicate_ids = registry.PushedDownIds(query);
+  decision.kind = decision.predicate_ids.empty() ? PlanKind::kFullScan
+                                                 : PlanKind::kSkippingScan;
+  return decision;
+}
+
+}  // namespace ciao

@@ -1,0 +1,22 @@
+#ifndef CIAO_ENGINE_PLANNER_H_
+#define CIAO_ENGINE_PLANNER_H_
+
+#include "engine/plan.h"
+#include "predicate/predicate.h"
+#include "predicate/registry.h"
+
+namespace ciao {
+
+/// Step 3 of the paper (Fig 1): match the query's conjunctive clauses
+/// against the pushed-down registry.
+///
+/// If >= 1 clause was pushed down, the skipping scan applies — and the
+/// raw sideline can be skipped entirely: any record satisfying the query
+/// satisfies that clause (conjunction), and every record satisfying a
+/// pushed-down clause was loaded, so no unloaded record can qualify.
+/// Otherwise the query falls back to a full scan of columnar + raw.
+PlanDecision PlanQuery(const Query& query, const PredicateRegistry& registry);
+
+}  // namespace ciao
+
+#endif  // CIAO_ENGINE_PLANNER_H_

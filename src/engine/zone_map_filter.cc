@@ -1,0 +1,61 @@
+#include "engine/zone_map_filter.h"
+
+namespace ciao {
+
+namespace {
+
+/// True iff `term` is provably unsatisfiable on every row of the group.
+bool TermProvablyEmpty(const SimplePredicate& term,
+                       const columnar::Schema& schema,
+                       const std::vector<columnar::ZoneMap>& zone_maps,
+                       uint64_t num_rows) {
+  const int idx = schema.FieldIndex(term.field);
+  if (idx < 0 || static_cast<size_t>(idx) >= zone_maps.size()) return false;
+  const columnar::ZoneMap& zm = zone_maps[static_cast<size_t>(idx)];
+  const columnar::ColumnType type = schema.field(static_cast<size_t>(idx)).type;
+
+  // An all-null column satisfies no predicate of any kind.
+  if (zm.null_count >= num_rows) return true;
+
+  const bool numeric = type == columnar::ColumnType::kInt64 ||
+                       type == columnar::ColumnType::kDouble;
+  if (!numeric || !zm.has_minmax) return false;
+
+  switch (term.kind) {
+    case PredicateKind::kKeyValueMatch: {
+      if (!term.operand.is_number()) return false;
+      const double v = term.operand.AsNumber();
+      return v < zm.min || v > zm.max;
+    }
+    case PredicateKind::kRangeLess: {
+      if (!term.operand.is_number()) return false;
+      // Needs some row with value < bound; impossible if min >= bound.
+      return zm.min >= term.operand.AsNumber();
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ZoneMapsMaySatisfy(const Query& query, const columnar::Schema& schema,
+                        const std::vector<columnar::ZoneMap>& zone_maps,
+                        uint64_t num_rows) {
+  if (num_rows == 0) return false;
+  for (const Clause& clause : query.clauses) {
+    if (clause.terms.empty()) continue;
+    bool clause_empty = true;
+    for (const SimplePredicate& term : clause.terms) {
+      if (!TermProvablyEmpty(term, schema, zone_maps, num_rows)) {
+        clause_empty = false;
+        break;
+      }
+    }
+    // One empty conjunctive clause empties the whole conjunction.
+    if (clause_empty) return false;
+  }
+  return true;
+}
+
+}  // namespace ciao

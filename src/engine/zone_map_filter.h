@@ -1,0 +1,34 @@
+#ifndef CIAO_ENGINE_ZONE_MAP_FILTER_H_
+#define CIAO_ENGINE_ZONE_MAP_FILTER_H_
+
+#include <vector>
+
+#include "columnar/file_writer.h"
+#include "columnar/schema.h"
+#include "predicate/predicate.h"
+
+namespace ciao {
+
+/// Classic server-side data skipping over block min/max statistics
+/// (Sun et al. [12], cited by the paper as the baseline technique CIAO's
+/// bitvectors extend). Zone maps need no client cooperation but only see
+/// numeric bounds; bitvector skipping is per-row and predicate-exact.
+/// Both coexist in the executor: a group is skipped if EITHER proves it
+/// empty. `bench_micro_zonemap` compares them head-to-head.
+///
+/// Returns true iff the row group MAY contain a row satisfying `query`
+/// (conservative: true unless some conjunctive clause is provably
+/// unsatisfiable on every row of the group).
+///
+/// A clause is provably unsatisfiable when every one of its terms is:
+///  - a key-value match on a numeric column whose operand lies outside
+///    [min, max] (or the column has no valid values in the group), or
+///  - a range-less on a numeric column with min >= bound, or
+///  - a key-presence on a column whose null_count equals the group rows.
+bool ZoneMapsMaySatisfy(const Query& query, const columnar::Schema& schema,
+                        const std::vector<columnar::ZoneMap>& zone_maps,
+                        uint64_t num_rows);
+
+}  // namespace ciao
+
+#endif  // CIAO_ENGINE_ZONE_MAP_FILTER_H_

@@ -1,0 +1,63 @@
+#ifndef CIAO_JSON_CHUNK_H_
+#define CIAO_JSON_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "json/value.h"
+
+namespace ciao::json {
+
+/// A batch of newline-delimited JSON records, the unit the paper's clients
+/// ship to the server ("data clients send JSON objects in chunks", §III).
+/// Records are stored back-to-back in one buffer with an offset index so
+/// the client prefilter can scan raw bytes without any copies.
+class JsonChunk {
+ public:
+  JsonChunk() = default;
+
+  /// Appends one record given its serialized form (no trailing newline).
+  void AppendSerialized(std::string_view record);
+
+  /// Serializes `v` and appends it.
+  void AppendValue(const Value& v);
+
+  /// Number of records.
+  size_t size() const { return offsets_.size(); }
+  bool empty() const { return offsets_.empty(); }
+
+  /// Raw bytes of record `i` (no newline).
+  std::string_view Record(size_t i) const;
+
+  /// The whole newline-delimited buffer (each record followed by '\n'),
+  /// i.e. exactly what travels over the transport.
+  const std::string& data() const { return data_; }
+
+  /// Total serialized payload size in bytes.
+  size_t ByteSize() const { return data_.size(); }
+
+  /// Mean record length in bytes (the cost model's len(t)); 0 if empty.
+  double MeanRecordLength() const;
+
+  /// Rebuilds a chunk from a newline-delimited buffer (transport decode).
+  /// Fails with Corruption if the buffer does not end with '\n' while
+  /// non-empty.
+  static Result<JsonChunk> FromNdjson(std::string buffer);
+
+ private:
+  std::string data_;
+  // offsets_[i] = start of record i in data_; lengths_[i] excludes '\n'.
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> lengths_;
+};
+
+/// Splits a stream of records into chunks of `chunk_size` records.
+std::vector<JsonChunk> SplitIntoChunks(const std::vector<std::string>& records,
+                                       size_t chunk_size);
+
+}  // namespace ciao::json
+
+#endif  // CIAO_JSON_CHUNK_H_

@@ -1,0 +1,347 @@
+#include "json/parser.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace ciao::json {
+
+namespace {
+
+/// Recursive-descent parser over a string_view. No exceptions: every
+/// production returns Status and writes into an out-parameter.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Status ParseDocument(Value* out, size_t* consumed) {
+    SkipWhitespace();
+    CIAO_RETURN_IF_ERROR(ParseValue(out, 0));
+    SkipWhitespace();
+    if (consumed != nullptr) *consumed = pos_;
+    if (!options_.allow_trailing && pos_ != input_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = input_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || input_[pos_] != c) {
+      return Error(StrFormat("expected '%c'", c));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > options_.max_depth) return Error("max nesting depth exceeded");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        CIAO_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", Value(true), out);
+      case 'f':
+        return ParseLiteral("false", Value(false), out);
+      case 'n':
+        return ParseLiteral("null", Value(nullptr), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view literal, Value v, Value* out) {
+    if (input_.substr(pos_, literal.size()) != literal) {
+      return Error(StrFormat("invalid literal, expected '%.*s'",
+                             static_cast<int>(literal.size()),
+                             literal.data()));
+    }
+    pos_ += literal.size();
+    *out = std::move(v);
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    CIAO_RETURN_IF_ERROR(Expect('{'));
+    Object obj;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = Value(std::move(obj));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      CIAO_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      CIAO_RETURN_IF_ERROR(Expect(':'));
+      SkipWhitespace();
+      Value v;
+      CIAO_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      obj.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        break;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+    *out = Value(std::move(obj));
+    return Status::OK();
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    CIAO_RETURN_IF_ERROR(Expect('['));
+    Array arr;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = Value(std::move(arr));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      Value v;
+      CIAO_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        break;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+    *out = Value(std::move(arr));
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* cp) {
+    if (pos_ + 4 > input_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = input_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *cp = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    CIAO_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const char c = input_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("dangling escape at end of string");
+      const char e = input_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          CIAO_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 1 >= input_.size() || input_[pos_] != '\\' ||
+                input_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            CIAO_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Error("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+      if (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      is_double = true;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("digit required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("digit required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == 0 && end == text.c_str() + text.size()) {
+        *out = Value(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      // Integer overflow: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !std::isfinite(d)) {
+      return Error("number out of range");
+    }
+    *out = Value(d);
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  Value v;
+  CIAO_RETURN_IF_ERROR(parser.ParseDocument(&v, nullptr));
+  return v;
+}
+
+Result<Value> ParsePrefix(std::string_view input, size_t* consumed,
+                          const ParseOptions& options) {
+  ParseOptions opts = options;
+  opts.allow_trailing = true;
+  Parser parser(input, opts);
+  Value v;
+  CIAO_RETURN_IF_ERROR(parser.ParseDocument(&v, consumed));
+  return v;
+}
+
+}  // namespace ciao::json

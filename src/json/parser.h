@@ -1,0 +1,34 @@
+#ifndef CIAO_JSON_PARSER_H_
+#define CIAO_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "json/value.h"
+
+namespace ciao::json {
+
+/// Parser configuration.
+struct ParseOptions {
+  /// Maximum nesting depth of arrays/objects before the parser bails with
+  /// InvalidArgument (stack-overflow guard on adversarial input).
+  int max_depth = 64;
+  /// When false, trailing non-whitespace after the top-level value is an
+  /// error; when true it is ignored (used by incremental record scans).
+  bool allow_trailing = false;
+};
+
+/// Parses one JSON document from `input`. Errors carry the byte offset of
+/// the failure. This is the repository's rapidJSON substitute: a strict
+/// recursive-descent parser with full string-escape and \uXXXX handling,
+/// exact int64 integers, and double fallback.
+Result<Value> Parse(std::string_view input, const ParseOptions& options = {});
+
+/// Parses a document and reports how many input bytes it consumed
+/// (`*consumed`), enabling scanning of concatenated documents.
+Result<Value> ParsePrefix(std::string_view input, size_t* consumed,
+                          const ParseOptions& options = {});
+
+}  // namespace ciao::json
+
+#endif  // CIAO_JSON_PARSER_H_

@@ -1,0 +1,54 @@
+#include "json/value.h"
+
+namespace ciao::json {
+
+Type Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kInt;
+    case 3:
+      return Type::kDouble;
+    case 4:
+      return Type::kString;
+    case 5:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value* Value::FindPath(std::string_view dotted_path) const {
+  const Value* cur = this;
+  size_t start = 0;
+  while (start <= dotted_path.size()) {
+    const size_t dot = dotted_path.find('.', start);
+    const std::string_view piece =
+        dot == std::string_view::npos
+            ? dotted_path.substr(start)
+            : dotted_path.substr(start, dot - start);
+    cur = cur->Find(piece);
+    if (cur == nullptr) return nullptr;
+    if (dot == std::string_view::npos) return cur;
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+void Value::Add(std::string key, Value v) {
+  if (!is_object()) data_ = Object{};
+  as_object().emplace_back(std::move(key), std::move(v));
+}
+
+}  // namespace ciao::json

@@ -1,0 +1,105 @@
+#ifndef CIAO_JSON_VALUE_H_
+#define CIAO_JSON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ciao::json {
+
+class Value;
+
+/// JSON object: ordered key/value pairs. Insertion order is preserved so
+/// the writer emits records with a stable field layout — the client-side
+/// pattern strings (e.g. `"key":`) rely on that canonical serialization.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// JSON array.
+using Array = std::vector<Value>;
+
+/// Discriminates the active alternative of a Value.
+enum class Type {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kArray,
+  kObject,
+};
+
+/// A parsed JSON value (DOM node). Integers that fit int64 are kept exact
+/// (distinct from doubles) so typed predicate evaluation on loaded data is
+/// lossless.
+class Value {
+ public:
+  /// Constructs null.
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(int64_t i) : data_(i) {}                     // NOLINT
+  Value(int i) : data_(static_cast<int64_t>(i)) {}   // NOLINT
+  Value(double d) : data_(d) {}                      // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  Value(Array a) : data_(std::move(a)) {}            // NOLINT
+  Value(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+
+  Type type() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; must match the active type.
+  bool as_bool() const { return std::get<bool>(data_); }
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  /// Numeric value as double regardless of int/double representation.
+  double AsNumber() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object field lookup by key (linear scan; objects are small records).
+  /// Returns nullptr when absent or when this is not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Nested lookup with '.'-separated path ("address.city"). Returns
+  /// nullptr if any step is missing or not an object.
+  const Value* FindPath(std::string_view dotted_path) const;
+
+  /// Appends a field to an object value (no dedup; caller keeps keys unique).
+  void Add(std::string key, Value v);
+
+  /// Deep structural equality (int 2 != double 2.0 by design — the loader
+  /// never mixes representations for one field).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+}  // namespace ciao::json
+
+#endif  // CIAO_JSON_VALUE_H_

@@ -1,0 +1,130 @@
+#include "json/writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ciao::json {
+
+namespace {
+
+void AppendDouble(double d, std::string* out) {
+  // %.17g round-trips the value; if the result looks like an integer
+  // (no '.', 'e', inf/nan letters), append ".0" so re-parsing yields a
+  // double again — the writer must preserve the int/double distinction.
+  char buf[40];
+  int len = std::snprintf(buf, sizeof(buf), "%.17g", d);
+  bool integral = true;
+  for (int i = 0; i < len; ++i) {
+    const char c = buf[i];
+    if (c == '.' || c == 'e' || c == 'E' || c == 'n' || c == 'i') {
+      integral = false;
+      break;
+    }
+  }
+  if (integral) {
+    buf[len++] = '.';
+    buf[len++] = '0';
+    buf[len] = '\0';
+  }
+  out->append(buf);
+}
+
+void AppendInt(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+}  // namespace
+
+void EscapeStringTo(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void WriteTo(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(v.as_bool() ? "true" : "false");
+      break;
+    case Type::kInt:
+      AppendInt(v.as_int(), out);
+      break;
+    case Type::kDouble:
+      AppendDouble(v.as_double(), out);
+      break;
+    case Type::kString:
+      out->push_back('"');
+      EscapeStringTo(v.as_string(), out);
+      out->push_back('"');
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteTo(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        EscapeStringTo(key, out);
+        out->append("\":");
+        WriteTo(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Write(const Value& v) {
+  std::string out;
+  WriteTo(v, &out);
+  return out;
+}
+
+}  // namespace ciao::json

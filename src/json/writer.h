@@ -1,0 +1,25 @@
+#ifndef CIAO_JSON_WRITER_H_
+#define CIAO_JSON_WRITER_H_
+
+#include <string>
+
+#include "json/value.h"
+
+namespace ciao::json {
+
+/// Serializes `v` as compact canonical JSON: no whitespace, `"key":value`
+/// pairs in insertion order, minimal escaping, integers without exponent.
+/// This is the byte layout the client-side pattern strings are compiled
+/// against (DESIGN.md §5, "false positives allowed, false negatives never").
+std::string Write(const Value& v);
+
+/// Appends the compact serialization of `v` to `*out` (avoids temporary
+/// strings in the record generators).
+void WriteTo(const Value& v, std::string* out);
+
+/// Escapes `s` as a JSON string *without* the surrounding quotes.
+void EscapeStringTo(std::string_view s, std::string* out);
+
+}  // namespace ciao::json
+
+#endif  // CIAO_JSON_WRITER_H_

@@ -1,0 +1,26 @@
+#include "matcher/compiled_pattern.h"
+
+#include <utility>
+
+namespace ciao {
+
+CompiledPattern::CompiledPattern(std::string pattern, SearchKernel kernel)
+    : pattern_(std::move(pattern)), kernel_(kernel) {
+  if (kernel_ == SearchKernel::kHorspool) {
+    table_ = HorspoolTable::Build(pattern_);
+  }
+}
+
+size_t CompiledPattern::FindIn(std::string_view hay, size_t from) const {
+  switch (kernel_) {
+    case SearchKernel::kStdFind:
+      return FindStd(hay, pattern_, from);
+    case SearchKernel::kMemchr:
+      return FindMemchr(hay, pattern_, from);
+    case SearchKernel::kHorspool:
+      return FindHorspool(hay, pattern_, table_, from);
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace ciao

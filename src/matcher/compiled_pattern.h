@@ -1,0 +1,42 @@
+#ifndef CIAO_MATCHER_COMPILED_PATTERN_H_
+#define CIAO_MATCHER_COMPILED_PATTERN_H_
+
+#include <string>
+#include <string_view>
+
+#include "matcher/kernels.h"
+
+namespace ciao {
+
+/// A pattern string compiled for repeated searches: owns the bytes and a
+/// Horspool shift table so per-record matching does no setup work. This is
+/// the unit the server ships to clients (paper Fig 2: "pattern string").
+class CompiledPattern {
+ public:
+  CompiledPattern() = default;
+
+  /// Compiles `pattern` for `kernel`.
+  explicit CompiledPattern(std::string pattern,
+                           SearchKernel kernel = SearchKernel::kStdFind);
+
+  const std::string& pattern() const { return pattern_; }
+  SearchKernel kernel() const { return kernel_; }
+  size_t length() const { return pattern_.size(); }
+
+  /// First occurrence at or after `from`, or npos.
+  size_t FindIn(std::string_view hay, size_t from = 0) const;
+
+  /// True iff the pattern occurs anywhere in `hay`.
+  bool Matches(std::string_view hay) const {
+    return FindIn(hay) != std::string_view::npos;
+  }
+
+ private:
+  std::string pattern_;
+  SearchKernel kernel_ = SearchKernel::kStdFind;
+  HorspoolTable table_{};
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_MATCHER_COMPILED_PATTERN_H_

@@ -1,0 +1,101 @@
+#include "matcher/kernels.h"
+
+#include <cstring>
+
+namespace ciao {
+
+std::string_view SearchKernelName(SearchKernel kernel) {
+  switch (kernel) {
+    case SearchKernel::kStdFind:
+      return "std_find";
+    case SearchKernel::kMemchr:
+      return "memchr";
+    case SearchKernel::kHorspool:
+      return "horspool";
+  }
+  return "unknown";
+}
+
+std::vector<SearchKernel> AllSearchKernels() {
+  return {SearchKernel::kStdFind, SearchKernel::kMemchr,
+          SearchKernel::kHorspool};
+}
+
+size_t FindStd(std::string_view hay, std::string_view needle, size_t from) {
+  return hay.find(needle, from);
+}
+
+size_t FindMemchr(std::string_view hay, std::string_view needle, size_t from) {
+  if (needle.empty()) return from <= hay.size() ? from : std::string_view::npos;
+  if (from >= hay.size() || hay.size() - from < needle.size()) {
+    return std::string_view::npos;
+  }
+  const char first = needle[0];
+  const char* base = hay.data();
+  size_t pos = from;
+  const size_t last_start = hay.size() - needle.size();
+  while (pos <= last_start) {
+    const void* hit =
+        std::memchr(base + pos, first, last_start - pos + 1);
+    if (hit == nullptr) return std::string_view::npos;
+    pos = static_cast<size_t>(static_cast<const char*>(hit) - base);
+    if (needle.size() == 1 ||
+        std::memcmp(base + pos + 1, needle.data() + 1, needle.size() - 1) ==
+            0) {
+      return pos;
+    }
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+HorspoolTable HorspoolTable::Build(std::string_view needle) {
+  HorspoolTable t;
+  const size_t m = needle.size();
+  const size_t default_shift = m == 0 ? 1 : m;
+  for (size_t i = 0; i < 256; ++i) t.shift[i] = default_shift;
+  if (m >= 1) {
+    for (size_t i = 0; i + 1 < m; ++i) {
+      t.shift[static_cast<unsigned char>(needle[i])] = m - 1 - i;
+    }
+  }
+  return t;
+}
+
+size_t FindHorspool(std::string_view hay, std::string_view needle,
+                    const HorspoolTable& table, size_t from) {
+  const size_t m = needle.size();
+  if (m == 0) return from <= hay.size() ? from : std::string_view::npos;
+  if (from >= hay.size() || hay.size() - from < m) {
+    return std::string_view::npos;
+  }
+  size_t pos = from;
+  const size_t last_start = hay.size() - m;
+  const char last_char = needle[m - 1];
+  while (pos <= last_start) {
+    const char tail = hay[pos + m - 1];
+    if (tail == last_char &&
+        std::memcmp(hay.data() + pos, needle.data(), m - 1) == 0) {
+      return pos;
+    }
+    pos += table.shift[static_cast<unsigned char>(tail)];
+  }
+  return std::string_view::npos;
+}
+
+size_t Find(SearchKernel kernel, std::string_view hay, std::string_view needle,
+            size_t from) {
+  switch (kernel) {
+    case SearchKernel::kStdFind:
+      return FindStd(hay, needle, from);
+    case SearchKernel::kMemchr:
+      return FindMemchr(hay, needle, from);
+    case SearchKernel::kHorspool: {
+      const HorspoolTable table = HorspoolTable::Build(needle);
+      return FindHorspool(hay, needle, table, from);
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace ciao

@@ -1,0 +1,55 @@
+#ifndef CIAO_MATCHER_KERNELS_H_
+#define CIAO_MATCHER_KERNELS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ciao {
+
+/// Substring-search kernel selector. The paper uses C++ STL
+/// `string::find`; we additionally provide a memchr-skipping scalar kernel
+/// and Boyer–Moore–Horspool so the cost model's hardware profiles and the
+/// matcher ablation bench (`bench_micro_matcher`) can compare them.
+enum class SearchKernel {
+  kStdFind,    // std::string_view::find (libstdc++ two-char probe loop)
+  kMemchr,     // memchr on first byte + memcmp verify
+  kHorspool,   // Boyer–Moore–Horspool with 256-entry shift table
+};
+
+/// Stable kernel name for reports ("std_find", "memchr", "horspool").
+std::string_view SearchKernelName(SearchKernel kernel);
+
+/// All kernels, for parameterized tests and benches.
+std::vector<SearchKernel> AllSearchKernels();
+
+/// Returns the position of the first occurrence of `needle` in `hay` at or
+/// after `from`, or npos. An empty needle matches at `from` (clamped to
+/// hay.size()), matching std::string_view::find semantics exactly — the
+/// property tests pin all kernels to that oracle.
+size_t FindStd(std::string_view hay, std::string_view needle, size_t from = 0);
+size_t FindMemchr(std::string_view hay, std::string_view needle,
+                  size_t from = 0);
+
+/// Horspool needs a precomputed shift table; see HorspoolTable below.
+struct HorspoolTable {
+  /// shift[b] = distance to slide the window when the last byte is `b`.
+  size_t shift[256];
+
+  /// Builds the table for `needle` (needle must stay alive only during
+  /// Build; the table itself is self-contained).
+  static HorspoolTable Build(std::string_view needle);
+};
+
+size_t FindHorspool(std::string_view hay, std::string_view needle,
+                    const HorspoolTable& table, size_t from = 0);
+
+/// Convenience dispatch (builds the Horspool table on the fly; hot paths
+/// should use CompiledPattern instead, which caches it).
+size_t Find(SearchKernel kernel, std::string_view hay, std::string_view needle,
+            size_t from = 0);
+
+}  // namespace ciao
+
+#endif  // CIAO_MATCHER_KERNELS_H_

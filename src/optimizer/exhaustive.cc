@@ -1,0 +1,62 @@
+#include "optimizer/exhaustive.h"
+
+#include <vector>
+
+namespace ciao {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct DfsState {
+  const PushdownObjective* objective;
+  double budget;
+  std::vector<uint32_t> current;
+  std::vector<uint32_t> best;
+  double best_value = -1.0;
+  double best_cost = 0.0;
+};
+
+void Dfs(DfsState* st, size_t next, double cost_so_far) {
+  // Evaluate the current subset (monotonicity means supersets only
+  // improve, but cost pruning makes full evaluation at every node cheap
+  // enough for the n <= 22 instances this is used on).
+  const double value = st->objective->Value(st->current);
+  if (value > st->best_value + kEps ||
+      (value > st->best_value - kEps && cost_so_far < st->best_cost)) {
+    st->best_value = value;
+    st->best = st->current;
+    st->best_cost = cost_so_far;
+  }
+  for (size_t i = next; i < st->objective->num_candidates(); ++i) {
+    const double cost = st->objective->candidate(i).cost_us;
+    if (cost_so_far + cost > st->budget + kEps) continue;
+    st->current.push_back(static_cast<uint32_t>(i));
+    Dfs(st, i + 1, cost_so_far + cost);
+    st->current.pop_back();
+  }
+}
+
+}  // namespace
+
+Result<SelectionResult> ExhaustiveOptimal(PushdownObjective* objective,
+                                          const GreedyOptions& options,
+                                          size_t max_candidates) {
+  if (objective->num_candidates() > max_candidates) {
+    return Status::InvalidArgument(
+        "ExhaustiveOptimal: too many candidates for exhaustive search");
+  }
+  DfsState st;
+  st.objective = objective;
+  st.budget = options.budget_us;
+  Dfs(&st, 0, 0.0);
+
+  SelectionResult result;
+  result.algorithm = "exhaustive";
+  result.selected = st.best;
+  result.objective_value = st.best_value < 0.0 ? 0.0 : st.best_value;
+  result.total_cost_us = st.best_cost;
+  return result;
+}
+
+}  // namespace ciao

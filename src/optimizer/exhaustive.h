@@ -1,0 +1,20 @@
+#ifndef CIAO_OPTIMIZER_EXHAUSTIVE_H_
+#define CIAO_OPTIMIZER_EXHAUSTIVE_H_
+
+#include "common/status.h"
+#include "optimizer/greedy.h"
+#include "optimizer/objective.h"
+
+namespace ciao {
+
+/// Exact optimum by exhaustive subset enumeration (budget-pruned DFS).
+/// Exponential — only for validating the greedy algorithms' approximation
+/// guarantee on small instances (tests cap at ~20 candidates). Fails with
+/// InvalidArgument above `max_candidates`.
+Result<SelectionResult> ExhaustiveOptimal(PushdownObjective* objective,
+                                          const GreedyOptions& options,
+                                          size_t max_candidates = 22);
+
+}  // namespace ciao
+
+#endif  // CIAO_OPTIMIZER_EXHAUSTIVE_H_

@@ -1,0 +1,138 @@
+#include "optimizer/greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ciao {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Core loop shared by Algorithms 1 and 2; `use_ratio` switches the
+/// argmax criterion.
+SelectionResult GreedyImpl(PushdownObjective* objective,
+                           const GreedyOptions& options, bool use_ratio,
+                           std::string name) {
+  objective->Reset();
+  SelectionResult result;
+  result.algorithm = std::move(name);
+  const size_t n = objective->num_candidates();
+
+  while (true) {
+    int best = -1;
+    double best_score = -1.0;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t id = static_cast<uint32_t>(i);
+      if (objective->IsSelected(id)) continue;
+      const double cost = objective->candidate(i).cost_us;
+      if (objective->CurrentCost() + cost > options.budget_us + kEps) {
+        continue;  // infeasible under the knapsack constraint
+      }
+      const double gain = objective->MarginalGain(id);
+      ++result.gain_evaluations;
+      const double score = use_ratio ? gain / std::max(cost, kEps) : gain;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+        best_gain = gain;
+      }
+    }
+    if (best < 0) break;  // no feasible candidate remains
+    if (best_gain <= kEps && !options.keep_zero_gain) break;
+    objective->Add(static_cast<uint32_t>(best));
+  }
+
+  result.selected = objective->SelectedIds();
+  result.objective_value = objective->CurrentValue();
+  result.total_cost_us = objective->CurrentCost();
+  return result;
+}
+
+}  // namespace
+
+SelectionResult GreedyByBenefit(PushdownObjective* objective,
+                                const GreedyOptions& options) {
+  return GreedyImpl(objective, options, /*use_ratio=*/false, "greedy_benefit");
+}
+
+SelectionResult GreedyByRatio(PushdownObjective* objective,
+                              const GreedyOptions& options) {
+  return GreedyImpl(objective, options, /*use_ratio=*/true, "greedy_ratio");
+}
+
+SelectionResult SelectBestOfBoth(PushdownObjective* objective,
+                                 const GreedyOptions& options) {
+  SelectionResult by_benefit = GreedyByBenefit(objective, options);
+  SelectionResult by_ratio = GreedyByRatio(objective, options);
+  const size_t total_evals =
+      by_benefit.gain_evaluations + by_ratio.gain_evaluations;
+  SelectionResult best = by_benefit.objective_value >= by_ratio.objective_value
+                             ? std::move(by_benefit)
+                             : std::move(by_ratio);
+  best.gain_evaluations = total_evals;
+  best.algorithm = "best_of_both";
+  return best;
+}
+
+SelectionResult LazyGreedyByBenefit(PushdownObjective* objective,
+                                    const GreedyOptions& options) {
+  objective->Reset();
+  SelectionResult result;
+  result.algorithm = "lazy_greedy";
+  const size_t n = objective->num_candidates();
+
+  // Max-heap of (stale gain, candidate, round-of-staleness).
+  struct Entry {
+    double gain;
+    uint32_t id;
+    uint32_t round;
+  };
+  // Tie-break on id (lower wins) so the selection is identical to the
+  // plain greedy, which scans candidates in index order.
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.id > b.id;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t id = static_cast<uint32_t>(i);
+    const double gain = objective->MarginalGain(id);
+    ++result.gain_evaluations;
+    heap.push({gain, id, 0});
+  }
+
+  uint32_t round = 0;
+  std::vector<Entry> deferred;  // infeasible-now candidates, retried later
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (objective->IsSelected(top.id)) continue;
+    const double cost = objective->candidate(top.id).cost_us;
+    if (objective->CurrentCost() + cost > options.budget_us + kEps) {
+      // Infeasible at the current budget use; it can never become feasible
+      // again (cost is fixed, remaining budget only shrinks) — drop it.
+      continue;
+    }
+    if (top.round != round) {
+      // Stale: refresh and reinsert. Submodularity guarantees the fresh
+      // gain is <= the stale one, so the heap order stays valid.
+      top.gain = objective->MarginalGain(top.id);
+      top.round = round;
+      ++result.gain_evaluations;
+      heap.push(top);
+      continue;
+    }
+    if (top.gain <= kEps && !options.keep_zero_gain) break;
+    objective->Add(top.id);
+    ++round;
+  }
+
+  result.selected = objective->SelectedIds();
+  result.objective_value = objective->CurrentValue();
+  result.total_cost_us = objective->CurrentCost();
+  return result;
+}
+
+}  // namespace ciao

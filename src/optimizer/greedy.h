@@ -1,0 +1,61 @@
+#ifndef CIAO_OPTIMIZER_GREEDY_H_
+#define CIAO_OPTIMIZER_GREEDY_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/objective.h"
+
+namespace ciao {
+
+/// Outcome of one selection algorithm run.
+struct SelectionResult {
+  /// Candidate indices chosen, in selection order.
+  std::vector<uint32_t> selected;
+  /// f(S) of the selection.
+  double objective_value = 0.0;
+  /// Σ cost(p) (µs/record) of the selection.
+  double total_cost_us = 0.0;
+  /// Which algorithm produced it ("greedy_benefit", "greedy_ratio",
+  /// "best_of_both", "lazy_greedy", "exhaustive").
+  std::string algorithm;
+  /// Number of marginal-gain evaluations performed (for the ablation
+  /// bench comparing plain vs. lazy greedy).
+  size_t gain_evaluations = 0;
+};
+
+/// Options shared by the greedy variants.
+struct GreedyOptions {
+  /// Client budget B in µs per record (knapsack capacity).
+  double budget_us = 0.0;
+  /// The paper's Algorithms 1/2 keep adding predicates while the budget
+  /// allows even at zero marginal gain; by default we stop instead —
+  /// identical f(S), strictly less client cost (DESIGN.md §5).
+  bool keep_zero_gain = false;
+};
+
+/// Algorithm 1: repeatedly add the feasible predicate with the highest
+/// f(S ∪ {p}) (equivalently the highest marginal gain).
+SelectionResult GreedyByBenefit(PushdownObjective* objective,
+                                const GreedyOptions& options);
+
+/// Algorithm 2: repeatedly add the feasible predicate with the highest
+/// benefit/cost ratio (f(S ∪ {p}) − f(S)) / cost(p).
+SelectionResult GreedyByRatio(PushdownObjective* objective,
+                              const GreedyOptions& options);
+
+/// Runs both greedy variants and returns the one with the higher f(S) —
+/// the ≥ ½(1−1/e) ≈ 0.316·OPT approximation (Khuller–Moss–Naor, §V-C).
+SelectionResult SelectBestOfBoth(PushdownObjective* objective,
+                                 const GreedyOptions& options);
+
+/// Lazy (accelerated) benefit greedy: exploits submodularity — a
+/// candidate's cached gain only shrinks as S grows, so a max-heap of
+/// stale gains avoids recomputing every candidate each round. Returns the
+/// same selection as GreedyByBenefit with far fewer gain evaluations.
+SelectionResult LazyGreedyByBenefit(PushdownObjective* objective,
+                                    const GreedyOptions& options);
+
+}  // namespace ciao
+
+#endif  // CIAO_OPTIMIZER_GREEDY_H_

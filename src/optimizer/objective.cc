@@ -1,0 +1,55 @@
+#include "optimizer/objective.h"
+
+namespace ciao {
+
+PushdownObjective::PushdownObjective(
+    std::vector<CandidatePredicate> candidates,
+    std::vector<double> query_frequencies)
+    : candidates_(std::move(candidates)),
+      query_freq_(std::move(query_frequencies)) {
+  Reset();
+}
+
+void PushdownObjective::Reset() {
+  selected_.assign(candidates_.size(), false);
+  selection_order_.clear();
+  query_products_.assign(query_freq_.size(), 1.0);
+  current_value_ = 0.0;
+  current_cost_ = 0.0;
+}
+
+double PushdownObjective::Value(const std::vector<uint32_t>& subset) const {
+  std::vector<double> products(query_freq_.size(), 1.0);
+  for (const uint32_t i : subset) {
+    const CandidatePredicate& p = candidates_[i];
+    for (const uint32_t q : p.query_ids) products[q] *= p.selectivity;
+  }
+  double value = 0.0;
+  for (size_t q = 0; q < query_freq_.size(); ++q) {
+    value += query_freq_[q] * (1.0 - products[q]);
+  }
+  return value;
+}
+
+double PushdownObjective::MarginalGain(uint32_t i) const {
+  const CandidatePredicate& p = candidates_[i];
+  if (selected_[i]) return 0.0;
+  // Adding p multiplies each containing query's product by sel(p), so the
+  // query's contribution rises by freq · prod · (1 − sel(p)).
+  double gain = 0.0;
+  for (const uint32_t q : p.query_ids) {
+    gain += query_freq_[q] * query_products_[q] * (1.0 - p.selectivity);
+  }
+  return gain;
+}
+
+void PushdownObjective::Add(uint32_t i) {
+  const CandidatePredicate& p = candidates_[i];
+  current_value_ += MarginalGain(i);
+  for (const uint32_t q : p.query_ids) query_products_[q] *= p.selectivity;
+  selected_[i] = true;
+  selection_order_.push_back(i);
+  current_cost_ += p.cost_us;
+}
+
+}  // namespace ciao

@@ -1,0 +1,90 @@
+#ifndef CIAO_OPTIMIZER_OBJECTIVE_H_
+#define CIAO_OPTIMIZER_OBJECTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/predicate.h"
+
+namespace ciao {
+
+/// One distinct pushdown candidate: a clause with its estimated clause
+/// selectivity, estimated client cost, and the queries containing it.
+struct CandidatePredicate {
+  Clause clause;
+  /// P(record satisfies the clause), estimated on a sample.
+  double selectivity = 1.0;
+  /// Estimated client cost in µs per record.
+  double cost_us = 0.0;
+  /// Indices into the workload's query list.
+  std::vector<uint32_t> query_ids;
+  /// Per-term selectivities (align with clause.terms); kept for reports.
+  std::vector<double> term_selectivities;
+};
+
+/// The paper's objective (§V-A):
+///   f(S) = Σ_q freq(q) · (1 − Π_{p ∈ S ∩ P_q} sel(p))
+/// — the expected (frequency-weighted) probability of filtering a new
+/// record per query, under the independence assumption. Submodular and
+/// monotone (proved in §V-B; property-tested in tests/optimizer_test.cc).
+///
+/// Evaluation is incremental: per-query running products make a marginal-
+/// gain query O(|queries containing p|).
+class PushdownObjective {
+ public:
+  /// `query_frequencies[q]` is freq(q); candidates reference queries by id.
+  PushdownObjective(std::vector<CandidatePredicate> candidates,
+                    std::vector<double> query_frequencies);
+
+  size_t num_candidates() const { return candidates_.size(); }
+  size_t num_queries() const { return query_freq_.size(); }
+  const CandidatePredicate& candidate(size_t i) const {
+    return candidates_[i];
+  }
+  const std::vector<CandidatePredicate>& candidates() const {
+    return candidates_;
+  }
+
+  /// f(S) for an arbitrary subset (stateless; used by tests/exhaustive).
+  double Value(const std::vector<uint32_t>& subset) const;
+
+  /// --- Incremental interface used by the greedy algorithms ---
+
+  /// Resets the running state to S = ∅.
+  void Reset();
+
+  /// Marginal gain f(S ∪ {i}) − f(S) for the current running S.
+  double MarginalGain(uint32_t i) const;
+
+  /// Adds candidate i to the running S (must not already be selected).
+  void Add(uint32_t i);
+
+  /// f(S) of the running selection.
+  double CurrentValue() const { return current_value_; }
+
+  /// Σ cost of the running selection (µs/record).
+  double CurrentCost() const { return current_cost_; }
+
+  bool IsSelected(uint32_t i) const { return selected_[i]; }
+
+  /// Selected candidate ids in insertion order.
+  const std::vector<uint32_t>& SelectedIds() const { return selection_order_; }
+
+ private:
+  std::vector<CandidatePredicate> candidates_;
+  std::vector<double> query_freq_;
+
+  // Running state.
+  std::vector<bool> selected_;
+  std::vector<uint32_t> selection_order_;
+  /// Π sel(p) over selected p contained in each query.
+  std::vector<double> query_products_;
+  double current_value_ = 0.0;
+  double current_cost_ = 0.0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_OPTIMIZER_OBJECTIVE_H_

@@ -1,0 +1,135 @@
+#include "optimizer/selection.h"
+
+#include <map>
+#include <set>
+
+#include "optimizer/exhaustive.h"
+
+namespace ciao {
+
+std::string_view SelectionAlgorithmName(SelectionAlgorithm algorithm) {
+  switch (algorithm) {
+    case SelectionAlgorithm::kBestOfBoth:
+      return "best_of_both";
+    case SelectionAlgorithm::kGreedyBenefit:
+      return "greedy_benefit";
+    case SelectionAlgorithm::kGreedyRatio:
+      return "greedy_ratio";
+    case SelectionAlgorithm::kLazyGreedy:
+      return "lazy_greedy";
+    case SelectionAlgorithm::kExhaustive:
+      return "exhaustive";
+  }
+  return "unknown";
+}
+
+Result<PushdownPlan> SelectPredicates(
+    const Workload& workload, const std::vector<ClauseStats>& clause_stats,
+    const CostModel& cost_model, double mean_record_len, double budget_us,
+    SelectionAlgorithm algorithm, const GreedyOptions& extra_options) {
+  const std::vector<Clause> distinct = workload.DistinctClauses();
+  if (clause_stats.size() != distinct.size()) {
+    return Status::InvalidArgument(
+        "SelectPredicates: clause_stats size must match DistinctClauses()");
+  }
+
+  PushdownPlan plan;
+  plan.budget_us = budget_us;
+
+  // Build candidates: distinct clauses supported on the client, with the
+  // ids of the queries containing them.
+  std::map<std::string, uint32_t> candidate_by_key;
+  std::vector<CandidatePredicate> candidates;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    const Clause& clause = distinct[i];
+    if (!clause.SupportedOnClient()) {
+      ++plan.num_unsupported;
+      continue;
+    }
+    CandidatePredicate cand;
+    cand.clause = clause;
+    cand.selectivity = clause_stats[i].selectivity;
+    cand.term_selectivities = clause_stats[i].term_selectivities;
+    if (cand.term_selectivities.size() != clause.terms.size()) {
+      // Fall back to the clause selectivity for every term.
+      cand.term_selectivities.assign(clause.terms.size(), cand.selectivity);
+    }
+    CIAO_ASSIGN_OR_RETURN(
+        cand.cost_us,
+        cost_model.ClauseCostUs(clause, cand.term_selectivities,
+                                mean_record_len));
+    candidate_by_key.emplace(clause.CanonicalKey(),
+                             static_cast<uint32_t>(candidates.size()));
+    candidates.push_back(std::move(cand));
+  }
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    std::set<uint32_t> in_query;  // dedup repeated clauses within a query
+    for (const Clause& c : workload.queries[q].clauses) {
+      const auto it = candidate_by_key.find(c.CanonicalKey());
+      if (it != candidate_by_key.end()) in_query.insert(it->second);
+    }
+    for (const uint32_t ci : in_query) {
+      candidates[ci].query_ids.push_back(static_cast<uint32_t>(q));
+    }
+  }
+
+  std::vector<double> freqs;
+  freqs.reserve(workload.queries.size());
+  for (const Query& q : workload.queries) freqs.push_back(q.frequency);
+
+  plan.num_candidates = candidates.size();
+  PushdownObjective objective(candidates, std::move(freqs));
+
+  GreedyOptions options = extra_options;
+  options.budget_us = budget_us;
+
+  SelectionResult result;
+  switch (algorithm) {
+    case SelectionAlgorithm::kBestOfBoth:
+      result = SelectBestOfBoth(&objective, options);
+      break;
+    case SelectionAlgorithm::kGreedyBenefit:
+      result = GreedyByBenefit(&objective, options);
+      break;
+    case SelectionAlgorithm::kGreedyRatio:
+      result = GreedyByRatio(&objective, options);
+      break;
+    case SelectionAlgorithm::kLazyGreedy:
+      result = LazyGreedyByBenefit(&objective, options);
+      break;
+    case SelectionAlgorithm::kExhaustive: {
+      CIAO_ASSIGN_OR_RETURN(result, ExhaustiveOptimal(&objective, options));
+      break;
+    }
+  }
+
+  plan.objective_value = result.objective_value;
+  plan.total_cost_us = result.total_cost_us;
+  plan.algorithm = result.algorithm;
+  plan.gain_evaluations = result.gain_evaluations;
+  plan.selected.reserve(result.selected.size());
+  std::set<uint32_t> covered_queries;
+  for (const uint32_t ci : result.selected) {
+    plan.selected.push_back(objective.candidate(ci));
+    for (const uint32_t q : objective.candidate(ci).query_ids) {
+      covered_queries.insert(q);
+    }
+  }
+  plan.covers_all_queries =
+      !workload.queries.empty() &&
+      covered_queries.size() == workload.queries.size();
+  return plan;
+}
+
+Result<PredicateRegistry> BuildRegistry(const PushdownPlan& plan,
+                                        SearchKernel kernel) {
+  PredicateRegistry registry;
+  for (const CandidatePredicate& cand : plan.selected) {
+    CIAO_RETURN_IF_ERROR(
+        registry.Register(cand.clause, cand.selectivity, cand.cost_us, kernel)
+            .status());
+  }
+  return registry;
+}
+
+}  // namespace ciao

@@ -1,0 +1,75 @@
+#ifndef CIAO_OPTIMIZER_SELECTION_H_
+#define CIAO_OPTIMIZER_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "costmodel/cost_model.h"
+#include "optimizer/greedy.h"
+#include "optimizer/objective.h"
+#include "predicate/predicate.h"
+#include "predicate/registry.h"
+
+namespace ciao {
+
+/// Which selection algorithm the planner runs.
+enum class SelectionAlgorithm {
+  kBestOfBoth,     // paper's 0.316-approximation (default)
+  kGreedyBenefit,  // Algorithm 1 only
+  kGreedyRatio,    // Algorithm 2 only
+  kLazyGreedy,     // accelerated Algorithm 1
+  kExhaustive,     // exact (small instances only)
+};
+
+std::string_view SelectionAlgorithmName(SelectionAlgorithm algorithm);
+
+/// Per-clause statistics the selector needs (estimated on a data sample by
+/// workload/selectivity.h): clause selectivity and per-term selectivities.
+struct ClauseStats {
+  double selectivity = 1.0;
+  std::vector<double> term_selectivities;
+};
+
+/// The complete pushdown decision: what was selected, what it costs, what
+/// it is expected to achieve. Feeds the PredicateRegistry build.
+struct PushdownPlan {
+  /// Chosen candidates (with stats), in selection order.
+  std::vector<CandidatePredicate> selected;
+  /// f(S) of the selection.
+  double objective_value = 0.0;
+  /// Σ client cost (µs/record); ≤ budget.
+  double total_cost_us = 0.0;
+  /// Budget it was planned under.
+  double budget_us = 0.0;
+  /// Candidates considered (distinct supported clauses in the workload).
+  size_t num_candidates = 0;
+  /// Clauses skipped because they cannot run on the client (e.g. ranges).
+  size_t num_unsupported = 0;
+  std::string algorithm;
+  size_t gain_evaluations = 0;
+
+  /// True iff every query has >= 1 selected clause — the condition for
+  /// the server to enable partial loading (DESIGN.md §5, paper §VII-E2).
+  bool covers_all_queries = false;
+};
+
+/// Builds candidates from the workload (distinct client-supported
+/// clauses), attaches costs via `cost_model` + `mean_record_len`, runs the
+/// chosen algorithm under `budget_us`, and reports the plan.
+/// `clause_stats[i]` corresponds to `distinct_clauses[i]` as returned by
+/// Workload::DistinctClauses().
+Result<PushdownPlan> SelectPredicates(
+    const Workload& workload, const std::vector<ClauseStats>& clause_stats,
+    const CostModel& cost_model, double mean_record_len, double budget_us,
+    SelectionAlgorithm algorithm = SelectionAlgorithm::kBestOfBoth,
+    const GreedyOptions& extra_options = {});
+
+/// Materializes a plan into the predicate hashmap shared by client and
+/// server.
+Result<PredicateRegistry> BuildRegistry(
+    const PushdownPlan& plan, SearchKernel kernel = SearchKernel::kStdFind);
+
+}  // namespace ciao
+
+#endif  // CIAO_OPTIMIZER_SELECTION_H_

@@ -1,0 +1,51 @@
+#include "predicate/registry.h"
+
+namespace ciao {
+
+Result<uint32_t> PredicateRegistry::Register(const Clause& clause,
+                                             double selectivity,
+                                             double cost_us,
+                                             SearchKernel kernel) {
+  const std::string key = clause.CanonicalKey();
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+
+  CIAO_ASSIGN_OR_RETURN(RawClauseProgram program,
+                        RawClauseProgram::Compile(clause, kernel));
+  RegisteredPredicate entry;
+  entry.id = static_cast<uint32_t>(predicates_.size());
+  entry.clause = clause;
+  entry.pattern_strings = program.PatternStrings();
+  entry.program = std::move(program);
+  entry.selectivity = selectivity;
+  entry.cost_us = cost_us;
+  const uint32_t id = entry.id;
+  predicates_.push_back(std::move(entry));
+  by_key_.emplace(key, id);
+  return id;
+}
+
+const RegisteredPredicate* PredicateRegistry::FindByKey(
+    const std::string& canonical_key) const {
+  const auto it = by_key_.find(canonical_key);
+  if (it == by_key_.end()) return nullptr;
+  return &predicates_[it->second];
+}
+
+std::vector<uint32_t> PredicateRegistry::PushedDownIds(
+    const Query& query) const {
+  std::vector<uint32_t> ids;
+  for (const Clause& c : query.clauses) {
+    const RegisteredPredicate* p = Find(c);
+    if (p != nullptr) ids.push_back(p->id);
+  }
+  return ids;
+}
+
+double PredicateRegistry::TotalCostUs() const {
+  double total = 0.0;
+  for (const RegisteredPredicate& p : predicates_) total += p.cost_us;
+  return total;
+}
+
+}  // namespace ciao

@@ -1,0 +1,77 @@
+#ifndef CIAO_PREDICATE_REGISTRY_H_
+#define CIAO_PREDICATE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/pattern_compiler.h"
+#include "predicate/predicate.h"
+
+namespace ciao {
+
+/// One pushed-down predicate as recorded by the server: its dense id, the
+/// clause, its compiled pattern program, and the statistics the optimizer
+/// used (paper Fig 2's "predicate hashmap").
+struct RegisteredPredicate {
+  uint32_t id = 0;
+  Clause clause;
+  RawClauseProgram program;
+  std::vector<std::string> pattern_strings;
+  /// Estimated selectivity (fraction of records matching).
+  double selectivity = 1.0;
+  /// Estimated client cost in microseconds per record.
+  double cost_us = 0.0;
+};
+
+/// The predicate hashmap: maps a clause's canonical key to its id and
+/// pattern strings. Built once per pushdown plan; shared (read-only) by
+/// the client filter, the partial loader, and the query planner.
+class PredicateRegistry {
+ public:
+  PredicateRegistry() = default;
+
+  /// Registers a clause (deduplicated by canonical key). Returns the
+  /// existing id on duplicates. Fails if the clause cannot be compiled.
+  Result<uint32_t> Register(const Clause& clause, double selectivity,
+                            double cost_us,
+                            SearchKernel kernel = SearchKernel::kStdFind);
+
+  size_t size() const { return predicates_.size(); }
+  bool empty() const { return predicates_.empty(); }
+
+  const RegisteredPredicate& Get(uint32_t id) const {
+    return predicates_[id];
+  }
+
+  /// Lookup by canonical key; nullptr when the clause was not pushed down.
+  const RegisteredPredicate* FindByKey(const std::string& canonical_key) const;
+
+  /// Convenience: lookup by clause.
+  const RegisteredPredicate* Find(const Clause& clause) const {
+    return FindByKey(clause.CanonicalKey());
+  }
+
+  /// For a conjunctive query, the ids of its clauses that were pushed
+  /// down (possibly empty).
+  std::vector<uint32_t> PushedDownIds(const Query& query) const;
+
+  /// Total estimated client cost of all registered predicates (µs/record),
+  /// i.e. Σ cost(p) over the selected set — must be ≤ the budget B.
+  double TotalCostUs() const;
+
+  /// All predicates, id order.
+  const std::vector<RegisteredPredicate>& predicates() const {
+    return predicates_;
+  }
+
+ private:
+  std::vector<RegisteredPredicate> predicates_;
+  std::map<std::string, uint32_t> by_key_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_PREDICATE_REGISTRY_H_

@@ -1,0 +1,62 @@
+#include "predicate/semantic_eval.h"
+
+#include <string_view>
+
+namespace ciao {
+
+namespace {
+
+bool ValueEquals(const json::Value& field, const json::Value& operand) {
+  if (field.is_number() && operand.is_number()) {
+    if (field.is_int() && operand.is_int()) {
+      return field.as_int() == operand.as_int();
+    }
+    return field.AsNumber() == operand.AsNumber();
+  }
+  if (field.is_bool() && operand.is_bool()) {
+    return field.as_bool() == operand.as_bool();
+  }
+  if (field.is_string() && operand.is_string()) {
+    return field.as_string() == operand.as_string();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvaluateSimple(const SimplePredicate& p, const json::Value& record) {
+  const json::Value* field = record.FindPath(p.field);
+  switch (p.kind) {
+    case PredicateKind::kExactMatch:
+      return field != nullptr && field->is_string() && p.operand.is_string() &&
+             field->as_string() == p.operand.as_string();
+    case PredicateKind::kSubstringMatch:
+      return field != nullptr && field->is_string() && p.operand.is_string() &&
+             field->as_string().find(p.operand.as_string()) !=
+                 std::string::npos;
+    case PredicateKind::kKeyPresence:
+      return field != nullptr && !field->is_null();
+    case PredicateKind::kKeyValueMatch:
+      return field != nullptr && ValueEquals(*field, p.operand);
+    case PredicateKind::kRangeLess:
+      return field != nullptr && field->is_number() && p.operand.is_number() &&
+             field->AsNumber() < p.operand.AsNumber();
+  }
+  return false;
+}
+
+bool EvaluateClause(const Clause& clause, const json::Value& record) {
+  for (const SimplePredicate& p : clause.terms) {
+    if (EvaluateSimple(p, record)) return true;
+  }
+  return false;
+}
+
+bool EvaluateQuery(const Query& query, const json::Value& record) {
+  for (const Clause& c : query.clauses) {
+    if (!EvaluateClause(c, record)) return false;
+  }
+  return true;
+}
+
+}  // namespace ciao

@@ -1,0 +1,406 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ciao::sql {
+
+namespace {
+
+enum class TokenType {
+  kIdentifier,  // field names, keywords (keywords matched case-insensitively)
+  kString,      // 'x' or "x"
+  kNumber,      // 42, -1.5
+  kBool,        // TRUE / FALSE (recognized from identifiers)
+  kSymbol,      // = != < ( ) , *
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/symbol text, or decoded string payload
+  double number = 0;  // kNumber
+  bool is_int = false;
+  int64_t int_value = 0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) break;
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out->push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        CIAO_RETURN_IF_ERROR(LexNumber(out));
+      } else if (c == '\'' || c == '"') {
+        CIAO_RETURN_IF_ERROR(LexString(out));
+      } else if (c == '!' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '=') {
+        out->push_back(Token{TokenType::kSymbol, "!=", 0, false, 0, pos_});
+        pos_ += 2;
+      } else if (c == '=' || c == '<' || c == '(' || c == ')' || c == ',' ||
+                 c == '*') {
+        out->push_back(
+            Token{TokenType::kSymbol, std::string(1, c), 0, false, 0, pos_});
+        ++pos_;
+      } else {
+        return Error(pos_, StrFormat("unexpected character '%c'", c));
+      }
+    }
+    out->push_back(Token{TokenType::kEnd, "", 0, false, 0, pos_});
+    return Status::OK();
+  }
+
+  static Status Error(size_t offset, const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("SQL parse error at offset %zu: %s", offset, what.c_str()));
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdentifier() {
+    const size_t start = pos_;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    Token t;
+    t.type = TokenType::kIdentifier;
+    t.text = std::string(input_.substr(start, pos_ - start));
+    t.offset = start;
+    return t;
+  }
+
+  Status LexNumber(std::vector<Token>* out) {
+    const size_t start = pos_;
+    if (input_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !is_double) {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    Token t;
+    t.type = TokenType::kNumber;
+    t.offset = start;
+    errno = 0;
+    if (!is_double) {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == 0 && end == text.c_str() + text.size()) {
+        t.is_int = true;
+        t.int_value = static_cast<int64_t>(v);
+        t.number = static_cast<double>(v);
+        out->push_back(std::move(t));
+        return Status::OK();
+      }
+    }
+    char* end = nullptr;
+    t.number = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) {
+      return Error(start, "malformed number '" + text + "'");
+    }
+    out->push_back(std::move(t));
+    return Status::OK();
+  }
+
+  Status LexString(std::vector<Token>* out) {
+    const size_t start = pos_;
+    const char quote = input_[pos_++];
+    std::string payload;
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Error(start, "unterminated string literal");
+      }
+      const char c = input_[pos_++];
+      if (c == quote) break;
+      if (c == '\\') {
+        if (pos_ >= input_.size()) {
+          return Error(start, "dangling escape in string literal");
+        }
+        payload.push_back(input_[pos_++]);
+      } else {
+        payload.push_back(c);
+      }
+    }
+    Token t;
+    t.type = TokenType::kString;
+    t.text = std::move(payload);
+    t.offset = start;
+    out->push_back(std::move(t));
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+bool KeywordIs(const Token& t, std::string_view keyword) {
+  if (t.type != TokenType::kIdentifier) return false;
+  if (t.text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(t.text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Recursive-descent over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status ParseFullQuery(Query* out) {
+    CIAO_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    CIAO_RETURN_IF_ERROR(ExpectKeyword("COUNT"));
+    CIAO_RETURN_IF_ERROR(ExpectSymbol("("));
+    CIAO_RETURN_IF_ERROR(ExpectSymbol("*"));
+    CIAO_RETURN_IF_ERROR(ExpectSymbol(")"));
+    CIAO_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Lexer::Error(Peek().offset, "expected table name after FROM");
+    }
+    ++pos_;  // table name is informational; one table per CiaoSystem
+    CIAO_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    return ParsePredicates(out);
+  }
+
+  Status ParsePredicates(Query* out) {
+    while (true) {
+      Clause clause;
+      CIAO_RETURN_IF_ERROR(ParseClause(&clause));
+      out->clauses.push_back(std::move(clause));
+      if (KeywordIs(Peek(), "AND")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Lexer::Error(Peek().offset, "trailing tokens after predicates");
+    }
+    if (out->clauses.empty()) {
+      return Status::InvalidArgument("SQL: WHERE clause has no predicates");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!KeywordIs(Peek(), keyword)) {
+      return Lexer::Error(Peek().offset,
+                          StrFormat("expected %.*s",
+                                    static_cast<int>(keyword.size()),
+                                    keyword.data()));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (Peek().type != TokenType::kSymbol || Peek().text != symbol) {
+      return Lexer::Error(Peek().offset,
+                          StrFormat("expected '%.*s'",
+                                    static_cast<int>(symbol.size()),
+                                    symbol.data()));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// clause := '(' simple (OR simple)* ')' | field IN (...) | simple
+  Status ParseClause(Clause* out) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == "(") {
+      ++pos_;
+      while (true) {
+        SimplePredicate p;
+        CIAO_RETURN_IF_ERROR(ParseSimple(&p));
+        out->terms.push_back(std::move(p));
+        if (KeywordIs(Peek(), "OR")) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      return ExpectSymbol(")");
+    }
+    // IN-list shorthand: field IN (v1, v2, ...).
+    if (Peek().type == TokenType::kIdentifier && KeywordIs(Peek(1), "IN")) {
+      const std::string field = Peek().text;
+      pos_ += 2;
+      CIAO_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        SimplePredicate p;
+        CIAO_RETURN_IF_ERROR(MakeEquality(field, &p));
+        out->terms.push_back(std::move(p));
+        if (Peek().type == TokenType::kSymbol && Peek().text == ",") {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      return ExpectSymbol(")");
+    }
+    SimplePredicate p;
+    CIAO_RETURN_IF_ERROR(ParseSimple(&p));
+    out->terms.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  /// simple := field '=' literal | field '!=' NULL | field LIKE pattern |
+  ///           field '<' number
+  Status ParseSimple(SimplePredicate* out) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Lexer::Error(Peek().offset, "expected field name");
+    }
+    const std::string field = Peek().text;
+    ++pos_;
+
+    const Token& op = Peek();
+    if (op.type == TokenType::kSymbol && op.text == "=") {
+      ++pos_;
+      return MakeEquality(field, out);
+    }
+    if (op.type == TokenType::kSymbol && op.text == "!=") {
+      ++pos_;
+      if (!KeywordIs(Peek(), "NULL")) {
+        return Lexer::Error(Peek().offset,
+                            "only '!= NULL' (key presence) is supported");
+      }
+      ++pos_;
+      *out = SimplePredicate::Presence(field);
+      return Status::OK();
+    }
+    if (KeywordIs(op, "LIKE")) {
+      ++pos_;
+      if (Peek().type != TokenType::kString) {
+        return Lexer::Error(Peek().offset, "LIKE requires a string pattern");
+      }
+      std::string pattern = Peek().text;
+      ++pos_;
+      // Only the '%needle%' form is supported (the paper's substring
+      // match); strip the wildcards.
+      if (pattern.size() < 2 || pattern.front() != '%' ||
+          pattern.back() != '%') {
+        return Lexer::Error(op.offset,
+                            "LIKE pattern must be of the form '%needle%'");
+      }
+      pattern = pattern.substr(1, pattern.size() - 2);
+      if (pattern.find('%') != std::string::npos ||
+          pattern.find('_') != std::string::npos) {
+        return Lexer::Error(op.offset,
+                            "only plain substrings are supported in LIKE");
+      }
+      *out = SimplePredicate::Substring(field, std::move(pattern));
+      return Status::OK();
+    }
+    if (op.type == TokenType::kSymbol && op.text == "<") {
+      ++pos_;
+      if (Peek().type != TokenType::kNumber) {
+        return Lexer::Error(Peek().offset, "'<' requires a number");
+      }
+      const Token& num = Peek();
+      ++pos_;
+      *out = SimplePredicate::RangeLess(
+          field, num.is_int ? json::Value(num.int_value)
+                            : json::Value(num.number));
+      return Status::OK();
+    }
+    return Lexer::Error(op.offset,
+                        "expected '=', '!=', '<', LIKE or IN after field");
+  }
+
+  /// Builds the equality predicate for `field` from the literal at the
+  /// cursor: strings become exact matches, numbers/booleans key-value.
+  Status MakeEquality(const std::string& field, SimplePredicate* out) {
+    const Token& lit = Peek();
+    switch (lit.type) {
+      case TokenType::kString:
+        *out = SimplePredicate::Exact(field, lit.text);
+        ++pos_;
+        return Status::OK();
+      case TokenType::kNumber:
+        *out = SimplePredicate::KeyValue(
+            field, lit.is_int ? json::Value(lit.int_value)
+                              : json::Value(lit.number));
+        ++pos_;
+        return Status::OK();
+      case TokenType::kIdentifier:
+        if (KeywordIs(lit, "TRUE")) {
+          *out = SimplePredicate::KeyValue(field, json::Value(true));
+          ++pos_;
+          return Status::OK();
+        }
+        if (KeywordIs(lit, "FALSE")) {
+          *out = SimplePredicate::KeyValue(field, json::Value(false));
+          ++pos_;
+          return Status::OK();
+        }
+        [[fallthrough]];
+      default:
+        return Lexer::Error(lit.offset, "expected a literal value");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view sql) {
+  std::vector<Token> tokens;
+  Lexer lexer(sql);
+  CIAO_RETURN_IF_ERROR(lexer.Tokenize(&tokens));
+  Parser parser(std::move(tokens));
+  Query query;
+  CIAO_RETURN_IF_ERROR(parser.ParseFullQuery(&query));
+  return query;
+}
+
+Result<Query> ParseWhere(std::string_view predicates) {
+  std::vector<Token> tokens;
+  Lexer lexer(predicates);
+  CIAO_RETURN_IF_ERROR(lexer.Tokenize(&tokens));
+  Parser parser(std::move(tokens));
+  Query query;
+  CIAO_RETURN_IF_ERROR(parser.ParsePredicates(&query));
+  return query;
+}
+
+}  // namespace ciao::sql

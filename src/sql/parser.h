@@ -1,0 +1,36 @@
+#ifndef CIAO_SQL_PARSER_H_
+#define CIAO_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "predicate/predicate.h"
+
+namespace ciao::sql {
+
+/// Parses the paper's query template (§VII-C) from SQL text into a Query:
+///
+///   SELECT COUNT(*) FROM <table> WHERE <clause> [AND <clause>]...
+///
+/// where each clause is one of
+///
+///   field = <literal>             -- exact (string) / key-value (number,
+///                                    boolean)
+///   field != NULL                 -- key-presence
+///   field LIKE '%needle%'         -- substring match
+///   field < <number>              -- range (not client-pushable)
+///   field IN (<literal>, ...)     -- disjunction of exact/key-value
+///   (<pred> OR <pred> ...)        -- explicit disjunction
+///
+/// Identifiers may be dotted paths (url.domain). String literals accept
+/// single or double quotes with backslash escapes. Keywords are
+/// case-insensitive; fields are case-sensitive. The WHERE clause is
+/// required (CIAO plans around predicates). Errors carry byte offsets.
+Result<Query> ParseQuery(std::string_view sql);
+
+/// Parses just a predicate expression (the text after WHERE).
+Result<Query> ParseWhere(std::string_view predicates);
+
+}  // namespace ciao::sql
+
+#endif  // CIAO_SQL_PARSER_H_

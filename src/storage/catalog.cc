@@ -1,0 +1,3 @@
+#include "storage/catalog.h"
+
+// Header-only implementation; this translation unit anchors the library.

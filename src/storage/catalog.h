@@ -1,0 +1,67 @@
+#ifndef CIAO_STORAGE_CATALOG_H_
+#define CIAO_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "storage/raw_store.h"
+
+namespace ciao {
+
+/// One encoded columnar file (one row group per ingested chunk in the
+/// normal pipeline). Kept as bytes; queries open a TableReader over it —
+/// mirroring Spark re-reading Parquet files per query.
+struct ColumnarSegment {
+  std::string file_bytes;
+  uint64_t num_rows = 0;
+};
+
+/// Server-side state of one table: the columnar segments (loaded data,
+/// with bitvector annotations inside) plus the raw sideline.
+class TableCatalog {
+ public:
+  explicit TableCatalog(columnar::Schema schema)
+      : schema_(std::move(schema)) {}
+
+  const columnar::Schema& schema() const { return schema_; }
+
+  void AddSegment(std::string file_bytes, uint64_t num_rows) {
+    columnar_bytes_ += file_bytes.size();
+    loaded_rows_ += num_rows;
+    segments_.push_back(ColumnarSegment{std::move(file_bytes), num_rows});
+  }
+
+  size_t num_segments() const { return segments_.size(); }
+  const ColumnarSegment& segment(size_t i) const { return segments_[i]; }
+
+  RawStore* mutable_raw() { return &raw_; }
+  const RawStore& raw() const { return raw_; }
+
+  /// Rows materialized in columnar form.
+  uint64_t loaded_rows() const { return loaded_rows_; }
+  /// Rows sidelined in raw form.
+  uint64_t raw_rows() const { return raw_.size(); }
+  uint64_t columnar_bytes() const { return columnar_bytes_; }
+
+  /// Fraction of all ingested rows that were loaded (the paper's
+  /// "loading ratio", Fig 7/9/11). 1.0 when nothing was ingested.
+  double LoadingRatio() const {
+    const uint64_t total = loaded_rows_ + raw_.size();
+    return total == 0 ? 1.0
+                      : static_cast<double>(loaded_rows_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  columnar::Schema schema_;
+  std::vector<ColumnarSegment> segments_;
+  RawStore raw_;
+  uint64_t loaded_rows_ = 0;
+  uint64_t columnar_bytes_ = 0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_CATALOG_H_

@@ -1,0 +1,54 @@
+#include "storage/jit_loader.h"
+
+#include "bitvec/bitvector_set.h"
+#include "columnar/file_writer.h"
+#include "columnar/json_converter.h"
+#include "common/timer.h"
+#include "json/parser.h"
+
+namespace ciao {
+
+Status ForEachRawRecord(const RawStore& store,
+                        const std::function<void(const json::Value&)>& fn,
+                        JitStats* stats) {
+  ScopedTimer timer(&stats->seconds);
+  for (size_t i = 0; i < store.size(); ++i) {
+    Result<json::Value> parsed = json::Parse(store.Record(i));
+    if (!parsed.ok()) {
+      ++stats->parse_errors;
+      continue;
+    }
+    ++stats->records_parsed;
+    fn(*parsed);
+  }
+  return Status::OK();
+}
+
+Status PromoteRawToColumnar(TableCatalog* catalog, size_t num_predicates,
+                            JitStats* stats) {
+  if (catalog->raw().empty()) return Status::OK();
+  ScopedTimer timer(&stats->seconds);
+
+  columnar::BatchBuilder builder(catalog->schema());
+  const RawStore& store = catalog->raw();
+  for (size_t i = 0; i < store.size(); ++i) {
+    if (builder.AppendSerialized(store.Record(i)).ok()) {
+      ++stats->records_parsed;
+    } else {
+      ++stats->parse_errors;
+    }
+  }
+  const size_t rows = builder.num_rows();
+  if (rows > 0) {
+    const columnar::RecordBatch batch = builder.Finish();
+    // All-zero annotations: promoted records satisfy no pushed predicate.
+    const BitVectorSet annotations(num_predicates, rows);
+    columnar::TableWriter writer(catalog->schema());
+    CIAO_RETURN_IF_ERROR(writer.AppendRowGroup(batch, annotations));
+    catalog->AddSegment(std::move(writer).Finish(), rows);
+  }
+  catalog->mutable_raw()->Clear();
+  return Status::OK();
+}
+
+}  // namespace ciao

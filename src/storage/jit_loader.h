@@ -1,0 +1,36 @@
+#ifndef CIAO_STORAGE_JIT_LOADER_H_
+#define CIAO_STORAGE_JIT_LOADER_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "json/value.h"
+#include "storage/catalog.h"
+
+namespace ciao {
+
+/// Statistics for just-in-time work over the raw sideline.
+struct JitStats {
+  uint64_t records_parsed = 0;
+  uint64_t parse_errors = 0;
+  double seconds = 0.0;
+};
+
+/// Streams parsed JSON values from the raw store (the fallback scan path
+/// for queries with no pushed-down clause). Malformed records are counted
+/// and skipped.
+Status ForEachRawRecord(const RawStore& store,
+                        const std::function<void(const json::Value&)>& fn,
+                        JitStats* stats);
+
+/// Just-in-time loading (paper §I: "set aside the other raw data to be
+/// loaded when needed"): converts the whole raw sideline into a columnar
+/// segment and clears it. The promoted rows get all-zero annotation
+/// bitvectors — they satisfy no pushed-down predicate by construction, so
+/// skipping scans remain sound after promotion.
+Status PromoteRawToColumnar(TableCatalog* catalog, size_t num_predicates,
+                            JitStats* stats);
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_JIT_LOADER_H_

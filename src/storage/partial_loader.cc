@@ -1,0 +1,76 @@
+#include "storage/partial_loader.h"
+
+#include "columnar/file_writer.h"
+#include "columnar/json_converter.h"
+#include "common/timer.h"
+
+namespace ciao {
+
+Status PartialLoader::IngestChunk(const json::JsonChunk& chunk,
+                                  const BitVectorSet& annotations,
+                                  bool partial_loading_enabled,
+                                  TableCatalog* catalog,
+                                  LoadStats* stats) const {
+  if (annotations.num_predicates() != num_predicates_) {
+    return Status::InvalidArgument(
+        "IngestChunk: annotation predicate count mismatch");
+  }
+  if (num_predicates_ > 0 && annotations.num_records() != chunk.size()) {
+    return Status::InvalidArgument(
+        "IngestChunk: annotation record count mismatch");
+  }
+
+  Stopwatch total_watch;
+  stats->records_in += chunk.size();
+
+  // The loading criterion: a record is loaded iff it satisfies >= 1
+  // pushed-down predicate (paper §VI-A). No predicates, or partial
+  // loading disabled -> load everything.
+  BitVector load_mask;
+  if (!partial_loading_enabled || num_predicates_ == 0) {
+    load_mask = BitVector(chunk.size(), true);
+  } else {
+    load_mask = annotations.UnionAll();
+  }
+
+  columnar::BatchBuilder builder(schema_);
+  {
+    ScopedTimer parse_timer(&stats->parse_seconds);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (load_mask.Get(i)) {
+        // Malformed records are counted and skipped; the loader keeps
+        // going (a stream should not die on one bad record). The bit in
+        // the load mask must then be cleared so annotation compaction
+        // stays aligned with the rows actually loaded.
+        if (!builder.AppendSerialized(chunk.Record(i)).ok()) {
+          load_mask.Set(i, false);
+        }
+      } else {
+        catalog->mutable_raw()->Append(chunk.Record(i));
+        ++stats->records_sidelined;
+      }
+    }
+  }
+  stats->parse_errors += builder.parse_errors();
+  stats->coercion_errors += builder.coercion_errors();
+
+  const size_t loaded = builder.num_rows();
+  if (loaded > 0) {
+    ScopedTimer encode_timer(&stats->encode_seconds);
+    const columnar::RecordBatch batch = builder.Finish();
+    // Re-index chunk-level bitvectors to the loaded rows only.
+    BitVectorSet compacted;
+    if (num_predicates_ > 0) {
+      CIAO_ASSIGN_OR_RETURN(compacted, annotations.CompactBy(load_mask));
+    }
+    columnar::TableWriter writer(schema_);
+    CIAO_RETURN_IF_ERROR(writer.AppendRowGroup(batch, compacted));
+    catalog->AddSegment(std::move(writer).Finish(), loaded);
+    stats->records_loaded += loaded;
+  }
+
+  stats->total_seconds += total_watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace ciao

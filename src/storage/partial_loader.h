@@ -1,0 +1,61 @@
+#ifndef CIAO_STORAGE_PARTIAL_LOADER_H_
+#define CIAO_STORAGE_PARTIAL_LOADER_H_
+
+#include "bitvec/bitvector_set.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+#include "json/chunk.h"
+#include "storage/catalog.h"
+
+namespace ciao {
+
+/// Cumulative loading statistics (drives the "Data loading" bars of
+/// Fig 3–5 and the loading-ratio series of Fig 7/9/11).
+struct LoadStats {
+  uint64_t records_in = 0;
+  uint64_t records_loaded = 0;
+  uint64_t records_sidelined = 0;
+  /// JSON parse + type conversion time (the dominant loading cost).
+  double parse_seconds = 0.0;
+  /// Columnar encode + file framing time.
+  double encode_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t parse_errors = 0;
+  uint64_t coercion_errors = 0;
+
+  double LoadingRatio() const {
+    return records_in == 0 ? 1.0
+                           : static_cast<double>(records_loaded) /
+                                 static_cast<double>(records_in);
+  }
+};
+
+/// Step 2 of the paper (Fig 1): splits each annotated JSON chunk into a
+/// loaded columnar row group (records whose OR over predicate bits is 1)
+/// and a raw sideline (all-zero records). With partial loading disabled —
+/// baseline mode, or an uncovered workload — every record is loaded, but
+/// annotations are still attached for data skipping.
+class PartialLoader {
+ public:
+  /// `num_predicates` must match the annotation sets presented later
+  /// (0 for the baseline pipeline).
+  PartialLoader(columnar::Schema schema, size_t num_predicates)
+      : schema_(std::move(schema)), num_predicates_(num_predicates) {}
+
+  /// Ingests one chunk. `annotations` must have `num_predicates` vectors
+  /// of chunk.size() bits (or zero vectors when num_predicates is 0).
+  Status IngestChunk(const json::JsonChunk& chunk,
+                     const BitVectorSet& annotations,
+                     bool partial_loading_enabled, TableCatalog* catalog,
+                     LoadStats* stats) const;
+
+  size_t num_predicates() const { return num_predicates_; }
+
+ private:
+  columnar::Schema schema_;
+  size_t num_predicates_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_PARTIAL_LOADER_H_

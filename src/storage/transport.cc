@@ -1,0 +1,168 @@
+#include "storage/transport.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace ciao {
+
+namespace {
+
+constexpr std::string_view kMessageMagic = "CMSG";
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+Status ReadU32(std::string_view buffer, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > buffer.size()) {
+    return Status::Corruption("chunk message truncated (u32)");
+  }
+  std::memcpy(v, buffer.data() + *offset, 4);
+  *offset += 4;
+  return Status::OK();
+}
+
+Status ReadU64(std::string_view buffer, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > buffer.size()) {
+    return Status::Corruption("chunk message truncated (u64)");
+  }
+  std::memcpy(v, buffer.data() + *offset, 8);
+  *offset += 8;
+  return Status::OK();
+}
+
+}  // namespace
+
+void ChunkMessage::SerializeTo(std::string* out) const {
+  out->append(kMessageMagic);
+  PutU32(static_cast<uint32_t>(predicate_ids.size()), out);
+  for (const uint32_t id : predicate_ids) PutU32(id, out);
+  PutU64(chunk.data().size(), out);
+  out->append(chunk.data());
+  annotations.SerializeTo(out);
+}
+
+Result<ChunkMessage> ChunkMessage::Deserialize(std::string_view buffer) {
+  size_t offset = 0;
+  if (buffer.size() < kMessageMagic.size() ||
+      buffer.substr(0, kMessageMagic.size()) != kMessageMagic) {
+    return Status::Corruption("chunk message: bad magic");
+  }
+  offset = kMessageMagic.size();
+  ChunkMessage msg;
+  uint32_t n_ids = 0;
+  CIAO_RETURN_IF_ERROR(ReadU32(buffer, &offset, &n_ids));
+  msg.predicate_ids.resize(n_ids);
+  for (uint32_t& id : msg.predicate_ids) {
+    CIAO_RETURN_IF_ERROR(ReadU32(buffer, &offset, &id));
+  }
+  uint64_t ndjson_len = 0;
+  CIAO_RETURN_IF_ERROR(ReadU64(buffer, &offset, &ndjson_len));
+  if (offset + ndjson_len > buffer.size()) {
+    return Status::Corruption("chunk message: truncated NDJSON payload");
+  }
+  CIAO_ASSIGN_OR_RETURN(
+      msg.chunk, json::JsonChunk::FromNdjson(
+                     std::string(buffer.substr(offset, ndjson_len))));
+  offset += ndjson_len;
+  CIAO_ASSIGN_OR_RETURN(msg.annotations,
+                        BitVectorSet::Deserialize(buffer, &offset));
+  if (msg.annotations.num_predicates() != msg.predicate_ids.size()) {
+    return Status::Corruption("chunk message: id/vector count mismatch");
+  }
+  if (msg.annotations.num_predicates() > 0 &&
+      msg.annotations.num_records() != msg.chunk.size()) {
+    return Status::Corruption("chunk message: vector length != record count");
+  }
+  return msg;
+}
+
+Result<BitVectorSet> ChunkMessage::ExpandAnnotations(
+    size_t total_predicates) const {
+  BitVectorSet expanded(total_predicates, chunk.size());
+  // Unevaluated predicates: all-ones ("maybe"), so partial loading keeps
+  // every record such a predicate might need — conservative and sound.
+  for (size_t p = 0; p < total_predicates; ++p) {
+    expanded.mutable_vector(p)->Negate();  // all zeros -> all ones
+  }
+  for (size_t i = 0; i < predicate_ids.size(); ++i) {
+    const uint32_t id = predicate_ids[i];
+    if (id >= total_predicates) {
+      return Status::OutOfRange("ExpandAnnotations: predicate id out of range");
+    }
+    *expanded.mutable_vector(id) = annotations.vector(i);
+  }
+  return expanded;
+}
+
+Status InMemoryTransport::Send(std::string payload) {
+  bytes_sent_ += payload.size();
+  queue_.push_back(std::move(payload));
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> InMemoryTransport::Receive() {
+  if (queue_.empty()) return std::optional<std::string>();
+  std::string payload = std::move(queue_.front());
+  queue_.pop_front();
+  return std::optional<std::string>(std::move(payload));
+}
+
+FileTransport::FileTransport(std::string dir) : dir_(std::move(dir)) {}
+
+Status FileTransport::Send(std::string payload) {
+  const std::string path =
+      StrFormat("%s/msg_%08llu.bin", dir_.c_str(),
+                static_cast<unsigned long long>(next_send_));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("FileTransport: cannot open " + path);
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  if (written != payload.size()) {
+    return Status::IOError("FileTransport: short write to " + path);
+  }
+  bytes_sent_ += payload.size();
+  ++next_send_;
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> FileTransport::Receive() {
+  if (next_recv_ >= next_send_) {
+    // Probe the directory in case another process produced messages.
+    const std::string probe =
+        StrFormat("%s/msg_%08llu.bin", dir_.c_str(),
+                  static_cast<unsigned long long>(next_recv_));
+    std::FILE* f = std::fopen(probe.c_str(), "rb");
+    if (f == nullptr) return std::optional<std::string>();
+    std::fclose(f);
+  }
+  const std::string path =
+      StrFormat("%s/msg_%08llu.bin", dir_.c_str(),
+                static_cast<unsigned long long>(next_recv_));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::optional<std::string>();
+  std::string payload;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    payload.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  ++next_recv_;
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace ciao

@@ -1,0 +1,89 @@
+#ifndef CIAO_STORAGE_TRANSPORT_H_
+#define CIAO_STORAGE_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitvec/bitvector_set.h"
+#include "common/status.h"
+#include "json/chunk.h"
+
+namespace ciao {
+
+/// What a client ships per chunk (paper Fig 1, Step 1→2): the raw NDJSON
+/// payload, the evaluated predicate ids, and one bitvector per id.
+struct ChunkMessage {
+  json::JsonChunk chunk;
+  /// Registry ids, aligned with `annotations` vectors. A client with a
+  /// small budget may evaluate only a subset of the registry; the server
+  /// conservatively treats missing predicates as all-ones (maybe).
+  std::vector<uint32_t> predicate_ids;
+  BitVectorSet annotations;
+
+  /// Wire format: "CMSG" | u32 n_ids | ids | u64 ndjson_len | ndjson |
+  /// BitVectorSet.
+  void SerializeTo(std::string* out) const;
+  static Result<ChunkMessage> Deserialize(std::string_view buffer);
+
+  /// Expands annotations to cover `total_predicates` registry entries:
+  /// evaluated ids keep their vectors, unevaluated predicates become
+  /// all-ones (no false negatives — "maybe satisfies"). Fails if an id is
+  /// out of range or annotations misalign.
+  Result<BitVectorSet> ExpandAnnotations(size_t total_predicates) const;
+};
+
+/// Client→server byte channel. The paper simulates communication through
+/// file I/O on one machine; both an in-memory queue and a file-backed
+/// directory queue are provided.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueues one message payload.
+  virtual Status Send(std::string payload) = 0;
+
+  /// Dequeues the next payload; nullopt when the queue is empty.
+  virtual Result<std::optional<std::string>> Receive() = 0;
+
+  /// Total bytes sent so far (network-volume accounting).
+  virtual uint64_t bytes_sent() const = 0;
+};
+
+/// FIFO queue in process memory.
+class InMemoryTransport final : public Transport {
+ public:
+  Status Send(std::string payload) override;
+  Result<std::optional<std::string>> Receive() override;
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  std::deque<std::string> queue_;
+  uint64_t bytes_sent_ = 0;
+};
+
+/// Numbered files in a spool directory (survives across processes; used
+/// by the file-I/O simulation mode and its tests).
+class FileTransport final : public Transport {
+ public:
+  /// `dir` must exist and be writable.
+  explicit FileTransport(std::string dir);
+
+  Status Send(std::string payload) override;
+  Result<std::optional<std::string>> Receive() override;
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  std::string dir_;
+  uint64_t next_send_ = 0;
+  uint64_t next_recv_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_TRANSPORT_H_

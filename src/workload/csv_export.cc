@@ -1,0 +1,49 @@
+#include "workload/csv_export.h"
+
+#include "csv/csv.h"
+#include "json/parser.h"
+#include "json/writer.h"
+
+namespace ciao::workload {
+
+double CsvDataset::MeanLineLength() const {
+  if (lines.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& l : lines) total += static_cast<double>(l.size());
+  return total / static_cast<double>(lines.size());
+}
+
+Result<CsvDataset> ExportCsv(const Dataset& dataset) {
+  CsvDataset out;
+  out.name = dataset.name + "_csv";
+  out.schema = dataset.schema;
+
+  std::vector<std::string> header_fields;
+  header_fields.reserve(dataset.schema.num_fields());
+  for (const auto& field : dataset.schema.fields()) {
+    header_fields.push_back(field.name);
+  }
+  out.header = csv::EncodeLine(header_fields);
+
+  out.lines.reserve(dataset.records.size());
+  for (const std::string& record_text : dataset.records) {
+    CIAO_ASSIGN_OR_RETURN(json::Value record, json::Parse(record_text));
+    std::vector<std::string> fields;
+    fields.reserve(dataset.schema.num_fields());
+    for (const auto& field : dataset.schema.fields()) {
+      const json::Value* v = record.FindPath(field.name);
+      if (v == nullptr || v->is_null()) {
+        fields.emplace_back();
+      } else if (v->is_string()) {
+        fields.push_back(v->as_string());
+      } else {
+        // Numbers/bools: the canonical JSON scalar form.
+        fields.push_back(json::Write(*v));
+      }
+    }
+    out.lines.push_back(csv::EncodeLine(fields));
+  }
+  return out;
+}
+
+}  // namespace ciao::workload

@@ -1,0 +1,32 @@
+#ifndef CIAO_WORKLOAD_CSV_EXPORT_H_
+#define CIAO_WORKLOAD_CSV_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/dataset.h"
+
+namespace ciao::workload {
+
+/// A dataset re-serialized as CSV: one line per record, columns in schema
+/// order, canonical csv::EncodeLine encoding. Numbers/bools use the same
+/// scalar forms as the JSON writer, so predicate operands match both
+/// formats. Fields missing from a record (or JSON null) become empty CSV
+/// fields.
+struct CsvDataset {
+  std::string name;
+  columnar::Schema schema;
+  std::string header;               // "col1,col2,..."
+  std::vector<std::string> lines;   // data rows, no trailing newline
+
+  double MeanLineLength() const;
+};
+
+/// Converts a generated JSON dataset to CSV per its schema. Fails if a
+/// record does not parse.
+Result<CsvDataset> ExportCsv(const Dataset& dataset);
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_CSV_EXPORT_H_

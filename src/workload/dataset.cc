@@ -1,0 +1,64 @@
+#include "workload/dataset.h"
+
+namespace ciao::workload {
+
+std::string_view DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kYelp:
+      return "yelp_review";
+    case DatasetKind::kWinLog:
+      return "windows_log";
+    case DatasetKind::kYcsb:
+      return "ycsb_customer";
+  }
+  return "unknown";
+}
+
+double Dataset::MeanRecordLength() const {
+  if (records.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& r : records) total += static_cast<double>(r.size());
+  return total / static_cast<double>(records.size());
+}
+
+uint64_t Dataset::TotalBytes() const {
+  uint64_t total = 0;
+  for (const std::string& r : records) total += r.size();
+  return total;
+}
+
+Dataset GenerateDataset(DatasetKind kind, const GeneratorOptions& options) {
+  switch (kind) {
+    case DatasetKind::kYelp:
+      return GenerateYelp(options);
+    case DatasetKind::kWinLog:
+      return GenerateWinLog(options);
+    case DatasetKind::kYcsb:
+      return GenerateYcsb(options);
+  }
+  return Dataset{};
+}
+
+const std::vector<std::string>& FillerWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "the",     "quick",   "brown",    "table",   "order",   "service",
+      "place",   "time",    "staff",    "menu",    "price",   "lunch",
+      "dinner",  "coffee",  "again",    "really",  "pretty",  "would",
+      "could",   "taste",   "flavor",   "portion", "salad",   "burger",
+      "pizza",   "sushi",   "noodle",   "chicken", "beef",    "sauce",
+      "spicy",   "sweet",   "fresh",    "clean",   "small",   "large",
+      "corner",  "street",  "window",   "music",   "night",   "today",
+      "visit",   "waiter",  "kitchen",  "plate",   "drink",   "water",
+      "bread",   "cheese",  "dessert",  "garlic",  "onion",   "tomato",
+      "crispy",  "tender",  "warm",     "cold",    "busy",    "quiet",
+      "family",  "friend",  "people",   "moment",  "minute",  "hour",
+      "worth",   "every",   "never",    "always",  "often",   "maybe",
+      "around",  "inside",  "outside",  "nearby",  "local",   "classic",
+      "modern",  "simple",  "special",  "regular", "perfect", "decent",
+      "average", "quality", "quantity", "texture", "aroma",   "season",
+      "weekend", "morning", "evening",  "booking", "reserve", "parking",
+  };
+  return *kWords;
+}
+
+}  // namespace ciao::workload

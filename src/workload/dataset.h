@@ -1,0 +1,55 @@
+#ifndef CIAO_WORKLOAD_DATASET_H_
+#define CIAO_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/schema.h"
+
+namespace ciao::workload {
+
+/// The paper's three evaluation datasets (§VII-B). All three are
+/// *simulated*: the real corpora are multi-GB licensed downloads, and the
+/// experiments depend only on schema, predicate templates (Table II), and
+/// controllable value distributions — which the generators reproduce
+/// (DESIGN.md §2 substitution index).
+enum class DatasetKind {
+  kYelp,    // Yelp Open Dataset review.json
+  kWinLog,  // LogHub Windows System Log (JSON-ified rows)
+  kYcsb,    // YCSB-style customer documents (fakeit substitute)
+};
+
+std::string_view DatasetKindName(DatasetKind kind);
+
+/// A generated dataset: serialized canonical-JSON records plus the
+/// columnar schema its loader uses.
+struct Dataset {
+  std::string name;
+  columnar::Schema schema;
+  std::vector<std::string> records;
+
+  double MeanRecordLength() const;
+  uint64_t TotalBytes() const;
+};
+
+struct GeneratorOptions {
+  size_t num_records = 10000;
+  uint64_t seed = 42;
+};
+
+/// Generates `kind` with `options`. Deterministic per (kind, options).
+Dataset GenerateDataset(DatasetKind kind, const GeneratorOptions& options);
+
+/// Individual generators (same contract).
+Dataset GenerateYelp(const GeneratorOptions& options);
+Dataset GenerateWinLog(const GeneratorOptions& options);
+Dataset GenerateYcsb(const GeneratorOptions& options);
+
+/// Shared filler-word pool used by the text generators (exposed so tests
+/// can assert marker words are disjoint from filler).
+const std::vector<std::string>& FillerWords();
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_DATASET_H_

@@ -1,0 +1,60 @@
+#include "workload/history.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ciao::workload {
+
+std::string QueryLog::Signature(const Query& query) {
+  std::vector<std::string> keys;
+  keys.reserve(query.clauses.size());
+  for (const Clause& c : query.clauses) keys.push_back(c.CanonicalKey());
+  std::sort(keys.begin(), keys.end());
+  std::string sig;
+  for (const std::string& k : keys) {
+    sig += k;
+    sig += " && ";
+  }
+  return sig;
+}
+
+void QueryLog::Record(const Query& query) {
+  ++total_recorded_;
+  if (half_life_ > 0 && total_recorded_ % half_life_ == 0) {
+    for (auto& [sig, entry] : entries_) entry.weight *= 0.5;
+  }
+  const std::string sig = Signature(query);
+  const auto it = entries_.find(sig);
+  if (it != entries_.end()) {
+    it->second.weight += 1.0;
+  } else {
+    Entry entry;
+    entry.query = query;
+    entry.weight = 1.0;
+    entries_.emplace(sig, std::move(entry));
+  }
+}
+
+Workload QueryLog::DeriveWorkload() const {
+  Workload workload;
+  double total_weight = 0.0;
+  for (const auto& [sig, entry] : entries_) total_weight += entry.weight;
+  if (total_weight <= 0.0) return workload;
+  size_t i = 0;
+  for (const auto& [sig, entry] : entries_) {
+    Query q = entry.query;
+    q.frequency = entry.weight / total_weight;
+    if (q.name.empty()) q.name = StrFormat("h%zu", i);
+    ++i;
+    workload.queries.push_back(std::move(q));
+  }
+  return workload;
+}
+
+void QueryLog::Clear() {
+  entries_.clear();
+  total_recorded_ = 0;
+}
+
+}  // namespace ciao::workload

@@ -1,0 +1,59 @@
+#ifndef CIAO_WORKLOAD_HISTORY_H_
+#define CIAO_WORKLOAD_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "predicate/predicate.h"
+
+namespace ciao::workload {
+
+/// Historical query log feeding the planner (paper §III: "We estimate the
+/// frequencies of prospective queries ... based on historical
+/// statistics"). Records executed queries, deduplicates them by their
+/// clause-set signature, and derives a prospective Workload whose
+/// per-query `frequency` reflects (optionally decayed) execution counts.
+///
+/// Decay: counts are halved every `half_life` recorded queries, so the
+/// derived workload tracks drifting query mixes instead of being pinned
+/// to ancient history (set half_life = 0 to disable).
+class QueryLog {
+ public:
+  explicit QueryLog(uint64_t half_life = 0) : half_life_(half_life) {}
+
+  /// Records one executed query.
+  void Record(const Query& query);
+
+  /// Number of queries recorded (before dedup).
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  /// Number of distinct queries (by clause-set signature).
+  size_t distinct_queries() const { return entries_.size(); }
+
+  /// Builds the prospective workload: one entry per distinct query, with
+  /// frequency = its (decayed) share of the log. Returns an empty
+  /// workload when nothing was recorded.
+  Workload DeriveWorkload() const;
+
+  /// Drops everything.
+  void Clear();
+
+  /// Signature used for dedup: sorted canonical clause keys.
+  static std::string Signature(const Query& query);
+
+ private:
+  struct Entry {
+    Query query;
+    double weight = 0.0;
+  };
+
+  uint64_t half_life_;
+  uint64_t total_recorded_ = 0;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_HISTORY_H_

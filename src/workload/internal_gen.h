@@ -1,0 +1,90 @@
+#ifndef CIAO_WORKLOAD_INTERNAL_GEN_H_
+#define CIAO_WORKLOAD_INTERNAL_GEN_H_
+
+// Shared generator constants: the *same* tables drive record generation
+// (yelp.cc / winlog.cc / ycsb.cc) and predicate-template instantiation
+// (templates.cc), so every Table II candidate predicate is guaranteed to
+// reference values that actually occur in the data with the intended
+// frequency. Internal to ciao_workload.
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ciao::workload::internal {
+
+// ---- Yelp ----
+
+/// Marker substrings injected into review text (Table II: text LIKE
+/// <string>, 5 candidates) with fixed independent probabilities.
+struct TextMarker {
+  const char* word;
+  double probability;
+};
+inline constexpr TextMarker kYelpTextMarkers[] = {
+    {"delicious", 0.20}, {"amazing", 0.15},    {"friendly", 0.12},
+    {"terrible", 0.06},  {"overpriced", 0.03},
+};
+
+/// Pool of user ids; the top kYelpUserPredicates ranks become the
+/// user_id = <string> candidates (Table II: 5 candidates). Drawn with a
+/// Zipf(1.0) over ranks.
+inline constexpr size_t kYelpUserPoolSize = 200;
+inline constexpr size_t kYelpUserPredicates = 5;
+inline constexpr double kYelpUserZipf = 1.0;
+
+inline constexpr int kYelpFirstYear = 2004;
+inline constexpr int kYelpNumYears = 14;  // 2004..2017 (Table II: 14)
+
+/// Deterministic user id for rank `r` (independent of record stream).
+std::string YelpUserId(size_t rank);
+
+/// Star-rating distribution (1..5).
+inline constexpr double kYelpStarsPmf[5] = {0.10, 0.09, 0.16, 0.30, 0.35};
+
+// ---- Windows log ----
+
+inline constexpr size_t kWinLogInfoTokens = 200;  // Table II: 200 candidates
+inline constexpr double kWinLogInfoZipf = 1.10;
+inline constexpr int kWinLogMonths = 8;  // 226 days from 2016-01-01
+
+/// Identifying token embedded in the info message of template `i`.
+std::string WinLogInfoToken(size_t i);
+
+/// Log level pmf: Info / Warning / Error.
+inline constexpr const char* kWinLogLevels[] = {"Info", "Warning", "Error"};
+inline constexpr double kWinLogLevelPmf[] = {0.85, 0.10, 0.05};
+
+/// Service names (sources).
+const std::vector<std::string>& WinLogSources();
+
+/// Micro-benchmark marker tokens (§VII-E): per selectivity tier, 10
+/// tokens each independently present with the tier probability. These
+/// simulate the paper's "attributes whose frequencies roughly represent
+/// the corresponding selectivity".
+inline constexpr double kMicroTiers[] = {0.35, 0.15, 0.01};
+inline constexpr size_t kMicroTokensPerTier = 10;
+std::string MicroToken(double tier, size_t i);
+
+// ---- YCSB ----
+
+inline constexpr const char* kYcsbAgeGroups[] = {"child", "teen", "adult",
+                                                 "senior"};
+inline constexpr double kYcsbAgeGroupPmf[] = {0.10, 0.20, 0.50, 0.20};
+inline constexpr const char* kYcsbPhoneCountries[] = {"us", "uk", "cn"};
+inline constexpr double kYcsbPhoneCountryPmf[] = {0.60, 0.25, 0.15};
+inline constexpr double kYcsbEmailPresence = 0.90;
+inline constexpr const char* kYcsbEmailDomains[] = {"gmail.com", "yahoo.com"};
+inline constexpr double kYcsbWeightedScoreZipf = 1.05;
+
+const std::vector<std::string>& YcsbUrlDomains();  // 12 (Table II)
+const std::vector<std::string>& YcsbUrlSites();    // 14 (Table II)
+const std::vector<std::string>& YcsbFirstNames();
+const std::vector<std::string>& YcsbLastNames();
+const std::vector<std::string>& YcsbCities();
+const std::vector<std::string>& YcsbFruit();
+
+}  // namespace ciao::workload::internal
+
+#endif  // CIAO_WORKLOAD_INTERNAL_GEN_H_

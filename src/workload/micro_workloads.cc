@@ -1,0 +1,116 @@
+#include "workload/micro_workloads.h"
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace ciao::workload {
+
+namespace {
+
+Query MakeQuery(size_t index, std::vector<Clause> clauses) {
+  Query q;
+  q.name = StrFormat("q%zu", index);
+  q.clauses = std::move(clauses);
+  return q;
+}
+
+double AchievedSkew(const Workload& workload) {
+  return SkewnessFactor(workload.ClauseQueryCounts());
+}
+
+}  // namespace
+
+MicroWorkload BuildSelectivityWorkload(const std::vector<Clause>& tier_pool,
+                                       const std::string& label) {
+  MicroWorkload mw;
+  mw.label = label;
+  // q_i = pushA AND pushB AND other_i: both pushed predicates appear in
+  // every query (workload covered -> partial loading on), the third
+  // varies.
+  for (size_t i = 0; i < 5; ++i) {
+    mw.workload.queries.push_back(
+        MakeQuery(i, {tier_pool[0], tier_pool[1], tier_pool[2 + i]}));
+  }
+  mw.push_down = {tier_pool[0], tier_pool[1]};
+  return mw;
+}
+
+MicroWorkload BuildOverlapWorkload(OverlapLevel level,
+                                   const std::vector<Clause>& pool) {
+  MicroWorkload mw;
+  switch (level) {
+    case OverlapLevel::kLow:
+      mw.label = "Low";
+      // Five disjoint single-predicate queries; pushing {P0,P1} covers
+      // only q0/q1 -> partial loading stays off.
+      for (size_t i = 0; i < 5; ++i) {
+        mw.workload.queries.push_back(MakeQuery(i, {pool[i]}));
+      }
+      break;
+    case OverlapLevel::kMedium:
+      mw.label = "Medium";
+      // Pairs sharing a small pool; pushing {P0,P1} covers q0..q3 but
+      // not q4 -> partial loading still off, more skipping than Low.
+      mw.workload.queries.push_back(MakeQuery(0, {pool[0], pool[2]}));
+      mw.workload.queries.push_back(MakeQuery(1, {pool[0], pool[3]}));
+      mw.workload.queries.push_back(MakeQuery(2, {pool[1], pool[2]}));
+      mw.workload.queries.push_back(MakeQuery(3, {pool[1], pool[3]}));
+      mw.workload.queries.push_back(MakeQuery(4, {pool[2], pool[3]}));
+      break;
+    case OverlapLevel::kHigh:
+      mw.label = "High";
+      // Four predicates per query over a 5-predicate pool (q_i = all but
+      // P_i): every query contains P0 or P1 -> fully covered -> partial
+      // loading on (the paper's "drastic drop in loading time").
+      for (size_t i = 0; i < 5; ++i) {
+        std::vector<Clause> clauses;
+        for (size_t j = 0; j < 5; ++j) {
+          if (j != i) clauses.push_back(pool[j]);
+        }
+        mw.workload.queries.push_back(MakeQuery(i, std::move(clauses)));
+      }
+      break;
+  }
+  mw.push_down = {pool[0], pool[1]};
+  return mw;
+}
+
+MicroWorkload BuildSkewWorkload(SkewLevel level,
+                                const std::vector<Clause>& pool) {
+  MicroWorkload mw;
+  switch (level) {
+    case SkewLevel::kLow:
+      mw.label = "0.0";
+      // Ten distinct predicates, each in exactly one query: X = [1]*10,
+      // sigma = 0 -> skewness 0. Push P0: only q0 covered.
+      for (size_t i = 0; i < 5; ++i) {
+        mw.workload.queries.push_back(
+            MakeQuery(i, {pool[2 * i], pool[2 * i + 1]}));
+      }
+      break;
+    case SkewLevel::kMedium:
+      mw.label = "0.5";
+      // Counts [3,2,2,1,1,1] -> skewness 0.75, the closest feasible
+      // pattern where the pushed predicate covers 3 of 5 queries (the
+      // paper's Msk behaviour).
+      mw.workload.queries.push_back(MakeQuery(0, {pool[0], pool[1]}));
+      mw.workload.queries.push_back(MakeQuery(1, {pool[0], pool[2]}));
+      mw.workload.queries.push_back(MakeQuery(2, {pool[0], pool[3]}));
+      mw.workload.queries.push_back(MakeQuery(3, {pool[1], pool[4]}));
+      mw.workload.queries.push_back(MakeQuery(4, {pool[2], pool[5]}));
+      break;
+    case SkewLevel::kHigh:
+      mw.label = "2.0";
+      // Counts [5,1,1,1,1,1] -> skewness 2.14; the pushed predicate is in
+      // every query -> covered -> partial loading on.
+      for (size_t i = 0; i < 5; ++i) {
+        mw.workload.queries.push_back(MakeQuery(i, {pool[0], pool[1 + i]}));
+      }
+      break;
+  }
+  mw.push_down = {pool[0]};
+  mw.achieved_skewness = AchievedSkew(mw.workload);
+  return mw;
+}
+
+}  // namespace ciao::workload

@@ -1,0 +1,47 @@
+#ifndef CIAO_WORKLOAD_MICRO_WORKLOADS_H_
+#define CIAO_WORKLOAD_MICRO_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "predicate/predicate.h"
+
+namespace ciao::workload {
+
+/// A §VII-E micro-benchmark workload: a handful of queries plus the exact
+/// clauses to force-push (the paper pins the pushdown count per
+/// experiment instead of running the optimizer).
+struct MicroWorkload {
+  std::string label;
+  Workload workload;
+  std::vector<Clause> push_down;
+  /// Skewness factor of the construction (skew workloads only).
+  double achieved_skewness = 0.0;
+};
+
+/// §VII-E1 (Fig 7/8): 5 queries × 3 conjunctive predicates, all drawn
+/// from `tier_pool` (predicates of roughly one selectivity); pushes the
+/// first 2 pool predicates, which appear in every query so partial
+/// loading engages. `tier_pool` needs >= 7 entries.
+MicroWorkload BuildSelectivityWorkload(const std::vector<Clause>& tier_pool,
+                                       const std::string& label);
+
+/// §VII-E2 (Fig 9/10): predicate-overlap workloads. 5 queries with
+/// 1 / 2 / 4 predicates per query for Low / Medium / High overlap; always
+/// pushes 2 predicates. Pool needs >= 8 entries.
+enum class OverlapLevel { kLow, kMedium, kHigh };
+MicroWorkload BuildOverlapWorkload(OverlapLevel level,
+                                   const std::vector<Clause>& pool);
+
+/// §VII-E3 (Fig 11/12): skewness workloads. 5 queries × 2 predicates;
+/// pushes 1 predicate (the most frequent). Targets 0.0 / 0.5 / 2.0 via
+/// fixed assignment patterns whose achieved factors are 0.0 / 0.75 / 2.14
+/// (closest feasible constructions with the paper's coverage behaviour:
+/// L covers 1 query, M covers 3, H covers all 5). Pool needs >= 10.
+enum class SkewLevel { kLow, kMedium, kHigh };
+MicroWorkload BuildSkewWorkload(SkewLevel level,
+                                const std::vector<Clause>& pool);
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_MICRO_WORKLOADS_H_

@@ -1,0 +1,114 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace ciao::workload {
+
+Workload GenerateWorkload(const std::vector<Clause>& pool,
+                          const WorkloadSpec& spec) {
+  Workload workload;
+  if (pool.empty() || spec.num_queries == 0) return workload;
+  Rng rng(spec.seed ^ 0x514E47454EULL);
+
+  // Rank assignment: seeded shuffle so Zipfian popularity is spread
+  // across templates rather than concentrated in pool-prefix templates.
+  std::vector<size_t> rank_of(pool.size());
+  std::iota(rank_of.begin(), rank_of.end(), 0);
+  rng.Shuffle(&rank_of);
+
+  std::vector<double> weights(pool.size(), 1.0);
+  if (spec.distribution == PredicateDistribution::kZipfian) {
+    for (size_t i = 0; i < pool.size(); ++i) {
+      weights[i] =
+          1.0 / std::pow(static_cast<double>(rank_of[i] + 1), spec.zipf_s);
+    }
+  }
+  // Inclusion probabilities: p_i = min(cap, s·w_i) with the scale s
+  // chosen by bisection so Σ p_i equals the expected predicate count —
+  // under heavy skew a plain proportional scale loses the mass clipped
+  // at the cap and queries end up with too few predicates.
+  constexpr double kCap = 0.95;
+  const double target = std::min(spec.expected_predicates,
+                                 kCap * static_cast<double>(pool.size()));
+  const auto total_at = [&](double scale) {
+    double total = 0.0;
+    for (const double w : weights) total += std::min(kCap, scale * w);
+    return total;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  while (total_at(hi) < target) hi *= 2.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (total_at(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  std::vector<double> inclusion(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    inclusion[i] = std::min(kCap, hi * weights[i]);
+  }
+
+  workload.queries.reserve(spec.num_queries);
+  for (size_t q = 0; q < spec.num_queries; ++q) {
+    Query query;
+    query.name = StrFormat("q%zu", q);
+    query.frequency = 1.0;  // the paper evaluates uniform query frequency
+    std::vector<size_t> chosen;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (rng.NextBool(inclusion[i])) chosen.push_back(i);
+    }
+    // Enforce the min bound by weighted draws, the max bound by dropping
+    // uniformly at random.
+    while (chosen.size() < spec.min_predicates) {
+      const size_t pick = rng.NextWeighted(weights);
+      if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end()) {
+        chosen.push_back(pick);
+      }
+    }
+    while (chosen.size() > spec.max_predicates) {
+      chosen.erase(chosen.begin() +
+                   static_cast<long>(rng.NextBounded(chosen.size())));
+    }
+    for (const size_t i : chosen) query.clauses.push_back(pool[i]);
+    workload.queries.push_back(std::move(query));
+  }
+  return workload;
+}
+
+Workload WorkloadA(const std::vector<Clause>& pool, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.distribution = PredicateDistribution::kZipfian;
+  spec.zipf_s = 2.5;  // paper label: Zipfian(1.5), its most-skewed setting
+  spec.seed = seed;
+  return GenerateWorkload(pool, spec);
+}
+
+Workload WorkloadB(const std::vector<Clause>& pool, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.distribution = PredicateDistribution::kZipfian;
+  spec.zipf_s = 1.2;  // paper label: Zipfian(2), moderately skewed
+  spec.seed = seed;
+  return GenerateWorkload(pool, spec);
+}
+
+Workload WorkloadC(const std::vector<Clause>& pool, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.distribution = PredicateDistribution::kUniform;
+  spec.seed = seed;
+  return GenerateWorkload(pool, spec);
+}
+
+double WorkloadSkewness(const Workload& workload) {
+  return SkewnessFactor(workload.ClauseQueryCounts());
+}
+
+}  // namespace ciao::workload

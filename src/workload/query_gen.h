@@ -1,0 +1,55 @@
+#ifndef CIAO_WORKLOAD_QUERY_GEN_H_
+#define CIAO_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predicate/predicate.h"
+
+namespace ciao::workload {
+
+/// How candidate predicates are drawn into queries (paper §VII-C).
+enum class PredicateDistribution {
+  kUniform,
+  kZipfian,
+};
+
+/// Parameters of a synthetic query workload. Each query is
+/// `SELECT COUNT(*) FROM t WHERE <conjunctive predicates>`, predicates
+/// drawn per-candidate with inclusion probability p_i normalized so the
+/// expected number of predicates per query is `expected_predicates`.
+struct WorkloadSpec {
+  size_t num_queries = 200;
+  double expected_predicates = 3.0;
+  PredicateDistribution distribution = PredicateDistribution::kUniform;
+  /// Skew exponent for Zipfian inclusion weights w_i ∝ 1/(rank+1)^s —
+  /// larger s means a few predicates dominate (note: the paper quotes
+  /// NumPy zipf parameters where *smaller* means more skew; Table III's
+  /// labels are mapped in WorkloadA/B below).
+  double zipf_s = 1.5;
+  size_t min_predicates = 1;
+  size_t max_predicates = 10;
+  uint64_t seed = 42;
+};
+
+/// Generates a workload from a candidate pool. Candidate ranks (for the
+/// Zipfian weights) are a seeded shuffle of pool order, so templates do
+/// not bias which predicates become popular.
+Workload GenerateWorkload(const std::vector<Clause>& pool,
+                          const WorkloadSpec& spec);
+
+/// Table III presets. A: highly skewed ("Zipfian(1.5)" in the paper's
+/// NumPy convention; our exponent 2.5), B: moderately skewed
+/// ("Zipfian(2)"; our exponent 1.2), C: uniform.
+Workload WorkloadA(const std::vector<Clause>& pool, uint64_t seed = 42);
+Workload WorkloadB(const std::vector<Clause>& pool, uint64_t seed = 42);
+Workload WorkloadC(const std::vector<Clause>& pool, uint64_t seed = 42);
+
+/// The paper's skewness factor over the workload's clause-per-query
+/// counts (§VII-E3; wraps SkewnessFactor on Workload::ClauseQueryCounts).
+double WorkloadSkewness(const Workload& workload);
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_QUERY_GEN_H_

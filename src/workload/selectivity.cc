@@ -1,0 +1,73 @@
+#include "workload/selectivity.h"
+
+#include <numeric>
+
+#include "common/random.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+
+namespace ciao::workload {
+
+Result<SampleEstimate> EstimateClauseStats(
+    const std::vector<std::string>& records,
+    const std::vector<Clause>& clauses, size_t sample_size, uint64_t seed) {
+  if (records.empty()) {
+    return Status::InvalidArgument("EstimateClauseStats: no records");
+  }
+  SampleEstimate estimate;
+
+  // Seeded sample without replacement (or everything, if small).
+  std::vector<size_t> indexes(records.size());
+  std::iota(indexes.begin(), indexes.end(), 0);
+  if (sample_size < records.size()) {
+    Rng rng(seed ^ 0x53414D50ULL);
+    rng.Shuffle(&indexes);
+    indexes.resize(sample_size);
+  }
+
+  std::vector<json::Value> parsed;
+  parsed.reserve(indexes.size());
+  double total_len = 0.0;
+  for (const size_t i : indexes) {
+    total_len += static_cast<double>(records[i].size());
+    Result<json::Value> rec = json::Parse(records[i]);
+    if (!rec.ok()) {
+      ++estimate.parse_errors;
+      continue;
+    }
+    parsed.push_back(std::move(rec).value());
+  }
+  if (parsed.empty()) {
+    return Status::InvalidArgument(
+        "EstimateClauseStats: no parseable records in sample");
+  }
+  estimate.sample_records = parsed.size();
+  estimate.mean_record_len = total_len / static_cast<double>(indexes.size());
+
+  const double n = static_cast<double>(parsed.size());
+  estimate.clause_stats.reserve(clauses.size());
+  for (const Clause& clause : clauses) {
+    ClauseStats stats;
+    size_t clause_hits = 0;
+    std::vector<size_t> term_hits(clause.terms.size(), 0);
+    for (const json::Value& record : parsed) {
+      bool any = false;
+      for (size_t t = 0; t < clause.terms.size(); ++t) {
+        if (EvaluateSimple(clause.terms[t], record)) {
+          ++term_hits[t];
+          any = true;
+        }
+      }
+      if (any) ++clause_hits;
+    }
+    stats.selectivity = static_cast<double>(clause_hits) / n;
+    stats.term_selectivities.reserve(clause.terms.size());
+    for (const size_t hits : term_hits) {
+      stats.term_selectivities.push_back(static_cast<double>(hits) / n);
+    }
+    estimate.clause_stats.push_back(std::move(stats));
+  }
+  return estimate;
+}
+
+}  // namespace ciao::workload

@@ -1,0 +1,35 @@
+#ifndef CIAO_WORKLOAD_SELECTIVITY_H_
+#define CIAO_WORKLOAD_SELECTIVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/selection.h"
+#include "predicate/predicate.h"
+
+namespace ciao::workload {
+
+/// Statistics estimated from a data sample, feeding the optimizer and the
+/// cost model (paper §III: "We estimate the frequencies of prospective
+/// queries and selectivities of predicates based on historical
+/// statistics").
+struct SampleEstimate {
+  double mean_record_len = 0.0;
+  /// Aligned with the clause list passed in.
+  std::vector<ClauseStats> clause_stats;
+  size_t sample_records = 0;
+  size_t parse_errors = 0;
+};
+
+/// Parses up to `sample_size` records (seeded uniform sample of
+/// `records`) once, then evaluates every clause and term semantically to
+/// estimate selectivities. Exact semantics, sampled data — matching the
+/// paper's "evaluating them on sampled datasets".
+Result<SampleEstimate> EstimateClauseStats(
+    const std::vector<std::string>& records,
+    const std::vector<Clause>& clauses, size_t sample_size, uint64_t seed);
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_SELECTIVITY_H_

@@ -1,0 +1,181 @@
+#include "workload/templates.h"
+
+#include "common/string_util.h"
+#include "workload/internal_gen.h"
+
+namespace ciao::workload {
+
+std::vector<Clause> TemplatePool::AllCandidates() const {
+  std::vector<Clause> out;
+  out.reserve(TotalCandidates());
+  for (const PredicateTemplate& t : templates) {
+    for (size_t i = 0; i < t.num_candidates; ++i) {
+      out.push_back(t.instantiate(i));
+    }
+  }
+  return out;
+}
+
+size_t TemplatePool::TotalCandidates() const {
+  size_t total = 0;
+  for (const PredicateTemplate& t : templates) total += t.num_candidates;
+  return total;
+}
+
+namespace {
+
+PredicateTemplate IntKv(std::string field, size_t candidates) {
+  std::string name = field + " = <int>";
+  return PredicateTemplate{
+      std::move(name), candidates,
+      [field](size_t i) {
+        return Clause::Of(
+            SimplePredicate::KeyValue(field, static_cast<int64_t>(i)));
+      }};
+}
+
+TemplatePool YelpTemplates() {
+  TemplatePool pool;
+  pool.dataset = DatasetKind::kYelp;
+  pool.templates.push_back(IntKv("useful", 100));
+  pool.templates.push_back(IntKv("cool", 100));
+  pool.templates.push_back(IntKv("funny", 100));
+  pool.templates.push_back(PredicateTemplate{
+      "stars = <int>", 5, [](size_t i) {
+        return Clause::Of(
+            SimplePredicate::KeyValue("stars", static_cast<int64_t>(i + 1)));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "user_id = <string>", internal::kYelpUserPredicates, [](size_t i) {
+        return Clause::Of(
+            SimplePredicate::Exact("user_id", internal::YelpUserId(i)));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "text LIKE <string>",
+      std::size(internal::kYelpTextMarkers),
+      [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "text", internal::kYelpTextMarkers[i].word));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "date LIKE \"%20[0-1][0-9]%\" (year)",
+      static_cast<size_t>(internal::kYelpNumYears),
+      [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "date",
+            StrFormat("%04d-", internal::kYelpFirstYear + static_cast<int>(i))));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "date LIKE \"%-[0-1][0-9]-%\" (month)", 12, [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "date", StrFormat("-%02d-", static_cast<int>(i) + 1)));
+      }});
+  return pool;
+}
+
+TemplatePool WinLogTemplates() {
+  TemplatePool pool;
+  pool.dataset = DatasetKind::kWinLog;
+  pool.templates.push_back(PredicateTemplate{
+      "info LIKE <string>", internal::kWinLogInfoTokens, [](size_t i) {
+        return Clause::Of(
+            SimplePredicate::Substring("info", internal::WinLogInfoToken(i)));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "time LIKE \"%-[0-1][0-9]-%\" (month)",
+      static_cast<size_t>(internal::kWinLogMonths),
+      [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "time", StrFormat("-%02d-", static_cast<int>(i) + 1)));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "time LIKE \"%-[0-3][0-9] %\" (day)", 28, [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "time", StrFormat("-%02d ", static_cast<int>(i) + 1)));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "time LIKE \"%[0-2][0-9]:%\" (hour)", 24, [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "time", StrFormat(" %02d:", static_cast<int>(i))));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "time LIKE \"%:[0-5][0-9]:%\" (minute)", 60, [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "time", StrFormat(":%02d:", static_cast<int>(i))));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      // The paper's second template ends with ',' after the seconds; the
+      // JSON field has no trailing delimiter, so the needle is the
+      // leading-colon form (looser LIKE semantics, same template count).
+      "time LIKE \"%:[0-5][0-9]%\" (second)", 60, [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "time", StrFormat(":%02d", static_cast<int>(i))));
+      }});
+  return pool;
+}
+
+TemplatePool YcsbTemplates() {
+  TemplatePool pool;
+  pool.dataset = DatasetKind::kYcsb;
+  pool.templates.push_back(PredicateTemplate{
+      "isActive = <boolean>", 2, [](size_t i) {
+        return Clause::Of(SimplePredicate::KeyValue("isActive", i == 0));
+      }});
+  pool.templates.push_back(IntKv("linear_score", 100));
+  pool.templates.push_back(IntKv("weighted_score", 100));
+  pool.templates.push_back(PredicateTemplate{
+      "phone_country = <string>", 3, [](size_t i) {
+        return Clause::Of(SimplePredicate::Exact(
+            "phone_country", internal::kYcsbPhoneCountries[i]));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "age_group = <string>", 4, [](size_t i) {
+        return Clause::Of(
+            SimplePredicate::Exact("age_group", internal::kYcsbAgeGroups[i]));
+      }});
+  pool.templates.push_back(IntKv("age_by_group", 100));
+  pool.templates.push_back(PredicateTemplate{
+      "url_domain LIKE <string>", internal::YcsbUrlDomains().size(),
+      [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "url.domain", internal::YcsbUrlDomains()[i]));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "url_site LIKE <string>", internal::YcsbUrlSites().size(), [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "url.site", internal::YcsbUrlSites()[i]));
+      }});
+  pool.templates.push_back(PredicateTemplate{
+      "email LIKE <string>", std::size(internal::kYcsbEmailDomains),
+      [](size_t i) {
+        return Clause::Of(SimplePredicate::Substring(
+            "email", std::string("@") + internal::kYcsbEmailDomains[i]));
+      }});
+  return pool;
+}
+
+}  // namespace
+
+TemplatePool TemplatesFor(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kYelp:
+      return YelpTemplates();
+    case DatasetKind::kWinLog:
+      return WinLogTemplates();
+    case DatasetKind::kYcsb:
+      return YcsbTemplates();
+  }
+  return TemplatePool{};
+}
+
+std::vector<Clause> MicroTierPredicates(double tier) {
+  std::vector<Clause> out;
+  out.reserve(internal::kMicroTokensPerTier);
+  for (size_t i = 0; i < internal::kMicroTokensPerTier; ++i) {
+    out.push_back(Clause::Of(
+        SimplePredicate::Substring("info", internal::MicroToken(tier, i))));
+  }
+  return out;
+}
+
+}  // namespace ciao::workload

@@ -1,0 +1,43 @@
+#ifndef CIAO_WORKLOAD_TEMPLATES_H_
+#define CIAO_WORKLOAD_TEMPLATES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "predicate/predicate.h"
+#include "workload/dataset.h"
+
+namespace ciao::workload {
+
+/// One row of the paper's Table II: a predicate template with its number
+/// of candidate values. `instantiate(i)` yields candidate i as a clause.
+struct PredicateTemplate {
+  std::string name;  // e.g. `useful = <int>`
+  size_t num_candidates = 0;
+  std::function<Clause(size_t)> instantiate;
+};
+
+/// All templates of one dataset.
+struct TemplatePool {
+  DatasetKind dataset;
+  std::vector<PredicateTemplate> templates;
+
+  /// Every candidate clause across all templates, template-major order.
+  std::vector<Clause> AllCandidates() const;
+
+  /// Total candidate count.
+  size_t TotalCandidates() const;
+};
+
+/// Table II, reproduced: Yelp has 8 templates, WinLog 6, YCSB 9.
+TemplatePool TemplatesFor(DatasetKind kind);
+
+/// The §VII-E micro-benchmark predicate pool for the WinLog dataset: 10
+/// independent marker predicates at the given selectivity tier
+/// (0.35 / 0.15 / 0.01 — see workload/internal_gen.h).
+std::vector<Clause> MicroTierPredicates(double tier);
+
+}  // namespace ciao::workload
+
+#endif  // CIAO_WORKLOAD_TEMPLATES_H_

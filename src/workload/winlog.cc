@@ -1,0 +1,101 @@
+#include "common/random.h"
+#include "common/string_util.h"
+#include "json/value.h"
+#include "json/writer.h"
+#include "workload/dataset.h"
+#include "workload/internal_gen.h"
+
+namespace ciao::workload {
+
+namespace internal {
+
+std::string WinLogInfoToken(size_t i) {
+  return StrFormat("op_%03zu", i);
+}
+
+const std::vector<std::string>& WinLogSources() {
+  static const std::vector<std::string>* kSources = new std::vector<std::string>{
+      "CBS",     "CSI",      "WER",        "WUA",     "SQM",
+      "DISM",    "Shell",    "Kernel",     "Winlogon", "Dwm",
+      "Spooler", "Defender", "TaskSched",  "BITS",     "Netlogon",
+      "DNS",     "DHCP",     "SMB",        "USB",      "Audio",
+      "Display", "Power",    "Update",     "Firewall", "Search",
+      "Backup",  "Registry", "EventLog",   "Session",  "Crypto",
+  };
+  return *kSources;
+}
+
+std::string MicroToken(double tier, size_t i) {
+  return StrFormat("mk%03d_%zu", static_cast<int>(tier * 100.0 + 0.5), i);
+}
+
+}  // namespace internal
+
+namespace {
+
+std::string MakeInfo(Rng* rng, const ZipfSampler& token_sampler) {
+  const std::vector<std::string>& words = FillerWords();
+  const size_t token = token_sampler.Sample(rng);
+  std::string info = "operation ";
+  info += internal::WinLogInfoToken(token);
+  const int n = static_cast<int>(rng->NextInt(4, 14));
+  for (int i = 0; i < n; ++i) {
+    info.push_back(' ');
+    info += words[rng->NextBounded(words.size())];
+  }
+  // Micro-benchmark markers: per tier, 10 tokens independently present
+  // with the tier probability (DESIGN.md: §VII-E selectivity control).
+  for (const double tier : internal::kMicroTiers) {
+    for (size_t i = 0; i < internal::kMicroTokensPerTier; ++i) {
+      if (rng->NextBool(tier)) {
+        info.push_back(' ');
+        info += internal::MicroToken(tier, i);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+Dataset GenerateWinLog(const GeneratorOptions& options) {
+  Dataset ds;
+  ds.name = std::string(DatasetKindName(DatasetKind::kWinLog));
+  ds.schema = columnar::Schema({
+      {"time", columnar::ColumnType::kString},
+      {"level", columnar::ColumnType::kString},
+      {"source", columnar::ColumnType::kString},
+      {"info", columnar::ColumnType::kString},
+  });
+
+  Rng rng(options.seed ^ 0x57494E4CULL);
+  const ZipfSampler token_sampler(internal::kWinLogInfoTokens,
+                                  internal::kWinLogInfoZipf);
+  const ZipfSampler source_sampler(internal::WinLogSources().size(), 0.8);
+  std::vector<double> level_weights(
+      internal::kWinLogLevelPmf,
+      internal::kWinLogLevelPmf + 3);
+
+  ds.records.reserve(options.num_records);
+  for (size_t i = 0; i < options.num_records; ++i) {
+    json::Value rec{json::Object{}};
+    // 226 days from 2016-01-01 -> months 1..8 (capped at day 28 to stay
+    // valid without a calendar).
+    const int month = static_cast<int>(rng.NextInt(1, internal::kWinLogMonths));
+    const int day = static_cast<int>(rng.NextInt(1, 28));
+    const int hour = static_cast<int>(rng.NextInt(0, 23));
+    const int minute = static_cast<int>(rng.NextInt(0, 59));
+    const int second = static_cast<int>(rng.NextInt(0, 59));
+    rec.Add("time", StrFormat("2016-%02d-%02d %02d:%02d:%02d", month, day,
+                              hour, minute, second));
+    rec.Add("level",
+            internal::kWinLogLevels[rng.NextWeighted(level_weights)]);
+    rec.Add("source",
+            internal::WinLogSources()[source_sampler.Sample(&rng)]);
+    rec.Add("info", MakeInfo(&rng, token_sampler));
+    ds.records.push_back(json::Write(rec));
+  }
+  return ds;
+}
+
+}  // namespace ciao::workload

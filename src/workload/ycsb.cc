@@ -1,0 +1,234 @@
+#include "common/random.h"
+#include "common/string_util.h"
+#include "json/value.h"
+#include "json/writer.h"
+#include "workload/dataset.h"
+#include "workload/internal_gen.h"
+
+namespace ciao::workload {
+
+namespace internal {
+
+const std::vector<std::string>& YcsbUrlDomains() {
+  static const std::vector<std::string>* kDomains =
+      new std::vector<std::string>{
+          "example.com",  "shopmart.io",   "newsfeed.net",  "cloudbox.org",
+          "travelhub.co", "foodiez.com",   "streamly.tv",   "gamerden.gg",
+          "artspace.net", "medichart.org", "eduportal.edu", "autozone.biz",
+      };
+  return *kDomains;
+}
+
+const std::vector<std::string>& YcsbUrlSites() {
+  static const std::vector<std::string>* kSites = new std::vector<std::string>{
+      "home",    "search",  "cart",    "checkout", "profile",
+      "login",   "signup",  "catalog", "detail",   "review",
+      "support", "faq",     "blog",    "forum",
+  };
+  return *kSites;
+}
+
+const std::vector<std::string>& YcsbFirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "alice", "bob",   "carol", "david", "erin",  "frank", "grace",
+      "heidi", "ivan",  "judy",  "kevin", "laura", "mike",  "nina",
+      "oscar", "peggy", "quinn", "ralph", "sara",  "tom",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& YcsbLastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "smith",  "jones",  "miller", "davis",  "garcia", "chen",  "kumar",
+      "santos", "muller", "rossi",  "tanaka", "kim",    "lopez", "novak",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& YcsbCities() {
+  static const std::vector<std::string>* kCities = new std::vector<std::string>{
+      "springfield", "rivertown", "lakeview",  "hillcrest", "oakdale",
+      "maplewood",   "fairview",  "brookside", "elmhurst",  "westfield",
+  };
+  return *kCities;
+}
+
+const std::vector<std::string>& YcsbFruit() {
+  static const std::vector<std::string>* kFruit = new std::vector<std::string>{
+      "apple", "banana", "cherry", "mango", "papaya", "kiwi",
+  };
+  return *kFruit;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::kYcsbAgeGroupPmf;
+using internal::kYcsbAgeGroups;
+using internal::kYcsbEmailDomains;
+using internal::kYcsbEmailPresence;
+using internal::kYcsbPhoneCountries;
+using internal::kYcsbPhoneCountryPmf;
+
+json::Value MakeTags(Rng* rng) {
+  const std::vector<std::string>& words = FillerWords();
+  json::Array tags;
+  const int n = static_cast<int>(rng->NextInt(1, 5));
+  for (int i = 0; i < n; ++i) {
+    tags.emplace_back(words[rng->NextBounded(words.size())]);
+  }
+  return json::Value(std::move(tags));
+}
+
+json::Value MakeVisitedPlaces(Rng* rng) {
+  json::Array places;
+  const int n = static_cast<int>(rng->NextInt(0, 4));
+  for (int i = 0; i < n; ++i) {
+    places.emplace_back(
+        internal::YcsbCities()[rng->NextBounded(internal::YcsbCities().size())]);
+  }
+  return json::Value(std::move(places));
+}
+
+json::Value MakeFriends(Rng* rng) {
+  json::Array friends;
+  const int n = static_cast<int>(rng->NextInt(0, 3));
+  for (int i = 0; i < n; ++i) {
+    json::Value f{json::Object{}};
+    f.Add("id", static_cast<int64_t>(rng->NextBounded(100000)));
+    f.Add("name", internal::YcsbFirstNames()[rng->NextBounded(
+                      internal::YcsbFirstNames().size())]);
+    friends.push_back(std::move(f));
+  }
+  return json::Value(std::move(friends));
+}
+
+}  // namespace
+
+Dataset GenerateYcsb(const GeneratorOptions& options) {
+  Dataset ds;
+  ds.name = std::string(DatasetKindName(DatasetKind::kYcsb));
+  // 25+ attributes per document; the columnar schema carries the scalar
+  // and one-level-nested fields (arrays stay JSON-only, no predicate
+  // template touches them).
+  ds.schema = columnar::Schema({
+      {"id", columnar::ColumnType::kInt64},
+      {"guid", columnar::ColumnType::kString},
+      {"isActive", columnar::ColumnType::kBool},
+      {"balance", columnar::ColumnType::kDouble},
+      {"age", columnar::ColumnType::kInt64},
+      {"age_group", columnar::ColumnType::kString},
+      {"age_by_group", columnar::ColumnType::kInt64},
+      {"linear_score", columnar::ColumnType::kInt64},
+      {"weighted_score", columnar::ColumnType::kInt64},
+      {"eye_color", columnar::ColumnType::kString},
+      {"name.first", columnar::ColumnType::kString},
+      {"name.last", columnar::ColumnType::kString},
+      {"company", columnar::ColumnType::kString},
+      {"email", columnar::ColumnType::kString},
+      {"phone", columnar::ColumnType::kString},
+      {"phone_country", columnar::ColumnType::kString},
+      {"address.street", columnar::ColumnType::kString},
+      {"address.city", columnar::ColumnType::kString},
+      {"address.zip", columnar::ColumnType::kString},
+      {"about", columnar::ColumnType::kString},
+      {"registered", columnar::ColumnType::kString},
+      {"latitude", columnar::ColumnType::kDouble},
+      {"longitude", columnar::ColumnType::kDouble},
+      {"url.domain", columnar::ColumnType::kString},
+      {"url.site", columnar::ColumnType::kString},
+      {"greeting", columnar::ColumnType::kString},
+      {"favorite_fruit", columnar::ColumnType::kString},
+  });
+
+  Rng rng(options.seed ^ 0x59435342ULL);
+  const ZipfSampler weighted_sampler(100, internal::kYcsbWeightedScoreZipf);
+  std::vector<double> age_group_weights(kYcsbAgeGroupPmf, kYcsbAgeGroupPmf + 4);
+  std::vector<double> phone_weights(kYcsbPhoneCountryPmf,
+                                    kYcsbPhoneCountryPmf + 3);
+  static const char* kEyeColors[] = {"brown", "blue", "green", "gray"};
+
+  ds.records.reserve(options.num_records);
+  for (size_t i = 0; i < options.num_records; ++i) {
+    json::Value rec{json::Object{}};
+    rec.Add("id", static_cast<int64_t>(i));
+    rec.Add("guid", rng.NextIdentifier(8) + "-" + rng.NextIdentifier(4));
+    rec.Add("isActive", rng.NextBool(0.5));
+    rec.Add("balance",
+            static_cast<double>(rng.NextBounded(1000000)) / 100.0);
+    rec.Add("age", rng.NextInt(18, 70));
+    rec.Add("age_group", kYcsbAgeGroups[rng.NextWeighted(age_group_weights)]);
+    rec.Add("age_by_group", static_cast<int64_t>(rng.NextBounded(100)));
+    rec.Add("linear_score", static_cast<int64_t>(rng.NextBounded(100)));
+    rec.Add("weighted_score",
+            static_cast<int64_t>(weighted_sampler.Sample(&rng)));
+    rec.Add("eye_color", kEyeColors[rng.NextBounded(4)]);
+
+    json::Value name{json::Object{}};
+    name.Add("first", internal::YcsbFirstNames()[rng.NextBounded(
+                          internal::YcsbFirstNames().size())]);
+    name.Add("last", internal::YcsbLastNames()[rng.NextBounded(
+                         internal::YcsbLastNames().size())]);
+    rec.Add("name", std::move(name));
+
+    rec.Add("company", rng.NextIdentifier(7) + " inc");
+    if (rng.NextBool(kYcsbEmailPresence)) {
+      rec.Add("email", rng.NextIdentifier(8) + "@" +
+                           kYcsbEmailDomains[rng.NextBounded(2)]);
+    } else {
+      rec.Add("email", nullptr);
+    }
+    rec.Add("phone", StrFormat("+%llu", static_cast<unsigned long long>(
+                                            10000000000ULL + rng.NextBounded(
+                                                                 899999999ULL))));
+    rec.Add("phone_country",
+            kYcsbPhoneCountries[rng.NextWeighted(phone_weights)]);
+
+    json::Value address{json::Object{}};
+    address.Add("street", StrFormat("%lld %s st",
+                                    static_cast<long long>(rng.NextInt(1, 999)),
+                                    rng.NextIdentifier(6).c_str()));
+    address.Add("city", internal::YcsbCities()[rng.NextBounded(
+                            internal::YcsbCities().size())]);
+    address.Add("zip", StrFormat("%05llu", static_cast<unsigned long long>(
+                                               rng.NextBounded(99999))));
+    rec.Add("address", std::move(address));
+
+    {
+      const std::vector<std::string>& words = FillerWords();
+      std::string about;
+      const int n = static_cast<int>(rng.NextInt(6, 20));
+      for (int w = 0; w < n; ++w) {
+        if (w > 0) about.push_back(' ');
+        about += words[rng.NextBounded(words.size())];
+      }
+      rec.Add("about", std::move(about));
+    }
+    rec.Add("registered", StrFormat("20%02d-%02d-%02d",
+                                    static_cast<int>(rng.NextInt(10, 20)),
+                                    static_cast<int>(rng.NextInt(1, 12)),
+                                    static_cast<int>(rng.NextInt(1, 28))));
+    rec.Add("latitude", -90.0 + rng.NextDouble() * 180.0);
+    rec.Add("longitude", -180.0 + rng.NextDouble() * 360.0);
+
+    json::Value url{json::Object{}};
+    url.Add("domain", internal::YcsbUrlDomains()[rng.NextBounded(
+                          internal::YcsbUrlDomains().size())]);
+    url.Add("site", internal::YcsbUrlSites()[rng.NextBounded(
+                        internal::YcsbUrlSites().size())]);
+    rec.Add("url", std::move(url));
+
+    rec.Add("tags", MakeTags(&rng));
+    rec.Add("children", static_cast<int64_t>(rng.NextGeometric(0.5, 6)));
+    rec.Add("visited_places", MakeVisitedPlaces(&rng));
+    rec.Add("friends", MakeFriends(&rng));
+    rec.Add("greeting", "hello " + rng.NextIdentifier(5));
+    rec.Add("favorite_fruit", internal::YcsbFruit()[rng.NextBounded(
+                                  internal::YcsbFruit().size())]);
+    ds.records.push_back(json::Write(rec));
+  }
+  return ds;
+}
+
+}  // namespace ciao::workload

@@ -1,0 +1,112 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "json/chunk.h"
+#include "json/value.h"
+#include "json/writer.h"
+#include "workload/dataset.h"
+#include "workload/internal_gen.h"
+
+namespace ciao::workload {
+
+namespace internal {
+
+std::string YelpUserId(size_t rank) {
+  // Deterministic readable ids; letters only so numeric patterns (years,
+  // vote counts) can never false-positive inside a user id.
+  Rng rng(0x59454C50ULL + rank * 1315423911ULL);
+  std::string id = "u";
+  id += rng.NextIdentifier(10);
+  return id;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::kYelpStarsPmf;
+using internal::kYelpTextMarkers;
+
+std::string HexId(Rng* rng, int len) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kHex[rng->NextBounded(16)]);
+  }
+  return s;
+}
+
+std::string MakeText(Rng* rng) {
+  const std::vector<std::string>& words = FillerWords();
+  const int n = static_cast<int>(rng->NextInt(15, 80));
+  std::string text;
+  text.reserve(static_cast<size_t>(n) * 7);
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text.push_back(' ');
+    text += words[rng->NextBounded(words.size())];
+  }
+  // Inject marker substrings independently with fixed probabilities —
+  // the `text LIKE <string>` predicate candidates (Table II).
+  for (const auto& marker : kYelpTextMarkers) {
+    if (rng->NextBool(marker.probability)) {
+      text.push_back(' ');
+      text += marker.word;
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+Dataset GenerateYelp(const GeneratorOptions& options) {
+  Dataset ds;
+  ds.name = std::string(DatasetKindName(DatasetKind::kYelp));
+  ds.schema = columnar::Schema({
+      {"review_id", columnar::ColumnType::kString},
+      {"user_id", columnar::ColumnType::kString},
+      {"business_id", columnar::ColumnType::kString},
+      {"stars", columnar::ColumnType::kInt64},
+      {"useful", columnar::ColumnType::kInt64},
+      {"funny", columnar::ColumnType::kInt64},
+      {"cool", columnar::ColumnType::kInt64},
+      {"text", columnar::ColumnType::kString},
+      {"date", columnar::ColumnType::kString},
+  });
+
+  Rng rng(options.seed ^ 0x59454C50ULL);
+  const ZipfSampler user_sampler(internal::kYelpUserPoolSize,
+                                 internal::kYelpUserZipf);
+  std::vector<std::string> user_pool;
+  user_pool.reserve(internal::kYelpUserPoolSize);
+  for (size_t i = 0; i < internal::kYelpUserPoolSize; ++i) {
+    user_pool.push_back(internal::YelpUserId(i));
+  }
+  std::vector<double> stars_weights(kYelpStarsPmf, kYelpStarsPmf + 5);
+
+  ds.records.reserve(options.num_records);
+  for (size_t i = 0; i < options.num_records; ++i) {
+    json::Value rec{json::Object{}};
+    rec.Add("review_id", HexId(&rng, 22));
+    rec.Add("user_id", user_pool[user_sampler.Sample(&rng)]);
+    std::string business_id = "b";
+    business_id += HexId(&rng, 12);
+    rec.Add("business_id", std::move(business_id));
+    rec.Add("stars",
+            static_cast<int64_t>(rng.NextWeighted(stars_weights) + 1));
+    rec.Add("useful", rng.NextGeometric(0.30, 99));
+    rec.Add("funny", rng.NextGeometric(0.45, 99));
+    rec.Add("cool", rng.NextGeometric(0.50, 99));
+    rec.Add("text", MakeText(&rng));
+    const int year = internal::kYelpFirstYear +
+                     static_cast<int>(rng.NextBounded(internal::kYelpNumYears));
+    const int month = static_cast<int>(rng.NextInt(1, 12));
+    const int day = static_cast<int>(rng.NextInt(1, 28));
+    rec.Add("date", StrFormat("%04d-%02d-%02d", year, month, day));
+    ds.records.push_back(json::Write(rec));
+  }
+  return ds;
+}
+
+}  // namespace ciao::workload

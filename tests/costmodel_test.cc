@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "costmodel/calibration.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/hardware_profile.h"
+#include "costmodel/regression.h"
+#include "workload/dataset.h"
+
+namespace ciao {
+namespace {
+
+// ---------- Model arithmetic ----------
+
+TEST(CostModelTest, PredictMatchesFormula) {
+  CostModelCoefficients k{0.01, 0.001, 0.02, 0.002, 0.5};
+  CostModel model(k);
+  const double sel = 0.3, lp = 10, lt = 200;
+  const double expected = sel * (0.01 * lp + 0.001 * lt) +
+                          (1 - sel) * (0.02 * lp + 0.002 * lt) + 0.5;
+  EXPECT_NEAR(model.PredictUs(sel, lp, lt), expected, 1e-12);
+}
+
+TEST(CostModelTest, SelectivityClamped) {
+  CostModel model = CostModel::Default();
+  EXPECT_DOUBLE_EQ(model.PredictUs(-0.5, 5, 100), model.PredictUs(0, 5, 100));
+  EXPECT_DOUBLE_EQ(model.PredictUs(1.5, 5, 100), model.PredictUs(1, 5, 100));
+}
+
+TEST(CostModelTest, PredictionNeverNegative) {
+  CostModelCoefficients k{-1, -1, -1, -1, -10};
+  CostModel model(k);
+  EXPECT_GE(model.PredictUs(0.5, 10, 100), 0.0);
+}
+
+TEST(CostModelTest, ClauseCostIsSumOfTerms) {
+  CostModel model = CostModel::Default();
+  Clause disj = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                            SimplePredicate::Exact("name", "John")});
+  const double t0 =
+      model.SimplePredicateCostUs(disj.terms[0], 0.1, 300.0);
+  const double t1 =
+      model.SimplePredicateCostUs(disj.terms[1], 0.2, 300.0);
+  auto total = model.ClauseCostUs(disj, {0.1, 0.2}, 300.0);
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(*total, t0 + t1, 1e-12);
+  EXPECT_FALSE(model.ClauseCostUs(disj, {0.1}, 300.0).ok());
+}
+
+TEST(CostModelTest, KeyValueCostsBothPatterns) {
+  CostModel model = CostModel::Default();
+  const double kv = model.SimplePredicateCostUs(
+      SimplePredicate::KeyValue("age", 10), 0.1, 300.0);
+  const double presence = model.SimplePredicateCostUs(
+      SimplePredicate::Presence("age"), 0.1, 300.0);
+  EXPECT_GT(kv, presence);  // the extra value search costs something
+}
+
+TEST(CostModelTest, LongerRecordsCostMore) {
+  CostModel model = CostModel::Default();
+  const SimplePredicate p = SimplePredicate::Substring("text", "needle");
+  EXPECT_GT(model.SimplePredicateCostUs(p, 0.1, 2000.0),
+            model.SimplePredicateCostUs(p, 0.1, 100.0));
+}
+
+// ---------- Regression ----------
+
+TEST(RegressionTest, RecoversExactCoefficients) {
+  CostModelCoefficients truth{0.004, 0.0002, 0.002, 0.0005, 0.05};
+  const CostModel oracle(truth);
+  Rng rng(51);
+  std::vector<CostObservation> obs;
+  for (int i = 0; i < 100; ++i) {
+    CostObservation o;
+    o.selectivity = rng.NextDouble();
+    o.len_p = 2 + rng.NextDouble() * 30;
+    o.len_t = 50 + rng.NextDouble() * 1000;
+    o.measured_us = oracle.PredictUs(o.selectivity, o.len_p, o.len_t);
+    obs.push_back(o);
+  }
+  auto fitted = FitCostModel(obs);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->coefficients().k1, truth.k1, 1e-6);
+  EXPECT_NEAR(fitted->coefficients().k2, truth.k2, 1e-6);
+  EXPECT_NEAR(fitted->coefficients().k3, truth.k3, 1e-6);
+  EXPECT_NEAR(fitted->coefficients().k4, truth.k4, 1e-6);
+  EXPECT_NEAR(fitted->coefficients().c, truth.c, 1e-6);
+  EXPECT_NEAR(fitted->r_squared(), 1.0, 1e-9);
+}
+
+TEST(RegressionTest, NoisyFitHasReasonableRSquared) {
+  CostModelCoefficients truth{0.004, 0.0002, 0.002, 0.0005, 0.05};
+  const CostModel oracle(truth);
+  Rng rng(53);
+  std::vector<CostObservation> obs;
+  for (int i = 0; i < 200; ++i) {
+    CostObservation o;
+    o.selectivity = rng.NextDouble();
+    o.len_p = 2 + rng.NextDouble() * 30;
+    o.len_t = 50 + rng.NextDouble() * 1000;
+    const double noise = 1.0 + 0.05 * rng.NextGaussian();
+    o.measured_us = oracle.PredictUs(o.selectivity, o.len_p, o.len_t) * noise;
+    obs.push_back(o);
+  }
+  auto fitted = FitCostModel(obs);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_GT(fitted->r_squared(), 0.9);
+  EXPECT_LT(fitted->r_squared(), 1.0);
+}
+
+TEST(RegressionTest, TooFewObservationsFails) {
+  std::vector<CostObservation> obs(4);
+  EXPECT_FALSE(FitCostModel(obs).ok());
+}
+
+// ---------- Simulated hardware (Table IV) ----------
+
+TEST(HardwareProfileTest, MeasurementsAreDeterministic) {
+  const HardwareProfile p = AlibabaCloudProfile();
+  EXPECT_DOUBLE_EQ(p.Measure(0.3, 10, 500, 42, 7),
+                   p.Measure(0.3, 10, 500, 42, 7));
+  EXPECT_NE(p.Measure(0.3, 10, 500, 42, 7), p.Measure(0.3, 10, 500, 42, 8));
+}
+
+std::vector<CostObservation> ProbePoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CostObservation> probes;
+  for (size_t i = 0; i < n; ++i) {
+    CostObservation o;
+    o.selectivity = rng.NextDouble();
+    o.len_p = 3 + rng.NextDouble() * 20;
+    o.len_t = 100 + rng.NextDouble() * 600;
+    probes.push_back(o);
+  }
+  return probes;
+}
+
+TEST(HardwareProfileTest, TableFourOrdering) {
+  // Paper Table IV: PKU (0.978) > Local (0.897) >> Alibaba (0.666). The
+  // simulated profiles must reproduce the ordering and rough bands.
+  const auto probes = ProbePoints(100, 61);
+  auto local = CalibrateSimulated(LocalServerProfile(), probes, 1);
+  auto cloud = CalibrateSimulated(AlibabaCloudProfile(), probes, 1);
+  auto pku = CalibrateSimulated(PkuWeimingProfile(), probes, 1);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(cloud.ok());
+  ASSERT_TRUE(pku.ok());
+  EXPECT_GT(pku->model.r_squared(), local->model.r_squared());
+  EXPECT_GT(local->model.r_squared(), cloud->model.r_squared());
+  EXPECT_GT(pku->model.r_squared(), 0.9);
+  EXPECT_LT(cloud->model.r_squared(), 0.9);
+  EXPECT_GT(cloud->model.r_squared(), 0.2);
+}
+
+TEST(HardwareProfileTest, AllProfilesListed) {
+  const auto profiles = AllHardwareProfiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "Local Server");
+  EXPECT_EQ(profiles[1].name, "Alibaba Cloud");
+  EXPECT_EQ(profiles[2].name, "PKU Weiming");
+}
+
+// ---------- Wall-clock calibration ----------
+
+TEST(CalibrationTest, BuildProbePatternsMixesHitAndMiss) {
+  workload::GeneratorOptions opt;
+  opt.num_records = 200;
+  const workload::Dataset ds = workload::GenerateWinLog(opt);
+  const auto patterns = BuildProbePatterns(ds.records, 40, 7);
+  ASSERT_EQ(patterns.size(), 40u);
+  size_t hits = 0;
+  for (const auto& p : patterns) {
+    bool found = false;
+    for (const auto& r : ds.records) {
+      if (r.find(p) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (found) ++hits;
+  }
+  // Roughly half the probes are true substrings.
+  EXPECT_GT(hits, 5u);
+  EXPECT_LT(hits, 35u);
+}
+
+TEST(CalibrationTest, WallClockCalibrationFitsThisHost) {
+  workload::GeneratorOptions opt;
+  opt.num_records = 400;
+  const workload::Dataset ds = workload::GenerateWinLog(opt);
+  const auto patterns = BuildProbePatterns(ds.records, 30, 9);
+  auto result = CalibrateWallClock(ds.records, patterns,
+                                   SearchKernel::kStdFind, /*repeats=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->observations.size(), 30u);
+  // Timing noise on shared CI machines is unbounded, so only structural
+  // sanity is asserted: all measurements positive, selectivities valid,
+  // and the fitted model predicts positive costs.
+  for (const auto& o : result->observations) {
+    EXPECT_GT(o.measured_us, 0.0);
+    EXPECT_GE(o.selectivity, 0.0);
+    EXPECT_LE(o.selectivity, 1.0);
+  }
+  EXPECT_GT(result->model.PredictUs(0.5, 10, ds.MeanRecordLength()), 0.0);
+}
+
+TEST(CalibrationTest, InputValidation) {
+  EXPECT_FALSE(CalibrateWallClock({}, {"a", "b", "c", "d", "e"}).ok());
+  EXPECT_FALSE(CalibrateWallClock({"rec"}, {"a"}).ok());
+  EXPECT_FALSE(
+      CalibrateSimulated(LocalServerProfile(), ProbePoints(3, 1), 1).ok());
+}
+
+}  // namespace
+}  // namespace ciao

@@ -1,0 +1,146 @@
+// End-to-end CSV pipeline (paper §IV-A extension): clients prefilter raw
+// CSV lines with value-only pattern programs, the server partially loads
+// annotated chunks through the CSV typed loader into the same columnar
+// format, and the standard skipping executor answers queries — with
+// exact counts against brute force over the original data.
+
+#include <gtest/gtest.h>
+
+#include "columnar/file_writer.h"
+#include "csv/converter.h"
+#include "csv/pattern_compiler.h"
+#include "engine/executor.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "storage/catalog.h"
+#include "workload/csv_export.h"
+#include "workload/dataset.h"
+#include "workload/templates.h"
+
+namespace ciao {
+namespace {
+
+/// Minimal CSV ingest path mirroring PartialLoader: split each line chunk
+/// by the OR of its bitvectors, load survivors via CsvBatchBuilder,
+/// sideline the rest as raw CSV.
+struct CsvIngestResult {
+  uint64_t loaded = 0;
+  uint64_t sidelined = 0;
+};
+
+CsvIngestResult IngestCsvChunk(const std::vector<std::string>& lines,
+                               size_t start, size_t end,
+                               const std::vector<csv::RawCsvClauseProgram>& programs,
+                               bool partial, TableCatalog* catalog) {
+  const size_t n = end - start;
+  BitVectorSet annotations(programs.size(), n);
+  for (size_t p = 0; p < programs.size(); ++p) {
+    for (size_t i = 0; i < n; ++i) {
+      if (programs[p].Matches(lines[start + i])) {
+        annotations.mutable_vector(p)->Set(i, true);
+      }
+    }
+  }
+  BitVector mask =
+      partial ? annotations.UnionAll() : BitVector(n, true);
+
+  CsvIngestResult result;
+  csv::CsvBatchBuilder builder(catalog->schema());
+  for (size_t i = 0; i < n; ++i) {
+    if (mask.Get(i)) {
+      EXPECT_TRUE(builder.AppendLine(lines[start + i]).ok());
+      ++result.loaded;
+    } else {
+      catalog->mutable_raw()->Append(lines[start + i]);
+      ++result.sidelined;
+    }
+  }
+  if (builder.num_rows() > 0) {
+    auto compacted = annotations.CompactBy(mask);
+    EXPECT_TRUE(compacted.ok());
+    columnar::TableWriter writer(catalog->schema());
+    const columnar::RecordBatch batch = builder.Finish();
+    EXPECT_TRUE(writer.AppendRowGroup(batch, *compacted).ok());
+    catalog->AddSegment(std::move(writer).Finish(), batch.num_rows());
+  }
+  return result;
+}
+
+TEST(CsvPipelineTest, PartialLoadAndSkippingMatchBruteForce) {
+  const workload::Dataset json_ds = workload::GenerateWinLog({500, 61});
+  auto csv_ds = workload::ExportCsv(json_ds);
+  ASSERT_TRUE(csv_ds.ok());
+
+  // Push two micro-tier substring predicates (CSV-supported).
+  const auto tier = workload::MicroTierPredicates(0.15);
+  PredicateRegistry registry;
+  std::vector<csv::RawCsvClauseProgram> programs;
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(registry.Register(tier[i], 0.15, 1.0).ok());
+    auto prog = csv::RawCsvClauseProgram::Compile(tier[i]);
+    ASSERT_TRUE(prog.ok());
+    programs.push_back(std::move(prog).value());
+  }
+
+  TableCatalog catalog(csv_ds->schema);
+  CsvIngestResult totals;
+  const size_t chunk = 120;
+  for (size_t start = 0; start < csv_ds->lines.size(); start += chunk) {
+    const size_t end = std::min(csv_ds->lines.size(), start + chunk);
+    const CsvIngestResult r = IngestCsvChunk(csv_ds->lines, start, end,
+                                             programs, /*partial=*/true,
+                                             &catalog);
+    totals.loaded += r.loaded;
+    totals.sidelined += r.sidelined;
+  }
+  EXPECT_GT(totals.sidelined, 0u);
+  EXPECT_EQ(totals.loaded + totals.sidelined, csv_ds->lines.size());
+  // Two 0.15-selectivity predicates: union ratio ~ 1-(0.85)^2 ~ 0.28.
+  const double ratio = static_cast<double>(totals.loaded) /
+                       static_cast<double>(csv_ds->lines.size());
+  EXPECT_NEAR(ratio, 0.28, 0.07);
+
+  // Queries over pushed clauses: skipping plans, exact counts vs brute
+  // force on the ORIGINAL JSON records.
+  QueryExecutor executor(&catalog, &registry);
+  for (size_t i = 0; i < 2; ++i) {
+    Query q;
+    q.clauses = {tier[i]};
+    uint64_t expected = 0;
+    for (const std::string& r : json_ds.records) {
+      auto v = json::Parse(r);
+      if (EvaluateQuery(q, *v)) ++expected;
+    }
+    auto result = executor.Execute(q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->plan, PlanKind::kSkippingScan);
+    EXPECT_EQ(result->count, expected) << q.ToSql();
+  }
+}
+
+TEST(CsvPipelineTest, FullScanReachesCsvSidelineViaJsonBridge) {
+  // A query with no pushed clause must consult the sidelined raw CSV.
+  // The engine's raw path parses JSON, so bridge the sideline through
+  // CsvLineToJson and evaluate semantically — asserting the bridge gives
+  // the same verdicts the JSON originals do.
+  const workload::Dataset json_ds = workload::GenerateWinLog({200, 67});
+  auto csv_ds = workload::ExportCsv(json_ds);
+  ASSERT_TRUE(csv_ds.ok());
+
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kWinLog).AllCandidates();
+  for (size_t pi = 0; pi < pool.size(); pi += 17) {
+    const Clause& clause = pool[pi];
+    for (size_t i = 0; i < json_ds.records.size(); ++i) {
+      auto json_rec = json::Parse(json_ds.records[i]);
+      auto bridged = csv::CsvLineToJson(csv_ds->lines[i], csv_ds->schema);
+      ASSERT_TRUE(bridged.ok());
+      EXPECT_EQ(EvaluateClause(clause, *json_rec),
+                EvaluateClause(clause, *bridged))
+          << clause.ToSql() << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ciao

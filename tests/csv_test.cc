@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "columnar/json_converter.h"
+#include "csv/converter.h"
+#include "csv/csv.h"
+#include "csv/pattern_compiler.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "workload/csv_export.h"
+#include "workload/dataset.h"
+#include "workload/templates.h"
+
+namespace ciao::csv {
+namespace {
+
+// ---------- Codec ----------
+
+TEST(CsvCodecTest, EncodePlainAndQuoted) {
+  EXPECT_EQ(EncodeField("plain"), "plain");
+  EXPECT_EQ(EncodeField(""), "");
+  EXPECT_EQ(EncodeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EncodeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EncodeField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(EncodeLine({"a", "b,c", ""}), "a,\"b,c\",");
+}
+
+TEST(CsvCodecTest, ParsePlainAndQuoted) {
+  auto fields = ParseLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+
+  fields = ParseLine("a,\"b,c\",d");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b,c", "d"}));
+
+  fields = ParseLine("\"say \"\"hi\"\"\",x");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "say \"hi\"");
+
+  fields = ParseLine("");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 1u);
+  EXPECT_EQ((*fields)[0], "");
+
+  fields = ParseLine("a,,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[1], "");
+}
+
+TEST(CsvCodecTest, ParseErrors) {
+  EXPECT_FALSE(ParseLine("\"unterminated").ok());
+  EXPECT_FALSE(ParseLine("\"closed\"junk").ok());
+}
+
+TEST(CsvCodecTest, RoundTripRandomFields) {
+  Rng rng(7);
+  const char alphabet[] = "ab,\"\n x";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::string> fields;
+    const size_t n = 1 + rng.NextBounded(5);
+    for (size_t i = 0; i < n; ++i) {
+      std::string f;
+      const size_t len = rng.NextBounded(8);
+      for (size_t j = 0; j < len; ++j) {
+        f.push_back(alphabet[rng.NextBounded(sizeof(alphabet) - 1)]);
+      }
+      fields.push_back(std::move(f));
+    }
+    // Embedded newlines would need multi-line framing; our NDJSON-style
+    // chunking is line-based, so skip those cases (the writer still
+    // quotes them correctly for general CSV consumers).
+    bool has_newline = false;
+    for (const auto& f : fields) {
+      if (f.find('\n') != std::string::npos) has_newline = true;
+    }
+    if (has_newline) continue;
+    const std::string line = EncodeLine(fields);
+    auto parsed = ParseLine(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(*parsed, fields) << line;
+  }
+}
+
+// ---------- Pattern compiler ----------
+
+TEST(CsvPatternTest, SupportedKinds) {
+  EXPECT_TRUE(RawCsvPredicateProgram::Compile(
+                  SimplePredicate::Exact("name", "Bob"))
+                  .ok());
+  EXPECT_TRUE(RawCsvPredicateProgram::Compile(
+                  SimplePredicate::Substring("text", "delicious"))
+                  .ok());
+  EXPECT_TRUE(RawCsvPredicateProgram::Compile(
+                  SimplePredicate::KeyValue("age", 10))
+                  .ok());
+  EXPECT_TRUE(RawCsvPredicateProgram::Compile(
+                  SimplePredicate::Presence("email"))
+                  .status()
+                  .IsUnsupported());
+  EXPECT_TRUE(RawCsvPredicateProgram::Compile(
+                  SimplePredicate::RangeLess("age", 10))
+                  .status()
+                  .IsUnsupported());
+}
+
+TEST(CsvPatternTest, MatchesOnEncodedLines) {
+  const std::string line = EncodeLine({"Bob", "22", "really delicious food"});
+  auto exact =
+      RawCsvPredicateProgram::Compile(SimplePredicate::Exact("name", "Bob"));
+  EXPECT_TRUE(exact->Matches(line));
+  auto substr = RawCsvPredicateProgram::Compile(
+      SimplePredicate::Substring("text", "delicious"));
+  EXPECT_TRUE(substr->Matches(line));
+  auto kv =
+      RawCsvPredicateProgram::Compile(SimplePredicate::KeyValue("age", 22));
+  EXPECT_TRUE(kv->Matches(line));
+  auto miss =
+      RawCsvPredicateProgram::Compile(SimplePredicate::Exact("name", "Zed"));
+  EXPECT_FALSE(miss->Matches(line));
+}
+
+TEST(CsvPatternTest, QuotedVariantAvoidsFalseNegatives) {
+  // Operand contains a quote; inside a quoted CSV field it is doubled.
+  const SimplePredicate p =
+      SimplePredicate::Substring("text", "say \"hi\"");
+  const std::string line = EncodeLine({"x", "they say \"hi\" loudly"});
+  auto prog = RawCsvPredicateProgram::Compile(p);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->PatternStrings().size(), 2u);
+  EXPECT_TRUE(prog->Matches(line));
+}
+
+TEST(CsvPatternTest, CommaOperandMatchesQuotedField) {
+  const SimplePredicate p = SimplePredicate::Exact("note", "a,b");
+  const std::string line = EncodeLine({"a,b", "other"});
+  auto prog = RawCsvPredicateProgram::Compile(p);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(prog->Matches(line));
+}
+
+TEST(CsvPatternTest, ClauseDisjunction) {
+  Clause c = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                         SimplePredicate::Exact("name", "John")});
+  auto prog = RawCsvClauseProgram::Compile(c);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(prog->Matches(EncodeLine({"John", "1"})));
+  EXPECT_FALSE(prog->Matches(EncodeLine({"Alice", "1"})));
+  // Presence poisons the clause for CSV.
+  Clause with_presence = Clause::Or(
+      {SimplePredicate::Exact("a", "x"), SimplePredicate::Presence("b")});
+  EXPECT_FALSE(RawCsvClauseProgram::Compile(with_presence).ok());
+}
+
+// Property: no false negatives on exported datasets for every CSV-
+// supported Table-II predicate.
+TEST(CsvPatternTest, NoFalseNegativesOnExportedDatasets) {
+  for (const auto kind :
+       {workload::DatasetKind::kYelp, workload::DatasetKind::kWinLog}) {
+    workload::GeneratorOptions opt;
+    opt.num_records = 300;
+    opt.seed = 77;
+    const workload::Dataset ds = workload::GenerateDataset(kind, opt);
+    auto csv_ds = workload::ExportCsv(ds);
+    ASSERT_TRUE(csv_ds.ok());
+
+    const auto pool = workload::TemplatesFor(kind).AllCandidates();
+    size_t checked = 0;
+    for (const Clause& clause : pool) {
+      auto prog = RawCsvClauseProgram::Compile(clause);
+      if (!prog.ok()) continue;  // CSV-unsupported kinds
+      ++checked;
+      for (size_t i = 0; i < ds.records.size(); ++i) {
+        auto record = json::Parse(ds.records[i]);
+        if (EvaluateClause(clause, *record)) {
+          ASSERT_TRUE(prog->Matches(csv_ds->lines[i]))
+              << clause.ToSql() << " on " << csv_ds->lines[i];
+        }
+      }
+    }
+    EXPECT_GT(checked, 50u);
+  }
+}
+
+// ---------- Converter ----------
+
+TEST(CsvConverterTest, TypedLoadAndNulls) {
+  columnar::Schema schema({{"i", columnar::ColumnType::kInt64},
+                           {"d", columnar::ColumnType::kDouble},
+                           {"b", columnar::ColumnType::kBool},
+                           {"s", columnar::ColumnType::kString}});
+  CsvBatchBuilder builder(schema);
+  ASSERT_TRUE(builder.AppendLine("4,2.5,true,hello").ok());
+  ASSERT_TRUE(builder.AppendLine(",,,").ok());          // all nulls
+  ASSERT_TRUE(builder.AppendLine("oops,3,false,x").ok());  // coercion error
+  EXPECT_FALSE(builder.AppendLine("1,2,true").ok());    // wrong field count
+  EXPECT_EQ(builder.parse_errors(), 1u);
+  EXPECT_EQ(builder.coercion_errors(), 1u);
+
+  columnar::RecordBatch batch = builder.Finish();
+  ASSERT_EQ(batch.num_rows(), 3u);
+  EXPECT_EQ(batch.column(0).GetInt64(0), 4);
+  EXPECT_FALSE(batch.column(0).IsValid(1));
+  EXPECT_FALSE(batch.column(0).IsValid(2));
+  EXPECT_EQ(batch.column(1).GetDouble(2), 3.0);
+  EXPECT_EQ(batch.column(3).GetString(0), "hello");
+}
+
+TEST(CsvConverterTest, LineToJsonWithNestedPaths) {
+  columnar::Schema schema({{"id", columnar::ColumnType::kInt64},
+                           {"url.domain", columnar::ColumnType::kString},
+                           {"url.site", columnar::ColumnType::kString}});
+  auto record = CsvLineToJson("7,example.com,home", schema);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->Find("id")->as_int(), 7);
+  EXPECT_EQ(record->FindPath("url.domain")->as_string(), "example.com");
+  EXPECT_EQ(record->FindPath("url.site")->as_string(), "home");
+}
+
+// ---------- Export + end-to-end agreement ----------
+
+TEST(CsvExportTest, ExportedDatasetLoadsIdentically) {
+  const workload::Dataset ds = workload::GenerateYelp({200, 31});
+  auto csv_ds = workload::ExportCsv(ds);
+  ASSERT_TRUE(csv_ds.ok());
+  ASSERT_EQ(csv_ds->lines.size(), ds.records.size());
+  EXPECT_NE(csv_ds->header.find("review_id"), std::string::npos);
+
+  // Load via JSON and via CSV; the batches must agree cell-for-cell.
+  columnar::BatchBuilder json_builder(ds.schema);
+  CsvBatchBuilder csv_builder(ds.schema);
+  for (size_t i = 0; i < ds.records.size(); ++i) {
+    ASSERT_TRUE(json_builder.AppendSerialized(ds.records[i]).ok());
+    ASSERT_TRUE(csv_builder.AppendLine(csv_ds->lines[i]).ok());
+  }
+  EXPECT_EQ(csv_builder.coercion_errors(), 0u);
+  const columnar::RecordBatch a = json_builder.Finish();
+  const columnar::RecordBatch b = csv_builder.Finish();
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(CsvExportTest, SemanticEvalAgreesAcrossFormats) {
+  const workload::Dataset ds = workload::GenerateYcsb({150, 37});
+  auto csv_ds = workload::ExportCsv(ds);
+  ASSERT_TRUE(csv_ds.ok());
+
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYcsb).AllCandidates();
+  Rng rng(41);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Clause& clause = pool[rng.NextBounded(pool.size())];
+    for (size_t i = 0; i < ds.records.size(); ++i) {
+      auto json_rec = json::Parse(ds.records[i]);
+      auto csv_rec = CsvLineToJson(csv_ds->lines[i], ds.schema);
+      ASSERT_TRUE(csv_rec.ok());
+      // CSV cannot distinguish missing from empty-string for nullable
+      // string fields; both evaluate identically for our predicates
+      // because generators never emit empty strings for predicate fields.
+      EXPECT_EQ(EvaluateClause(clause, *json_rec),
+                EvaluateClause(clause, *csv_rec))
+          << clause.ToSql() << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ciao::csv

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "matcher/compiled_pattern.h"
+#include "matcher/kernels.h"
+
+namespace ciao {
+namespace {
+
+// All kernels must implement std::string_view::find semantics exactly.
+// Parameterized over the kernel so every case runs under every kernel.
+class KernelTest : public ::testing::TestWithParam<SearchKernel> {
+ protected:
+  size_t FindWith(std::string_view hay, std::string_view needle,
+                  size_t from = 0) const {
+    return Find(GetParam(), hay, needle, from);
+  }
+};
+
+TEST_P(KernelTest, BasicHits) {
+  EXPECT_EQ(FindWith("hello world", "world"), 6u);
+  EXPECT_EQ(FindWith("hello world", "hello"), 0u);
+  EXPECT_EQ(FindWith("aaa", "a"), 0u);
+  EXPECT_EQ(FindWith("abcabc", "bc"), 1u);
+}
+
+TEST_P(KernelTest, Misses) {
+  EXPECT_EQ(FindWith("hello", "world"), std::string_view::npos);
+  EXPECT_EQ(FindWith("abc", "abcd"), std::string_view::npos);
+  EXPECT_EQ(FindWith("", "a"), std::string_view::npos);
+}
+
+TEST_P(KernelTest, EmptyNeedleSemantics) {
+  EXPECT_EQ(FindWith("abc", ""), 0u);
+  EXPECT_EQ(FindWith("abc", "", 2), 2u);
+  EXPECT_EQ(FindWith("abc", "", 3), 3u);
+  EXPECT_EQ(FindWith("abc", "", 4), std::string_view::npos);
+  EXPECT_EQ(FindWith("", ""), 0u);
+}
+
+TEST_P(KernelTest, FromOffset) {
+  EXPECT_EQ(FindWith("abcabcabc", "abc", 1), 3u);
+  EXPECT_EQ(FindWith("abcabcabc", "abc", 7), std::string_view::npos);
+  EXPECT_EQ(FindWith("abc", "c", 99), std::string_view::npos);
+}
+
+TEST_P(KernelTest, OverlappingPatterns) {
+  EXPECT_EQ(FindWith("aaaa", "aa"), 0u);
+  EXPECT_EQ(FindWith("aaaa", "aa", 1), 1u);
+  EXPECT_EQ(FindWith("ababab", "abab"), 0u);
+  EXPECT_EQ(FindWith("ababab", "abab", 1), 2u);
+}
+
+TEST_P(KernelTest, MatchAtEnd) {
+  EXPECT_EQ(FindWith("xxxyz", "yz"), 3u);
+  EXPECT_EQ(FindWith("xyz", "xyz"), 0u);
+  EXPECT_EQ(FindWith("x", "x"), 0u);
+}
+
+TEST_P(KernelTest, BinarySafety) {
+  const std::string hay("a\0b\0c", 5);
+  const std::string needle("\0c", 2);
+  EXPECT_EQ(FindWith(hay, needle), 3u);
+  EXPECT_EQ(FindWith(hay, std::string("\xFF", 1)), std::string_view::npos);
+}
+
+TEST_P(KernelTest, PropertyAgainstStdFind) {
+  Rng rng(0xBEEF);
+  for (int iter = 0; iter < 3000; ++iter) {
+    // Small alphabet forces frequent partial matches.
+    const size_t hay_len = rng.NextBounded(60);
+    std::string hay;
+    for (size_t i = 0; i < hay_len; ++i) {
+      hay.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+    }
+    const size_t needle_len = rng.NextBounded(8);
+    std::string needle;
+    if (rng.NextBool(0.5) && needle_len <= hay.size() && !hay.empty()) {
+      // True substring half the time.
+      const size_t start = rng.NextBounded(hay.size() - needle_len + 1);
+      needle = hay.substr(start, needle_len);
+    } else {
+      for (size_t i = 0; i < needle_len; ++i) {
+        needle.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+      }
+    }
+    const size_t from = rng.NextBounded(hay.size() + 3);
+    const size_t expected = std::string_view(hay).find(needle, from);
+    EXPECT_EQ(FindWith(hay, needle, from), expected)
+        << "hay=" << hay << " needle=" << needle << " from=" << from
+        << " kernel=" << SearchKernelName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest,
+                         ::testing::ValuesIn(AllSearchKernels()),
+                         [](const auto& info) {
+                           return std::string(SearchKernelName(info.param));
+                         });
+
+TEST(KernelRegistryTest, NamesAndList) {
+  EXPECT_EQ(SearchKernelName(SearchKernel::kStdFind), "std_find");
+  EXPECT_EQ(SearchKernelName(SearchKernel::kMemchr), "memchr");
+  EXPECT_EQ(SearchKernelName(SearchKernel::kHorspool), "horspool");
+  EXPECT_EQ(AllSearchKernels().size(), 3u);
+}
+
+TEST(HorspoolTableTest, ShiftValues) {
+  const HorspoolTable t = HorspoolTable::Build("abcab");
+  // Default shift = pattern length for absent chars.
+  EXPECT_EQ(t.shift[static_cast<unsigned char>('z')], 5u);
+  // Last occurrence before final char decides shift.
+  EXPECT_EQ(t.shift[static_cast<unsigned char>('a')], 1u);  // index 3
+  EXPECT_EQ(t.shift[static_cast<unsigned char>('b')], 3u);  // index 1 wait: last b before end is index 4? pattern abcab: b at 1 and 4; final char excluded -> b at 1 -> 5-1-1=3
+  EXPECT_EQ(t.shift[static_cast<unsigned char>('c')], 2u);  // index 2
+}
+
+TEST(CompiledPatternTest, MatchesAcrossKernels) {
+  for (const SearchKernel kernel : AllSearchKernels()) {
+    const CompiledPattern p("needle", kernel);
+    EXPECT_TRUE(p.Matches("a haystack with a needle inside"));
+    EXPECT_FALSE(p.Matches("a haystack without one"));
+    EXPECT_EQ(p.FindIn("needle"), 0u);
+    EXPECT_EQ(p.pattern(), "needle");
+    EXPECT_EQ(p.length(), 6u);
+    EXPECT_EQ(p.kernel(), kernel);
+  }
+}
+
+TEST(CompiledPatternTest, DefaultConstructedIsEmptyPattern) {
+  const CompiledPattern p;
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_TRUE(p.Matches("anything"));  // empty pattern matches everywhere
+}
+
+}  // namespace
+}  // namespace ciao

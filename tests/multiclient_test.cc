@@ -1,0 +1,171 @@
+// Multi-client coordination: heterogeneous clients with different budgets
+// evaluate different predicate subsets; the server fills unevaluated
+// predicates with conservative all-ones vectors. Correctness must hold
+// regardless of which client produced each chunk (the paper's per-client
+// budget trade-off, abstract + §I).
+
+#include <gtest/gtest.h>
+
+#include "client/coordinator.h"
+#include "engine/executor.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "storage/partial_loader.h"
+#include "storage/transport.h"
+#include "workload/dataset.h"
+#include "workload/templates.h"
+
+namespace ciao {
+namespace {
+
+uint64_t BruteForceCount(const std::vector<std::string>& records,
+                         const Query& q) {
+  uint64_t count = 0;
+  for (const std::string& r : records) {
+    auto v = json::Parse(r);
+    if (v.ok() && EvaluateQuery(q, *v)) ++count;
+  }
+  return count;
+}
+
+struct MultiClientFixture {
+  workload::Dataset ds = workload::GenerateWinLog({600, 41});
+  PredicateRegistry registry;
+  InMemoryTransport transport;
+  std::vector<Clause> pushed = workload::MicroTierPredicates(0.15);
+
+  MultiClientFixture() {
+    pushed.resize(4);
+    double cost = 1.0;
+    for (const Clause& c : pushed) {
+      // Increasing costs: 1, 2, 3, 4 µs.
+      EXPECT_TRUE(registry.Register(c, 0.15, cost).ok());
+      cost += 1.0;
+    }
+  }
+};
+
+TEST(CoordinatorTest, AssignsBudgetPrefixes) {
+  MultiClientFixture fx;
+  MultiClientCoordinator coordinator(&fx.registry, &fx.transport, 100);
+
+  // Registry costs are 1,2,3,4. Budgets: 0 -> {}, 1 -> {0}, 3.5 -> {0,1},
+  // 100 -> all.
+  coordinator.AddClient({"tiny", 0.0});
+  coordinator.AddClient({"small", 1.0});
+  coordinator.AddClient({"medium", 3.5});
+  coordinator.AddClient({"big", 100.0});
+  ASSERT_EQ(coordinator.num_clients(), 4u);
+  EXPECT_TRUE(coordinator.assigned_ids(0).empty());
+  EXPECT_EQ(coordinator.assigned_ids(1), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(coordinator.assigned_ids(2), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(coordinator.assigned_ids(3), (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(CoordinatorTest, SkipsUnaffordableButTakesLaterAffordable) {
+  MultiClientFixture fx;
+  MultiClientCoordinator coordinator(&fx.registry, &fx.transport, 100);
+  // Budget 4.1: takes cost-1, cost-2 (total 3), cannot afford cost-3
+  // (would be 6), but cost-4 doesn't fit either (3+4=7). -> {0,1}
+  coordinator.AddClient({"mid", 4.1});
+  EXPECT_EQ(coordinator.assigned_ids(0), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(CoordinatorTest, MixedClientsEndToEndCorrectness) {
+  MultiClientFixture fx;
+  MultiClientCoordinator coordinator(&fx.registry, &fx.transport, 90);
+  const size_t weak = coordinator.AddClient({"weak", 1.0});    // 1 predicate
+  const size_t strong = coordinator.AddClient({"strong", 10.0});  // all 4
+
+  // Split the stream between the two clients.
+  const size_t half = fx.ds.records.size() / 2;
+  std::vector<std::string> part1(fx.ds.records.begin(),
+                                 fx.ds.records.begin() + half);
+  std::vector<std::string> part2(fx.ds.records.begin() + half,
+                                 fx.ds.records.end());
+  ASSERT_TRUE(coordinator.session(weak)->SendRecords(part1).ok());
+  ASSERT_TRUE(coordinator.session(strong)->SendRecords(part2).ok());
+
+  // Server: drain, expand annotations, load with partial loading ON.
+  TableCatalog catalog(fx.ds.schema);
+  PartialLoader loader(fx.ds.schema, fx.registry.size());
+  LoadStats stats;
+  while (true) {
+    auto payload = fx.transport.Receive();
+    ASSERT_TRUE(payload.ok());
+    if (!payload->has_value()) break;
+    auto msg = ChunkMessage::Deserialize(**payload);
+    ASSERT_TRUE(msg.ok());
+    auto annotations = msg->ExpandAnnotations(fx.registry.size());
+    ASSERT_TRUE(annotations.ok());
+    ASSERT_TRUE(loader
+                    .IngestChunk(msg->chunk, *annotations,
+                                 /*partial_loading_enabled=*/true, &catalog,
+                                 &stats)
+                    .ok());
+  }
+  EXPECT_EQ(stats.records_in, fx.ds.records.size());
+
+  // The weak client only evaluated predicate 0, so its chunks load a
+  // superset (conservative all-ones for predicates 1..3 force loading of
+  // everything from that client). Strong client's chunks load partially.
+  EXPECT_GT(stats.records_loaded, 0u);
+  EXPECT_GT(stats.records_sidelined, 0u);
+
+  // Queries over pushed predicates: exact counts, skipping plans.
+  QueryExecutor executor(&catalog, &fx.registry);
+  for (size_t p = 0; p < fx.pushed.size(); ++p) {
+    Query q;
+    q.clauses = {fx.pushed[p]};
+    auto result = executor.Execute(q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->plan, PlanKind::kSkippingScan);
+    EXPECT_EQ(result->count, BruteForceCount(fx.ds.records, q))
+        << q.ToSql();
+  }
+
+  // Conjunction across two pushed predicates.
+  Query conj;
+  conj.clauses = {fx.pushed[0], fx.pushed[1]};
+  auto result = executor.Execute(conj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, BruteForceCount(fx.ds.records, conj));
+}
+
+TEST(CoordinatorTest, WeakClientChunksLoadConservativelyMore) {
+  MultiClientFixture fx;
+  MultiClientCoordinator coordinator(&fx.registry, &fx.transport, 300);
+  const size_t weak = coordinator.AddClient({"weak", 1.0});
+  const size_t strong = coordinator.AddClient({"strong", 10.0});
+
+  // Send the SAME records through both clients into separate catalogs.
+  const auto load_through = [&](size_t client) {
+    TableCatalog catalog(fx.ds.schema);
+    PartialLoader loader(fx.ds.schema, fx.registry.size());
+    LoadStats stats;
+    EXPECT_TRUE(coordinator.session(client)->SendRecords(fx.ds.records).ok());
+    while (true) {
+      auto payload = fx.transport.Receive();
+      EXPECT_TRUE(payload.ok());
+      if (!payload->has_value()) break;
+      auto msg = ChunkMessage::Deserialize(**payload);
+      EXPECT_TRUE(msg.ok());
+      auto annotations = msg->ExpandAnnotations(fx.registry.size());
+      EXPECT_TRUE(annotations.ok());
+      EXPECT_TRUE(
+          loader.IngestChunk(msg->chunk, *annotations, true, &catalog, &stats)
+              .ok());
+    }
+    return stats;
+  };
+
+  const LoadStats weak_stats = load_through(weak);
+  const LoadStats strong_stats = load_through(strong);
+  // Unevaluated predicates are "maybe" -> the weak client's records all
+  // load; the strong client's load ratio is the true union selectivity.
+  EXPECT_EQ(weak_stats.LoadingRatio(), 1.0);
+  EXPECT_LT(strong_stats.LoadingRatio(), 0.75);
+}
+
+}  // namespace
+}  // namespace ciao

@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "optimizer/exhaustive.h"
+#include "optimizer/greedy.h"
+#include "optimizer/objective.h"
+#include "optimizer/selection.h"
+
+namespace ciao {
+namespace {
+
+Clause NamedClause(const std::string& field, int64_t v) {
+  return Clause::Of(SimplePredicate::KeyValue(field, v));
+}
+
+/// Builds a random instance: `n` candidates over `m` queries.
+PushdownObjective RandomInstance(Rng* rng, size_t n, size_t m) {
+  std::vector<CandidatePredicate> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    CandidatePredicate c;
+    c.clause = NamedClause("f" + std::to_string(i), static_cast<int64_t>(i));
+    c.selectivity = 0.05 + rng->NextDouble() * 0.9;
+    c.cost_us = 0.1 + rng->NextDouble() * 2.0;
+    const size_t memberships = 1 + rng->NextBounded(m);
+    std::set<uint32_t> qs;
+    while (qs.size() < memberships) {
+      qs.insert(static_cast<uint32_t>(rng->NextBounded(m)));
+    }
+    c.query_ids.assign(qs.begin(), qs.end());
+    candidates.push_back(std::move(c));
+  }
+  std::vector<double> freqs(m, 1.0);
+  return PushdownObjective(std::move(candidates), std::move(freqs));
+}
+
+// ---------- Objective ----------
+
+TEST(ObjectiveTest, EmptySetIsZero) {
+  Rng rng(1);
+  PushdownObjective obj = RandomInstance(&rng, 5, 3);
+  EXPECT_DOUBLE_EQ(obj.Value({}), 0.0);
+  EXPECT_DOUBLE_EQ(obj.CurrentValue(), 0.0);
+}
+
+TEST(ObjectiveTest, SinglePredicateValue) {
+  // One predicate with selectivity s in one query of frequency f:
+  // f(S) = f * (1 - s).
+  std::vector<CandidatePredicate> cands(1);
+  cands[0].clause = NamedClause("a", 1);
+  cands[0].selectivity = 0.3;
+  cands[0].cost_us = 1.0;
+  cands[0].query_ids = {0};
+  PushdownObjective obj(std::move(cands), {2.0});
+  EXPECT_DOUBLE_EQ(obj.Value({0}), 2.0 * 0.7);
+}
+
+TEST(ObjectiveTest, IndependenceProductWithinQuery) {
+  // Two predicates in the same query: f = 1 - s1*s2.
+  std::vector<CandidatePredicate> cands(2);
+  for (int i = 0; i < 2; ++i) {
+    cands[i].clause = NamedClause("a", i);
+    cands[i].query_ids = {0};
+    cands[i].cost_us = 1.0;
+  }
+  cands[0].selectivity = 0.5;
+  cands[1].selectivity = 0.2;
+  PushdownObjective obj(std::move(cands), {1.0});
+  EXPECT_DOUBLE_EQ(obj.Value({0, 1}), 1.0 - 0.1);
+}
+
+TEST(ObjectiveTest, IncrementalMatchesStateless) {
+  Rng rng(7);
+  for (int iter = 0; iter < 30; ++iter) {
+    PushdownObjective obj = RandomInstance(&rng, 10, 6);
+    std::vector<uint32_t> subset;
+    for (uint32_t i = 0; i < 10; ++i) {
+      if (rng.NextBool(0.4)) subset.push_back(i);
+    }
+    obj.Reset();
+    for (const uint32_t i : subset) {
+      const double before = obj.CurrentValue();
+      const double gain = obj.MarginalGain(i);
+      obj.Add(i);
+      EXPECT_NEAR(obj.CurrentValue(), before + gain, 1e-9);
+    }
+    EXPECT_NEAR(obj.CurrentValue(), obj.Value(subset), 1e-9);
+  }
+}
+
+// Property: f is submodular and monotone (paper §V-B).
+TEST(ObjectiveTest, SubmodularityProperty) {
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const size_t n = 4 + rng.NextBounded(8);
+    PushdownObjective obj = RandomInstance(&rng, n, 5);
+    // Random S and T.
+    std::vector<uint32_t> s, t, s_and_t, s_or_t;
+    for (uint32_t i = 0; i < n; ++i) {
+      const bool in_s = rng.NextBool(0.5);
+      const bool in_t = rng.NextBool(0.5);
+      if (in_s) s.push_back(i);
+      if (in_t) t.push_back(i);
+      if (in_s && in_t) s_and_t.push_back(i);
+      if (in_s || in_t) s_or_t.push_back(i);
+    }
+    const double lhs = obj.Value(s) + obj.Value(t);
+    const double rhs = obj.Value(s_and_t) + obj.Value(s_or_t);
+    EXPECT_GE(lhs, rhs - 1e-9);
+    // Monotonicity: f(S) <= f(S ∪ T).
+    EXPECT_LE(obj.Value(s), obj.Value(s_or_t) + 1e-9);
+  }
+}
+
+// Property: diminishing marginal returns — gain of adding p to S is >=
+// gain of adding p to a superset of S.
+TEST(ObjectiveTest, DiminishingReturnsProperty) {
+  Rng rng(13);
+  for (int iter = 0; iter < 50; ++iter) {
+    const size_t n = 6 + rng.NextBounded(6);
+    PushdownObjective obj = RandomInstance(&rng, n, 4);
+    const uint32_t p = static_cast<uint32_t>(rng.NextBounded(n));
+
+    obj.Reset();
+    std::vector<uint32_t> base;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i != p && rng.NextBool(0.3)) {
+        obj.Add(i);
+        base.push_back(i);
+      }
+    }
+    const double gain_small = obj.MarginalGain(p);
+
+    // Extend to a superset.
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i != p && !obj.IsSelected(i) && rng.NextBool(0.5)) obj.Add(i);
+    }
+    const double gain_large = obj.MarginalGain(p);
+    EXPECT_LE(gain_large, gain_small + 1e-9);
+  }
+}
+
+// ---------- Greedy algorithms ----------
+
+TEST(GreedyTest, RespectsBudget) {
+  Rng rng(17);
+  for (int iter = 0; iter < 30; ++iter) {
+    PushdownObjective obj = RandomInstance(&rng, 12, 6);
+    GreedyOptions opt;
+    opt.budget_us = rng.NextDouble() * 8.0;
+    for (auto* fn : {&GreedyByBenefit, &GreedyByRatio, &LazyGreedyByBenefit}) {
+      const SelectionResult r = (*fn)(&obj, opt);
+      EXPECT_LE(r.total_cost_us, opt.budget_us + 1e-9) << r.algorithm;
+      // No duplicates.
+      std::set<uint32_t> uniq(r.selected.begin(), r.selected.end());
+      EXPECT_EQ(uniq.size(), r.selected.size());
+      EXPECT_NEAR(r.objective_value, obj.Value(r.selected), 1e-9);
+    }
+  }
+}
+
+TEST(GreedyTest, ZeroBudgetSelectsNothing) {
+  Rng rng(19);
+  PushdownObjective obj = RandomInstance(&rng, 8, 4);
+  GreedyOptions opt;
+  opt.budget_us = 0.0;
+  EXPECT_TRUE(GreedyByBenefit(&obj, opt).selected.empty());
+  EXPECT_TRUE(GreedyByRatio(&obj, opt).selected.empty());
+}
+
+TEST(GreedyTest, HugeBudgetSelectsAllUsefulPredicates) {
+  Rng rng(23);
+  PushdownObjective obj = RandomInstance(&rng, 8, 4);
+  GreedyOptions opt;
+  opt.budget_us = 1e9;
+  const SelectionResult r = GreedyByBenefit(&obj, opt);
+  // All candidates have sel < 1 and belong to >= 1 query, so all gains
+  // are positive and everything is picked.
+  EXPECT_EQ(r.selected.size(), 8u);
+}
+
+TEST(GreedyTest, LazyMatchesPlainGreedy) {
+  Rng rng(29);
+  for (int iter = 0; iter < 40; ++iter) {
+    PushdownObjective obj = RandomInstance(&rng, 14, 7);
+    GreedyOptions opt;
+    opt.budget_us = 1.0 + rng.NextDouble() * 10.0;
+    const SelectionResult plain = GreedyByBenefit(&obj, opt);
+    const SelectionResult lazy = LazyGreedyByBenefit(&obj, opt);
+    EXPECT_NEAR(plain.objective_value, lazy.objective_value, 1e-9);
+    EXPECT_EQ(plain.selected, lazy.selected);
+  }
+}
+
+TEST(GreedyTest, LazySavesEvaluationsOnSparseInstances) {
+  // Lazy evaluation pays off when candidates overlap on few queries (the
+  // realistic CIAO shape: each predicate appears in a handful of the 200
+  // workload queries): adding one predicate leaves most cached gains
+  // exact, so the heap top is usually fresh. Plain greedy re-scores every
+  // feasible candidate every round regardless.
+  Rng rng(43);
+  const size_t n = 300, m = 300;
+  std::vector<CandidatePredicate> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    CandidatePredicate c;
+    c.clause = NamedClause("f" + std::to_string(i), static_cast<int64_t>(i));
+    c.selectivity = 0.05 + rng.NextDouble() * 0.9;
+    c.cost_us = 0.5 + rng.NextDouble();
+    // Sparse membership: 1-2 queries per candidate.
+    c.query_ids = {static_cast<uint32_t>(rng.NextBounded(m))};
+    if (rng.NextBool(0.5)) {
+      c.query_ids.push_back(static_cast<uint32_t>(rng.NextBounded(m)));
+    }
+    candidates.push_back(std::move(c));
+  }
+  PushdownObjective obj(std::move(candidates), std::vector<double>(m, 1.0));
+  GreedyOptions opt;
+  opt.budget_us = 40.0;  // admits ~40 selections at mean cost ~1
+  const SelectionResult plain = GreedyByBenefit(&obj, opt);
+  const SelectionResult lazy = LazyGreedyByBenefit(&obj, opt);
+  ASSERT_GT(plain.selected.size(), 20u);
+  EXPECT_EQ(plain.selected, lazy.selected);
+  EXPECT_LT(lazy.gain_evaluations, plain.gain_evaluations / 4);
+}
+
+TEST(GreedyTest, BestOfBothPicksHigherObjective) {
+  Rng rng(31);
+  for (int iter = 0; iter < 30; ++iter) {
+    PushdownObjective obj = RandomInstance(&rng, 10, 5);
+    GreedyOptions opt;
+    opt.budget_us = 1.0 + rng.NextDouble() * 6.0;
+    const double v1 = GreedyByBenefit(&obj, opt).objective_value;
+    const double v2 = GreedyByRatio(&obj, opt).objective_value;
+    const SelectionResult best = SelectBestOfBoth(&obj, opt);
+    EXPECT_NEAR(best.objective_value, std::max(v1, v2), 1e-9);
+    EXPECT_EQ(best.algorithm, "best_of_both");
+  }
+}
+
+// The textbook adversarial case for Algorithm 1: a cheap high-ratio
+// predicate vs. an expensive slightly-better one. Benefit-greedy takes
+// the expensive one and exhausts the budget; ratio-greedy does better.
+TEST(GreedyTest, RatioBeatsBenefitOnAdversarialInstance) {
+  std::vector<CandidatePredicate> cands(3);
+  // p0: gain 0.51, cost 10 (hogs the whole budget).
+  cands[0].clause = NamedClause("a", 0);
+  cands[0].selectivity = 0.49;
+  cands[0].cost_us = 10.0;
+  cands[0].query_ids = {0};
+  // p1, p2: gain 0.5 each, cost 5 each (both fit).
+  for (int i = 1; i < 3; ++i) {
+    cands[i].clause = NamedClause("a", i);
+    cands[i].selectivity = 0.5;
+    cands[i].cost_us = 5.0;
+    cands[i].query_ids = {static_cast<uint32_t>(i)};
+  }
+  PushdownObjective obj(std::move(cands), {1.0, 1.0, 1.0});
+  GreedyOptions opt;
+  opt.budget_us = 10.0;
+  const double v_benefit = GreedyByBenefit(&obj, opt).objective_value;
+  const double v_ratio = GreedyByRatio(&obj, opt).objective_value;
+  EXPECT_NEAR(v_benefit, 0.51, 1e-9);
+  EXPECT_NEAR(v_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(SelectBestOfBoth(&obj, opt).objective_value, 1.0, 1e-9);
+}
+
+// ---------- Exhaustive + approximation guarantee ----------
+
+TEST(ExhaustiveTest, FindsOptimumOnSmallInstance) {
+  std::vector<CandidatePredicate> cands(3);
+  for (int i = 0; i < 3; ++i) {
+    cands[i].clause = NamedClause("a", i);
+    cands[i].query_ids = {static_cast<uint32_t>(i)};
+  }
+  cands[0].selectivity = 0.1;
+  cands[0].cost_us = 3.0;
+  cands[1].selectivity = 0.4;
+  cands[1].cost_us = 1.5;
+  cands[2].selectivity = 0.5;
+  cands[2].cost_us = 1.5;
+  PushdownObjective obj(std::move(cands), {1.0, 1.0, 1.0});
+  GreedyOptions opt;
+  opt.budget_us = 3.0;
+  auto r = ExhaustiveOptimal(&obj, opt);
+  ASSERT_TRUE(r.ok());
+  // Options: {p0}=0.9 ; {p1,p2}=0.6+0.5=1.1 -> optimal is {p1,p2}.
+  EXPECT_NEAR(r->objective_value, 1.1, 1e-9);
+  EXPECT_EQ(r->selected.size(), 2u);
+}
+
+TEST(ExhaustiveTest, RefusesLargeInstances) {
+  Rng rng(37);
+  PushdownObjective obj = RandomInstance(&rng, 30, 5);
+  GreedyOptions opt;
+  opt.budget_us = 5.0;
+  EXPECT_FALSE(ExhaustiveOptimal(&obj, opt, 22).ok());
+}
+
+// Property (paper §V-C, Khuller–Moss–Naor): best-of-both >= 0.316 * OPT.
+TEST(ApproximationTest, BestOfBothMeetsGuaranteeOnRandomInstances) {
+  Rng rng(41);
+  for (int iter = 0; iter < 60; ++iter) {
+    const size_t n = 4 + rng.NextBounded(9);  // <= 12 candidates
+    PushdownObjective obj = RandomInstance(&rng, n, 5);
+    GreedyOptions opt;
+    opt.budget_us = 0.5 + rng.NextDouble() * 6.0;
+    auto optimal = ExhaustiveOptimal(&obj, opt);
+    ASSERT_TRUE(optimal.ok());
+    const SelectionResult approx = SelectBestOfBoth(&obj, opt);
+    constexpr double kBound = 0.5 * (1.0 - 1.0 / 2.718281828459045);
+    EXPECT_GE(approx.objective_value,
+              kBound * optimal->objective_value - 1e-9)
+        << "n=" << n << " budget=" << opt.budget_us;
+  }
+}
+
+// ---------- SelectPredicates end-to-end ----------
+
+TEST(SelectPredicatesTest, BuildsCandidatesAndRespectsCoverage) {
+  Clause c1 = NamedClause("a", 1);
+  Clause c2 = NamedClause("b", 2);
+  Clause range = Clause::Of(SimplePredicate::RangeLess("c", 5));
+  Workload w;
+  w.queries.push_back(Query{{c1, c2}, 1.0, "q0"});
+  w.queries.push_back(Query{{c1, range}, 1.0, "q1"});
+
+  std::vector<ClauseStats> stats(3);
+  stats[0].selectivity = 0.2;  // c1
+  stats[1].selectivity = 0.5;  // c2
+  stats[2].selectivity = 0.9;  // range (ignored: unsupported)
+  for (auto& s : stats) s.term_selectivities = {s.selectivity};
+
+  auto plan =
+      SelectPredicates(w, stats, CostModel::Default(), 100.0, /*budget=*/50.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_candidates, 2u);  // range excluded
+  EXPECT_EQ(plan->num_unsupported, 1u);
+  EXPECT_EQ(plan->selected.size(), 2u);
+  EXPECT_TRUE(plan->covers_all_queries);  // c1 alone covers both queries
+  EXPECT_GT(plan->objective_value, 0.0);
+  EXPECT_LE(plan->total_cost_us, 50.0);
+
+  auto registry = BuildRegistry(*plan);
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry->size(), 2u);
+}
+
+TEST(SelectPredicatesTest, ZeroBudgetYieldsEmptyPlan) {
+  Clause c1 = NamedClause("a", 1);
+  Workload w;
+  w.queries.push_back(Query{{c1}, 1.0, "q0"});
+  std::vector<ClauseStats> stats(1);
+  stats[0].selectivity = 0.2;
+  stats[0].term_selectivities = {0.2};
+  auto plan = SelectPredicates(w, stats, CostModel::Default(), 100.0, 0.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->selected.empty());
+  EXPECT_FALSE(plan->covers_all_queries);
+}
+
+TEST(SelectPredicatesTest, StatsSizeMismatchFails) {
+  Workload w;
+  w.queries.push_back(Query{{NamedClause("a", 1)}, 1.0, "q0"});
+  EXPECT_FALSE(SelectPredicates(w, {}, CostModel::Default(), 100, 1).ok());
+}
+
+TEST(SelectPredicatesTest, AlgorithmSelection) {
+  Clause c1 = NamedClause("a", 1);
+  Clause c2 = NamedClause("b", 2);
+  Workload w;
+  w.queries.push_back(Query{{c1, c2}, 1.0, "q0"});
+  std::vector<ClauseStats> stats(2);
+  stats[0] = {0.2, {0.2}};
+  stats[1] = {0.5, {0.5}};
+  for (const auto algo :
+       {SelectionAlgorithm::kBestOfBoth, SelectionAlgorithm::kGreedyBenefit,
+        SelectionAlgorithm::kGreedyRatio, SelectionAlgorithm::kLazyGreedy,
+        SelectionAlgorithm::kExhaustive}) {
+    auto plan = SelectPredicates(w, stats, CostModel::Default(), 100.0, 50.0,
+                                 algo);
+    ASSERT_TRUE(plan.ok()) << SelectionAlgorithmName(algo);
+    EXPECT_EQ(plan->selected.size(), 2u) << SelectionAlgorithmName(algo);
+  }
+}
+
+}  // namespace
+}  // namespace ciao

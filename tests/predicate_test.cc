@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "json/writer.h"
+#include "predicate/pattern_compiler.h"
+#include "predicate/predicate.h"
+#include "predicate/registry.h"
+#include "predicate/semantic_eval.h"
+
+namespace ciao {
+namespace {
+
+// ---------- Model / canonical keys ----------
+
+TEST(PredicateTest, CanonicalKeys) {
+  EXPECT_EQ(SimplePredicate::Exact("name", "Bob").CanonicalKey(),
+            "exact:name=\"Bob\"");
+  EXPECT_EQ(SimplePredicate::Substring("text", "delicious").CanonicalKey(),
+            "substr:text=\"delicious\"");
+  EXPECT_EQ(SimplePredicate::Presence("email").CanonicalKey(),
+            "present:email");
+  EXPECT_EQ(SimplePredicate::KeyValue("age", int64_t{10}).CanonicalKey(),
+            "kv:age=10");
+}
+
+TEST(PredicateTest, ClauseKeyIsOrderInvariant) {
+  Clause a = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                         SimplePredicate::Exact("name", "John")});
+  Clause b = Clause::Or({SimplePredicate::Exact("name", "John"),
+                         SimplePredicate::Exact("name", "Bob")});
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  Clause c = Clause::Of(SimplePredicate::Exact("name", "Bob"));
+  EXPECT_NE(a.CanonicalKey(), c.CanonicalKey());
+}
+
+TEST(PredicateTest, ToSqlRendering) {
+  EXPECT_EQ(SimplePredicate::KeyValue("age", int64_t{10}).ToSql(), "age = 10");
+  EXPECT_EQ(SimplePredicate::Substring("text", "delicious").ToSql(),
+            "text LIKE \"%delicious%\"");
+  EXPECT_EQ(SimplePredicate::Presence("email").ToSql(), "email != NULL");
+  Clause in_list = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                               SimplePredicate::Exact("name", "John")});
+  EXPECT_EQ(in_list.ToSql(), "(name = \"Bob\" OR name = \"John\")");
+  Query q;
+  q.clauses = {in_list, Clause::Of(SimplePredicate::KeyValue("age", 20))};
+  EXPECT_EQ(q.ToSql(),
+            "SELECT COUNT(*) FROM t WHERE (name = \"Bob\" OR name = "
+            "\"John\") AND age = 20");
+}
+
+TEST(PredicateTest, SupportedOnClient) {
+  EXPECT_TRUE(Clause::Of(SimplePredicate::Exact("a", "x")).SupportedOnClient());
+  EXPECT_FALSE(Clause::Of(SimplePredicate::RangeLess("a", int64_t{5}))
+                   .SupportedOnClient());
+  // A disjunction with one unsupported term poisons the whole clause.
+  EXPECT_FALSE(Clause::Or({SimplePredicate::Exact("a", "x"),
+                           SimplePredicate::RangeLess("a", int64_t{5})})
+                   .SupportedOnClient());
+  EXPECT_FALSE(Clause{}.SupportedOnClient());
+}
+
+TEST(WorkloadTest, CountsAndDistinct) {
+  Clause c1 = Clause::Of(SimplePredicate::KeyValue("a", int64_t{1}));
+  Clause c2 = Clause::Of(SimplePredicate::KeyValue("b", int64_t{2}));
+  Clause c3 = Clause::Of(SimplePredicate::KeyValue("c", int64_t{3}));
+  Workload w;
+  w.queries.push_back(Query{{c1, c2}, 1.0, "q0"});
+  w.queries.push_back(Query{{c1}, 1.0, "q1"});
+  w.queries.push_back(Query{{c1, c2, c3}, 1.0, "q2"});
+  EXPECT_EQ(w.TotalPredicateOccurrences(), 6u);
+  EXPECT_EQ(w.MinPredicatesPerQuery(), 1u);
+  EXPECT_EQ(w.MaxPredicatesPerQuery(), 3u);
+  EXPECT_EQ(w.DistinctClauses().size(), 3u);
+  const auto counts = w.ClauseQueryCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 3.0);  // c1 in all three queries
+  EXPECT_EQ(counts[1], 2.0);
+  EXPECT_EQ(counts[2], 1.0);
+}
+
+// ---------- Pattern compilation (Table I) ----------
+
+TEST(PatternCompilerTest, TableOnePatternStrings) {
+  // Exact match: quoted operand.
+  auto exact = RawPredicateProgram::Compile(
+      SimplePredicate::Exact("name", "Bob"));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->PatternStrings(), std::vector<std::string>{"\"Bob\""});
+
+  // Substring: bare needle.
+  auto substr = RawPredicateProgram::Compile(
+      SimplePredicate::Substring("text", "delicious"));
+  ASSERT_TRUE(substr.ok());
+  EXPECT_EQ(substr->PatternStrings(), std::vector<std::string>{"delicious"});
+
+  // Key presence: `"key":`.
+  auto present =
+      RawPredicateProgram::Compile(SimplePredicate::Presence("email"));
+  ASSERT_TRUE(present.ok());
+  EXPECT_EQ(present->PatternStrings(),
+            std::vector<std::string>{"\"email\":"});
+
+  // Key-value: key pattern + serialized value.
+  auto kv = RawPredicateProgram::Compile(
+      SimplePredicate::KeyValue("age", int64_t{10}));
+  ASSERT_TRUE(kv.ok());
+  EXPECT_EQ(kv->PatternStrings(),
+            (std::vector<std::string>{"\"age\":", "10"}));
+  EXPECT_EQ(kv->TotalPatternLength(), 8u);
+}
+
+TEST(PatternCompilerTest, RangeIsUnsupported) {
+  auto r = RawPredicateProgram::Compile(
+      SimplePredicate::RangeLess("age", int64_t{30}));
+  EXPECT_TRUE(r.status().IsUnsupported());
+  auto clause = RawClauseProgram::Compile(
+      Clause::Or({SimplePredicate::Exact("a", "x"),
+                  SimplePredicate::RangeLess("age", int64_t{30})}));
+  EXPECT_FALSE(clause.ok());
+}
+
+TEST(PatternCompilerTest, EmptyClauseRejected) {
+  EXPECT_TRUE(RawClauseProgram::Compile(Clause{}).status().IsInvalidArgument());
+}
+
+TEST(PatternCompilerTest, ExactMatchRequiresString) {
+  EXPECT_TRUE(RawPredicateProgram::Compile(
+                  SimplePredicate{PredicateKind::kExactMatch, "age",
+                                  json::Value(int64_t{10})})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PatternCompilerTest, MatchBehaviour) {
+  const std::string record =
+      R"({"name":"Bob","age":22,"text":"really delicious food","email":null})";
+
+  auto exact =
+      RawPredicateProgram::Compile(SimplePredicate::Exact("name", "Bob"));
+  EXPECT_TRUE(exact->Matches(record));
+  auto exact_miss =
+      RawPredicateProgram::Compile(SimplePredicate::Exact("name", "Alice"));
+  EXPECT_FALSE(exact_miss->Matches(record));
+
+  auto substr = RawPredicateProgram::Compile(
+      SimplePredicate::Substring("text", "delicious"));
+  EXPECT_TRUE(substr->Matches(record));
+
+  // Presence matches even for null values (false positive by design; the
+  // engine verifies).
+  auto present =
+      RawPredicateProgram::Compile(SimplePredicate::Presence("email"));
+  EXPECT_TRUE(present->Matches(record));
+  auto absent =
+      RawPredicateProgram::Compile(SimplePredicate::Presence("phone"));
+  EXPECT_FALSE(absent->Matches(record));
+
+  auto kv =
+      RawPredicateProgram::Compile(SimplePredicate::KeyValue("age", 22));
+  EXPECT_TRUE(kv->Matches(record));
+  auto kv_miss =
+      RawPredicateProgram::Compile(SimplePredicate::KeyValue("age", 23));
+  EXPECT_FALSE(kv_miss->Matches(record));
+}
+
+TEST(PatternCompilerTest, KeyValueFalsePositiveOnPrefixDigits) {
+  // The paper allows false positives: "age":100 contains "10" in the
+  // value window.
+  const std::string record = R"({"age":100,"z":1})";
+  auto kv = RawPredicateProgram::Compile(
+      SimplePredicate::KeyValue("age", int64_t{10}));
+  EXPECT_TRUE(kv->Matches(record));
+}
+
+TEST(PatternCompilerTest, KeyValueNoFalseNegativeOnKeySuffixCollision) {
+  // "score": also occurs inside "linear_score":. The matcher must keep
+  // searching past the first (wrong) key occurrence.
+  const std::string record = R"({"linear_score":77,"score":42})";
+  auto kv = RawPredicateProgram::Compile(
+      SimplePredicate::KeyValue("score", int64_t{42}));
+  EXPECT_TRUE(kv->Matches(record));
+}
+
+TEST(PatternCompilerTest, KeyValueValueWithCommaInside) {
+  // Comma inside the matched string value must not truncate the window.
+  SimplePredicate p =
+      SimplePredicate::KeyValue("note", json::Value(std::string("a,b")));
+  json::Value rec{json::Object{}};
+  rec.Add("note", "a,b");
+  rec.Add("after", int64_t{1});
+  const std::string serialized = json::Write(rec);
+  auto prog = RawPredicateProgram::Compile(p);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(EvaluateSimple(p, rec));
+  EXPECT_TRUE(prog->Matches(serialized));
+}
+
+TEST(PatternCompilerTest, EscapedOperandsStillMatch) {
+  // Substring operand containing JSON-escaped characters.
+  SimplePredicate p =
+      SimplePredicate::Substring("text", "line\nbreak \"quoted\"");
+  json::Value rec{json::Object{}};
+  rec.Add("text", "prefix line\nbreak \"quoted\" suffix");
+  auto prog = RawPredicateProgram::Compile(p);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(EvaluateSimple(p, rec));
+  EXPECT_TRUE(prog->Matches(json::Write(rec)));
+}
+
+TEST(PatternCompilerTest, NestedFieldUsesLeafKey) {
+  auto prog = RawPredicateProgram::Compile(
+      SimplePredicate::Substring("url.domain", "example.com"));
+  ASSERT_TRUE(prog.ok());
+  const std::string record =
+      R"({"url":{"domain":"www.example.com","site":"home"}})";
+  EXPECT_TRUE(prog->Matches(record));
+
+  auto present =
+      RawPredicateProgram::Compile(SimplePredicate::Presence("url.site"));
+  EXPECT_EQ(present->PatternStrings(), std::vector<std::string>{"\"site\":"});
+  EXPECT_TRUE(present->Matches(record));
+}
+
+TEST(PatternCompilerTest, DisjunctionMatchesAnyTerm) {
+  Clause c = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                         SimplePredicate::Exact("name", "John")});
+  auto prog = RawClauseProgram::Compile(c);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_TRUE(prog->Matches(R"({"name":"John"})"));
+  EXPECT_TRUE(prog->Matches(R"({"name":"Bob"})"));
+  EXPECT_FALSE(prog->Matches(R"({"name":"Alice"})"));
+  EXPECT_EQ(prog->num_terms(), 2u);
+  EXPECT_EQ(prog->TotalPatternLength(), 11u);  // "Bob" + "John" with quotes
+}
+
+// ---------- Semantic evaluation ----------
+
+TEST(SemanticEvalTest, AllKinds) {
+  auto rec = json::Parse(
+      R"({"name":"Bob","age":22,"score":1.5,"ok":true,"text":"tasty food",)"
+      R"("email":null,"nested":{"x":7}})");
+  ASSERT_TRUE(rec.ok());
+
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::Exact("name", "Bob"), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::Exact("name", "bob"), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::Exact("age", "22"), *rec));
+
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::Substring("text", "tasty"), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::Substring("text", "salty"), *rec));
+
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::Presence("name"), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::Presence("email"), *rec));  // null
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::Presence("missing"), *rec));
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::Presence("nested.x"), *rec));
+
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::KeyValue("age", 22), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::KeyValue("age", 23), *rec));
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::KeyValue("ok", true), *rec));
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::KeyValue("score", 1.5), *rec));
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::KeyValue("nested.x", 7), *rec));
+
+  // Mixed numeric representations compare numerically.
+  EXPECT_TRUE(
+      EvaluateSimple(SimplePredicate::KeyValue("score", 1.5), *rec));
+  auto rec2 = json::Parse(R"({"v":10})");
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::KeyValue("v", 10.0), *rec2));
+
+  EXPECT_TRUE(EvaluateSimple(SimplePredicate::RangeLess("age", 30), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::RangeLess("age", 22), *rec));
+  EXPECT_FALSE(EvaluateSimple(SimplePredicate::RangeLess("name", 30), *rec));
+}
+
+TEST(SemanticEvalTest, ClauseAndQuery) {
+  auto rec = json::Parse(R"({"name":"Bob","age":20})");
+  Clause name_in = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                               SimplePredicate::Exact("name", "John")});
+  Clause age_is = Clause::Of(SimplePredicate::KeyValue("age", 20));
+  EXPECT_TRUE(EvaluateClause(name_in, *rec));
+
+  Query q;
+  q.clauses = {name_in, age_is};
+  EXPECT_TRUE(EvaluateQuery(q, *rec));
+  q.clauses.push_back(Clause::Of(SimplePredicate::KeyValue("age", 21)));
+  EXPECT_FALSE(EvaluateQuery(q, *rec));
+}
+
+// ---------- Registry ----------
+
+TEST(RegistryTest, RegisterAndLookup) {
+  PredicateRegistry registry;
+  Clause c1 = Clause::Of(SimplePredicate::Exact("name", "Bob"));
+  Clause c2 = Clause::Of(SimplePredicate::KeyValue("age", 10));
+  auto id1 = registry.Register(c1, 0.1, 0.5);
+  auto id2 = registry.Register(c2, 0.2, 0.7);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id1, 0u);
+  EXPECT_EQ(*id2, 1u);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Duplicate registration returns the existing id.
+  auto dup = registry.Register(c1, 0.9, 9.9);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(*dup, 0u);
+  EXPECT_EQ(registry.size(), 2u);
+
+  const RegisteredPredicate* found = registry.Find(c2);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, 1u);
+  EXPECT_DOUBLE_EQ(found->selectivity, 0.2);
+  EXPECT_EQ(registry.FindByKey("nonexistent"), nullptr);
+  EXPECT_NEAR(registry.TotalCostUs(), 1.2, 1e-12);
+}
+
+TEST(RegistryTest, PushedDownIdsForQuery) {
+  PredicateRegistry registry;
+  Clause c1 = Clause::Of(SimplePredicate::Exact("name", "Bob"));
+  Clause c2 = Clause::Of(SimplePredicate::KeyValue("age", 10));
+  Clause c3 = Clause::Of(SimplePredicate::KeyValue("age", 11));
+  ASSERT_TRUE(registry.Register(c1, 0.1, 0.5).ok());
+  ASSERT_TRUE(registry.Register(c2, 0.2, 0.7).ok());
+
+  Query q;
+  q.clauses = {c1, c3};  // c3 not pushed down
+  const auto ids = registry.PushedDownIds(q);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 0u);
+}
+
+TEST(RegistryTest, UnsupportedClauseFailsRegistration) {
+  PredicateRegistry registry;
+  EXPECT_FALSE(
+      registry.Register(Clause::Of(SimplePredicate::RangeLess("a", 5)), 0.1, 1)
+          .ok());
+}
+
+}  // namespace
+}  // namespace ciao

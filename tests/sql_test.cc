@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "sql/parser.h"
+
+namespace ciao::sql {
+namespace {
+
+TEST(SqlParserTest, FullCountQuery) {
+  auto q = ParseQuery(
+      "SELECT COUNT(*) FROM reviews WHERE stars = 5 AND text LIKE "
+      "'%delicious%'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->clauses.size(), 2u);
+  EXPECT_EQ(q->clauses[0].terms[0].CanonicalKey(), "kv:stars=5");
+  EXPECT_EQ(q->clauses[1].terms[0].CanonicalKey(),
+            "substr:text=\"delicious\"");
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  auto q = ParseQuery("select count(*) from t where a = 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses.size(), 1u);
+}
+
+TEST(SqlParserTest, LiteralTypes) {
+  auto q = ParseWhere(
+      "s = 'text' AND i = 42 AND neg = -7 AND d = 2.5 AND b = TRUE AND "
+      "f = false");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->clauses.size(), 6u);
+  EXPECT_EQ(q->clauses[0].terms[0].kind, PredicateKind::kExactMatch);
+  EXPECT_TRUE(q->clauses[1].terms[0].operand.is_int());
+  EXPECT_EQ(q->clauses[2].terms[0].operand.as_int(), -7);
+  EXPECT_TRUE(q->clauses[3].terms[0].operand.is_double());
+  EXPECT_EQ(q->clauses[4].terms[0].operand.as_bool(), true);
+  EXPECT_EQ(q->clauses[5].terms[0].operand.as_bool(), false);
+}
+
+TEST(SqlParserTest, DoubleQuotedStringsAndEscapes) {
+  auto q = ParseWhere(R"(name = "Bo\"b")");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].terms[0].operand.as_string(), "Bo\"b");
+}
+
+TEST(SqlParserTest, PresenceAndRange) {
+  auto q = ParseWhere("email != NULL AND age < 30");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].terms[0].kind, PredicateKind::kKeyPresence);
+  EXPECT_EQ(q->clauses[1].terms[0].kind, PredicateKind::kRangeLess);
+  EXPECT_EQ(q->clauses[1].terms[0].operand.as_int(), 30);
+}
+
+TEST(SqlParserTest, InListBecomesDisjunction) {
+  auto q = ParseWhere("name IN ('Bob', 'John') AND age = 20");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->clauses.size(), 2u);
+  ASSERT_EQ(q->clauses[0].terms.size(), 2u);
+  EXPECT_EQ(q->clauses[0].terms[0].CanonicalKey(), "exact:name=\"Bob\"");
+  EXPECT_EQ(q->clauses[0].terms[1].CanonicalKey(), "exact:name=\"John\"");
+  // Mixed-type IN list.
+  auto q2 = ParseWhere("v IN (1, 2.5, 'x')");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->clauses[0].terms.size(), 3u);
+}
+
+TEST(SqlParserTest, ParenthesizedOrClause) {
+  auto q = ParseWhere("(name = 'Bob' OR name = 'John') AND age = 20");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->clauses.size(), 2u);
+  EXPECT_EQ(q->clauses[0].terms.size(), 2u);
+}
+
+TEST(SqlParserTest, DottedFieldPaths) {
+  auto q = ParseWhere("url.domain LIKE '%example.com%'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses[0].terms[0].field, "url.domain");
+}
+
+TEST(SqlParserTest, RoundTripsThroughToSql) {
+  // ToSql output re-parses to the same canonical clause keys.
+  const char* cases[] = {
+      "stars = 5 AND text LIKE '%delicious%'",
+      "(name = 'Bob' OR name = 'John') AND age = 20",
+      "email != NULL",
+  };
+  for (const char* text : cases) {
+    auto q1 = ParseWhere(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    std::string sql = q1->ToSql();
+    // Our ToSql uses double quotes — already accepted by the lexer.
+    auto q2 = ParseQuery(sql);
+    ASSERT_TRUE(q2.ok()) << sql;
+    ASSERT_EQ(q1->clauses.size(), q2->clauses.size());
+    for (size_t i = 0; i < q1->clauses.size(); ++i) {
+      EXPECT_EQ(q1->clauses[i].CanonicalKey(), q2->clauses[i].CanonicalKey());
+    }
+  }
+}
+
+TEST(SqlParserTest, ParsedQueriesEvaluateCorrectly) {
+  auto rec = json::Parse(
+      R"({"name":"Bob","age":20,"text":"really delicious","email":null})");
+  auto q = ParseWhere(
+      "name IN ('Bob','John') AND age = 20 AND text LIKE '%delicious%'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(EvaluateQuery(*q, *rec));
+  auto q2 = ParseWhere("email != NULL");
+  EXPECT_FALSE(EvaluateQuery(*q2, *rec));
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE a = 1").ok());  // not COUNT(*)
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t").ok());       // no WHERE
+  EXPECT_FALSE(ParseWhere("a = ").ok());
+  EXPECT_FALSE(ParseWhere("a != 5").ok());       // only != NULL
+  EXPECT_FALSE(ParseWhere("a LIKE 'no_wildcards'").ok());
+  EXPECT_FALSE(ParseWhere("a LIKE '%mid%dle%'").ok());
+  EXPECT_FALSE(ParseWhere("a < 'string'").ok());
+  EXPECT_FALSE(ParseWhere("a = 'unterminated").ok());
+  EXPECT_FALSE(ParseWhere("a = 1 extra").ok());
+  EXPECT_FALSE(ParseWhere("(a = 1 OR b = 2").ok());   // missing ')'
+  EXPECT_FALSE(ParseWhere("a IN ()").ok());
+  EXPECT_FALSE(ParseWhere("a = 1 AND").ok());
+  EXPECT_FALSE(ParseWhere("@#!").ok());
+  // Errors carry offsets.
+  auto r = ParseWhere("a = ");
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ciao::sql

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "columnar/file_reader.h"
+#include "common/random.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "storage/catalog.h"
+#include "storage/jit_loader.h"
+#include "storage/partial_loader.h"
+#include "storage/raw_store.h"
+#include "storage/transport.h"
+#include "workload/dataset.h"
+
+namespace ciao {
+namespace {
+
+// ---------- RawStore ----------
+
+TEST(RawStoreTest, AppendAndRead) {
+  RawStore store;
+  EXPECT_TRUE(store.empty());
+  store.Append(R"({"a":1})");
+  store.Append(R"({"b":2})");
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Record(0), R"({"a":1})");
+  EXPECT_EQ(store.Record(1), R"({"b":2})");
+  EXPECT_EQ(store.byte_size(), 14u);
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.byte_size(), 0u);
+}
+
+// ---------- ChunkMessage ----------
+
+json::JsonChunk MakeChunk(const std::vector<std::string>& records) {
+  json::JsonChunk chunk;
+  for (const auto& r : records) chunk.AppendSerialized(r);
+  return chunk;
+}
+
+TEST(ChunkMessageTest, SerializeRoundTrip) {
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})", R"({"a":2})", R"({"a":3})"});
+  msg.predicate_ids = {0, 2};
+  msg.annotations = BitVectorSet(2, 3);
+  msg.annotations.mutable_vector(0)->Set(1, true);
+  msg.annotations.mutable_vector(1)->Set(2, true);
+
+  std::string payload;
+  msg.SerializeTo(&payload);
+  auto decoded = ChunkMessage::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->chunk.size(), 3u);
+  EXPECT_EQ(decoded->chunk.Record(1), R"({"a":2})");
+  EXPECT_EQ(decoded->predicate_ids, msg.predicate_ids);
+  EXPECT_TRUE(decoded->annotations == msg.annotations);
+}
+
+TEST(ChunkMessageTest, DeserializeRejectsGarbage) {
+  EXPECT_TRUE(ChunkMessage::Deserialize("XXXX").status().IsCorruption());
+  EXPECT_TRUE(ChunkMessage::Deserialize("").status().IsCorruption());
+
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})"});
+  msg.predicate_ids = {0};
+  msg.annotations = BitVectorSet(1, 1);
+  std::string payload;
+  msg.SerializeTo(&payload);
+  EXPECT_TRUE(ChunkMessage::Deserialize(payload.substr(0, payload.size() - 3))
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(ChunkMessageTest, ExpandAnnotationsConservative) {
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})", R"({"a":2})"});
+  msg.predicate_ids = {1};  // evaluated only registry id 1
+  msg.annotations = BitVectorSet(1, 2);
+  msg.annotations.mutable_vector(0)->Set(0, true);
+
+  auto expanded = msg.ExpandAnnotations(3);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->num_predicates(), 3u);
+  // Unevaluated predicates 0 and 2: all ones ("maybe").
+  EXPECT_TRUE(expanded->vector(0).All());
+  EXPECT_TRUE(expanded->vector(2).All());
+  // Evaluated predicate 1: the client's exact bits.
+  EXPECT_TRUE(expanded->vector(1).Get(0));
+  EXPECT_FALSE(expanded->vector(1).Get(1));
+
+  EXPECT_TRUE(msg.ExpandAnnotations(1).status().IsOutOfRange());
+}
+
+// ---------- Transports ----------
+
+TEST(TransportTest, InMemoryFifo) {
+  InMemoryTransport transport;
+  ASSERT_TRUE(transport.Send("one").ok());
+  ASSERT_TRUE(transport.Send("two").ok());
+  EXPECT_EQ(transport.bytes_sent(), 6u);
+  EXPECT_EQ(transport.pending(), 2u);
+  EXPECT_EQ(**transport.Receive(), "one");
+  EXPECT_EQ(**transport.Receive(), "two");
+  EXPECT_FALSE(transport.Receive()->has_value());
+}
+
+TEST(TransportTest, FileTransportRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ciao_transport_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FileTransport transport(dir);
+  // Embedded NUL: file transport must be binary-safe.
+  ASSERT_TRUE(transport.Send(std::string("payload with \0 binary", 21)).ok());
+  ASSERT_TRUE(transport.Send(std::string("second")).ok());
+  auto first = transport.Receive();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ(**first, std::string("payload with \0 binary", 21));
+  EXPECT_EQ(**transport.Receive(), "second");
+  EXPECT_FALSE(transport.Receive()->has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- PartialLoader ----------
+
+struct LoaderFixture {
+  columnar::Schema schema{{{"a", columnar::ColumnType::kInt64},
+                           {"s", columnar::ColumnType::kString}}};
+  TableCatalog catalog{schema};
+  LoadStats stats;
+
+  json::JsonChunk Chunk(size_t n) {
+    json::JsonChunk chunk;
+    for (size_t i = 0; i < n; ++i) {
+      chunk.AppendSerialized("{\"a\":" + std::to_string(i) +
+                             ",\"s\":\"v" + std::to_string(i % 3) + "\"}");
+    }
+    return chunk;
+  }
+};
+
+TEST(PartialLoaderTest, SplitsExactlyByUnionOfBits) {
+  LoaderFixture fx;
+  PartialLoader loader(fx.schema, 2);
+  json::JsonChunk chunk = fx.Chunk(10);
+
+  BitVectorSet annotations(2, 10);
+  // Predicate 0 matches rows 1,3 ; predicate 1 matches rows 3,7.
+  annotations.mutable_vector(0)->Set(1, true);
+  annotations.mutable_vector(0)->Set(3, true);
+  annotations.mutable_vector(1)->Set(3, true);
+  annotations.mutable_vector(1)->Set(7, true);
+
+  ASSERT_TRUE(loader
+                  .IngestChunk(chunk, annotations,
+                               /*partial_loading_enabled=*/true, &fx.catalog,
+                               &fx.stats)
+                  .ok());
+  EXPECT_EQ(fx.stats.records_in, 10u);
+  EXPECT_EQ(fx.stats.records_loaded, 3u);     // rows 1, 3, 7
+  EXPECT_EQ(fx.stats.records_sidelined, 7u);
+  EXPECT_NEAR(fx.stats.LoadingRatio(), 0.3, 1e-12);
+  EXPECT_EQ(fx.catalog.loaded_rows(), 3u);
+  EXPECT_EQ(fx.catalog.raw_rows(), 7u);
+  EXPECT_GT(fx.stats.parse_seconds, 0.0);
+
+  // The loaded segment's annotations are compacted to the loaded rows,
+  // preserving per-predicate bits: rows [1,3,7] -> p0=[1,1,0], p1=[0,1,1].
+  auto reader =
+      columnar::TableReader::OpenBorrowed(fx.catalog.segment(0).file_bytes);
+  ASSERT_TRUE(reader.ok());
+  auto meta = reader->ReadMeta(0);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_rows, 3u);
+  EXPECT_TRUE(meta->annotations.vector(0).Get(0));
+  EXPECT_TRUE(meta->annotations.vector(0).Get(1));
+  EXPECT_FALSE(meta->annotations.vector(0).Get(2));
+  EXPECT_FALSE(meta->annotations.vector(1).Get(0));
+  EXPECT_TRUE(meta->annotations.vector(1).Get(1));
+  EXPECT_TRUE(meta->annotations.vector(1).Get(2));
+
+  // Sidelined rows are exactly the all-zero rows, in order.
+  EXPECT_EQ(fx.catalog.raw().Record(0), chunk.Record(0));
+  EXPECT_EQ(fx.catalog.raw().Record(1), chunk.Record(2));
+
+  // Loaded column data matches the original records.
+  auto batch = reader->ReadBatch(0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->column(0).GetInt64(0), 1);
+  EXPECT_EQ(batch->column(0).GetInt64(1), 3);
+  EXPECT_EQ(batch->column(0).GetInt64(2), 7);
+}
+
+TEST(PartialLoaderTest, DisabledPartialLoadingLoadsEverything) {
+  LoaderFixture fx;
+  PartialLoader loader(fx.schema, 1);
+  BitVectorSet annotations(1, 10);  // all zeros
+  ASSERT_TRUE(loader
+                  .IngestChunk(fx.Chunk(10), annotations,
+                               /*partial_loading_enabled=*/false, &fx.catalog,
+                               &fx.stats)
+                  .ok());
+  EXPECT_EQ(fx.stats.records_loaded, 10u);
+  EXPECT_EQ(fx.stats.records_sidelined, 0u);
+  EXPECT_EQ(fx.catalog.raw_rows(), 0u);
+  // Annotations still stored for data skipping.
+  auto reader =
+      columnar::TableReader::OpenBorrowed(fx.catalog.segment(0).file_bytes);
+  EXPECT_EQ(reader->ReadMeta(0)->annotations.num_predicates(), 1u);
+}
+
+TEST(PartialLoaderTest, BaselineZeroPredicatesLoadsEverything) {
+  LoaderFixture fx;
+  PartialLoader loader(fx.schema, 0);
+  ASSERT_TRUE(loader
+                  .IngestChunk(fx.Chunk(5), BitVectorSet(),
+                               /*partial_loading_enabled=*/true, &fx.catalog,
+                               &fx.stats)
+                  .ok());
+  EXPECT_EQ(fx.stats.records_loaded, 5u);
+  EXPECT_EQ(fx.catalog.raw_rows(), 0u);
+}
+
+TEST(PartialLoaderTest, MalformedRecordSkippedNotFatal) {
+  LoaderFixture fx;
+  PartialLoader loader(fx.schema, 1);
+  json::JsonChunk chunk;
+  chunk.AppendSerialized(R"({"a":1,"s":"x"})");
+  chunk.AppendSerialized("{definitely broken");
+  chunk.AppendSerialized(R"({"a":3,"s":"y"})");
+  BitVectorSet annotations(1, 3);
+  for (size_t i = 0; i < 3; ++i) annotations.mutable_vector(0)->Set(i, true);
+
+  ASSERT_TRUE(loader
+                  .IngestChunk(chunk, annotations, true, &fx.catalog,
+                               &fx.stats)
+                  .ok());
+  EXPECT_EQ(fx.stats.parse_errors, 1u);
+  EXPECT_EQ(fx.stats.records_loaded, 2u);
+  // The loaded group's annotations stay aligned (2 rows).
+  auto reader =
+      columnar::TableReader::OpenBorrowed(fx.catalog.segment(0).file_bytes);
+  EXPECT_EQ(reader->ReadMeta(0)->num_rows, 2u);
+}
+
+TEST(PartialLoaderTest, AnnotationMismatchRejected) {
+  LoaderFixture fx;
+  PartialLoader loader(fx.schema, 2);
+  EXPECT_TRUE(loader
+                  .IngestChunk(fx.Chunk(4), BitVectorSet(1, 4), true,
+                               &fx.catalog, &fx.stats)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(loader
+                  .IngestChunk(fx.Chunk(4), BitVectorSet(2, 5), true,
+                               &fx.catalog, &fx.stats)
+                  .IsInvalidArgument());
+}
+
+// ---------- JIT loader ----------
+
+TEST(JitLoaderTest, ForEachRawRecordParsesAndCounts) {
+  RawStore store;
+  store.Append(R"({"a":1,"s":"x"})");
+  store.Append("{bad json");
+  store.Append(R"({"a":2,"s":"y"})");
+
+  JitStats stats;
+  int64_t sum = 0;
+  ASSERT_TRUE(ForEachRawRecord(
+                  store,
+                  [&](const json::Value& v) { sum += v.Find("a")->as_int(); },
+                  &stats)
+                  .ok());
+  EXPECT_EQ(stats.records_parsed, 2u);
+  EXPECT_EQ(stats.parse_errors, 1u);
+  EXPECT_EQ(sum, 3);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(JitLoaderTest, PromoteRawToColumnar) {
+  LoaderFixture fx;
+  PartialLoader loader(fx.schema, 1);
+  BitVectorSet annotations(1, 6);
+  annotations.mutable_vector(0)->Set(0, true);  // only row 0 loaded
+  ASSERT_TRUE(loader
+                  .IngestChunk(fx.Chunk(6), annotations, true, &fx.catalog,
+                               &fx.stats)
+                  .ok());
+  ASSERT_EQ(fx.catalog.raw_rows(), 5u);
+  const uint64_t loaded_before = fx.catalog.loaded_rows();
+
+  JitStats jit;
+  ASSERT_TRUE(PromoteRawToColumnar(&fx.catalog, 1, &jit).ok());
+  EXPECT_EQ(fx.catalog.raw_rows(), 0u);
+  EXPECT_EQ(fx.catalog.loaded_rows(), loaded_before + 5);
+  EXPECT_EQ(jit.records_parsed, 5u);
+
+  // Promoted rows carry all-zero annotations (skipping stays sound).
+  const size_t last = fx.catalog.num_segments() - 1;
+  auto reader =
+      columnar::TableReader::OpenBorrowed(fx.catalog.segment(last).file_bytes);
+  auto meta = reader->ReadMeta(0);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->annotations.num_predicates(), 1u);
+  EXPECT_FALSE(meta->annotations.vector(0).Any());
+
+  // Promoting an empty raw store is a no-op.
+  ASSERT_TRUE(PromoteRawToColumnar(&fx.catalog, 1, &jit).ok());
+}
+
+// ---------- Catalog ----------
+
+TEST(CatalogTest, CountersAndRatio) {
+  columnar::Schema schema({{"a", columnar::ColumnType::kInt64}});
+  TableCatalog catalog(schema);
+  EXPECT_EQ(catalog.LoadingRatio(), 1.0);
+  catalog.AddSegment("fake-bytes", 10);
+  catalog.mutable_raw()->Append("{}");
+  catalog.mutable_raw()->Append("{}");
+  EXPECT_EQ(catalog.loaded_rows(), 10u);
+  EXPECT_EQ(catalog.raw_rows(), 2u);
+  EXPECT_NEAR(catalog.LoadingRatio(), 10.0 / 12.0, 1e-12);
+  EXPECT_EQ(catalog.columnar_bytes(), 10u);
+}
+
+}  // namespace
+}  // namespace ciao

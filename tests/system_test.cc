@@ -1,0 +1,336 @@
+// End-to-end integration tests of the CiaoSystem facade: the whole
+// pipeline (select -> prefilter -> transport -> partial load -> query)
+// must return exactly the counts a brute-force scan of the original JSON
+// produces — for every dataset, every budget, every workload shape.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sql/parser.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "workload/dataset.h"
+#include "workload/micro_workloads.h"
+#include "workload/query_gen.h"
+#include "workload/templates.h"
+
+namespace ciao {
+namespace {
+
+uint64_t BruteForceCount(const std::vector<std::string>& records,
+                         const Query& q) {
+  uint64_t count = 0;
+  for (const std::string& r : records) {
+    auto v = json::Parse(r);
+    if (v.ok() && EvaluateQuery(q, *v)) ++count;
+  }
+  return count;
+}
+
+struct SystemCase {
+  workload::DatasetKind kind;
+  double budget_us;
+};
+
+class SystemCorrectnessTest : public ::testing::TestWithParam<SystemCase> {};
+
+TEST_P(SystemCorrectnessTest, CountsMatchBruteForceAtEveryBudget) {
+  const SystemCase param = GetParam();
+  workload::GeneratorOptions gen;
+  gen.num_records = 600;
+  gen.seed = 11;
+  const workload::Dataset ds = workload::GenerateDataset(param.kind, gen);
+  const auto pool = workload::TemplatesFor(param.kind).AllCandidates();
+
+  workload::WorkloadSpec spec;
+  spec.num_queries = 25;
+  spec.distribution = workload::PredicateDistribution::kZipfian;
+  spec.zipf_s = 2.0;
+  spec.seed = 3;
+  Workload wl = workload::GenerateWorkload(pool, spec);
+
+  CiaoConfig config;
+  config.budget_us = param.budget_us;
+  config.chunk_size = 128;
+  config.sample_size = 400;
+  auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                      CostModel::Default());
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  ASSERT_TRUE((*system)->IngestRecords(ds.records).ok());
+  // Partition invariant: every record is either loaded or sidelined.
+  const LoadStats& ls = (*system)->load_stats();
+  EXPECT_EQ(ls.records_in, ds.records.size());
+  EXPECT_EQ(ls.records_loaded + ls.records_sidelined, ls.records_in);
+  EXPECT_EQ(ls.parse_errors, 0u);
+
+  auto results = (*system)->ExecuteWorkload();
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), wl.queries.size());
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    EXPECT_EQ((*results)[i].count, BruteForceCount(ds.records, wl.queries[i]))
+        << wl.queries[i].ToSql() << " budget=" << param.budget_us;
+  }
+
+  const EndToEndReport report = (*system)->BuildReport("test");
+  EXPECT_EQ(report.queries_run, wl.queries.size());
+  EXPECT_GE(report.loading_seconds, 0.0);
+  if (param.budget_us == 0.0) {
+    // Baseline: nothing pushed, everything loaded, no skipping.
+    EXPECT_EQ(report.predicates_pushed, 0u);
+    EXPECT_FALSE(report.partial_loading);
+    EXPECT_EQ(report.loading_ratio, 1.0);
+    EXPECT_EQ(report.queries_skipping, 0u);
+  } else {
+    EXPECT_GT(report.predicates_pushed, 0u);
+    EXPECT_GT(report.prefilter_seconds, 0.0);
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SystemCase>& info) {
+  std::string name(workload::DatasetKindName(info.param.kind));
+  name += "_budget_";
+  name += std::to_string(static_cast<int>(info.param.budget_us * 10));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetSweep, SystemCorrectnessTest,
+    ::testing::Values(SystemCase{workload::DatasetKind::kWinLog, 0.0},
+                      SystemCase{workload::DatasetKind::kWinLog, 0.5},
+                      SystemCase{workload::DatasetKind::kWinLog, 3.0},
+                      SystemCase{workload::DatasetKind::kWinLog, 50.0},
+                      SystemCase{workload::DatasetKind::kYelp, 0.0},
+                      SystemCase{workload::DatasetKind::kYelp, 3.0},
+                      SystemCase{workload::DatasetKind::kYcsb, 0.0},
+                      SystemCase{workload::DatasetKind::kYcsb, 5.0}),
+    CaseName);
+
+TEST(SystemTest, BudgetIsRespectedByThePlan) {
+  const workload::Dataset ds = workload::GenerateWinLog({400, 13});
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kWinLog).AllCandidates();
+  Workload wl = workload::WorkloadA(pool, 9);
+  wl.queries.resize(20);
+
+  for (const double budget : {0.0, 0.5, 1.0, 3.0, 9.0}) {
+    CiaoConfig config;
+    config.budget_us = budget;
+    config.sample_size = 300;
+    auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                        CostModel::Default());
+    ASSERT_TRUE(system.ok());
+    EXPECT_LE((*system)->plan().total_cost_us, budget + 1e-9);
+  }
+}
+
+TEST(SystemTest, LargerBudgetsNeverReduceObjective) {
+  const workload::Dataset ds = workload::GenerateYelp({400, 17});
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYelp).AllCandidates();
+  Workload wl = workload::WorkloadB(pool, 5);
+  wl.queries.resize(30);
+
+  double prev_objective = -1.0;
+  for (const double budget : {0.0, 1.0, 2.0, 5.0, 10.0, 30.0}) {
+    CiaoConfig config;
+    config.budget_us = budget;
+    config.sample_size = 300;
+    auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                        CostModel::Default());
+    ASSERT_TRUE(system.ok());
+    const double objective = (*system)->plan().objective_value;
+    EXPECT_GE(objective, prev_objective - 1e-9) << "budget=" << budget;
+    prev_objective = objective;
+  }
+}
+
+TEST(SystemTest, ManualBootstrapMicroWorkloadSelectivity) {
+  const workload::Dataset ds = workload::GenerateWinLog({800, 23});
+  const auto tier = workload::MicroTierPredicates(0.01);
+  const workload::MicroWorkload mw =
+      workload::BuildSelectivityWorkload(tier, "0.01");
+
+  CiaoConfig config;
+  config.chunk_size = 200;
+  config.sample_size = 500;
+  auto system = CiaoSystem::BootstrapManual(
+      ds.schema, mw.workload, mw.push_down, ds.records, config,
+      CostModel::Default());
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  // Pushed predicates cover every query -> partial loading engaged.
+  EXPECT_TRUE((*system)->partial_loading_enabled());
+  ASSERT_TRUE((*system)->IngestRecords(ds.records).ok());
+  // Two predicates of sel 0.01: loading ratio ~ 1-(1-.01)^2 ~ 0.02.
+  EXPECT_LT((*system)->load_stats().LoadingRatio(), 0.08);
+
+  auto results = (*system)->ExecuteWorkload();
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 0; i < mw.workload.queries.size(); ++i) {
+    EXPECT_EQ((*results)[i].count,
+              BruteForceCount(ds.records, mw.workload.queries[i]));
+    EXPECT_EQ((*results)[i].plan, PlanKind::kSkippingScan);
+  }
+}
+
+TEST(SystemTest, UncoveredWorkloadDisablesPartialLoadingButStillSkips) {
+  const workload::Dataset ds = workload::GenerateWinLog({500, 27});
+  const auto pool = workload::MicroTierPredicates(0.15);
+  const workload::MicroWorkload mw =
+      workload::BuildOverlapWorkload(workload::OverlapLevel::kLow, pool);
+
+  CiaoConfig config;
+  config.sample_size = 400;
+  auto system = CiaoSystem::BootstrapManual(
+      ds.schema, mw.workload, mw.push_down, ds.records, config,
+      CostModel::Default());
+  ASSERT_TRUE(system.ok());
+  EXPECT_FALSE((*system)->partial_loading_enabled());
+
+  ASSERT_TRUE((*system)->IngestRecords(ds.records).ok());
+  EXPECT_EQ((*system)->load_stats().LoadingRatio(), 1.0);  // full load
+  EXPECT_EQ((*system)->catalog().raw_rows(), 0u);
+
+  auto results = (*system)->ExecuteWorkload();
+  ASSERT_TRUE(results.ok());
+  // q0/q1 contain pushed predicates -> skipping plans; all counts right.
+  size_t skipping = 0;
+  for (size_t i = 0; i < mw.workload.queries.size(); ++i) {
+    EXPECT_EQ((*results)[i].count,
+              BruteForceCount(ds.records, mw.workload.queries[i]));
+    if ((*results)[i].plan == PlanKind::kSkippingScan) ++skipping;
+  }
+  EXPECT_EQ(skipping, 2u);
+}
+
+TEST(SystemTest, IncrementalIngestAcrossMultipleCalls) {
+  const workload::Dataset ds = workload::GenerateYcsb({300, 29});
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYcsb).AllCandidates();
+  workload::WorkloadSpec spec;
+  spec.num_queries = 10;
+  spec.seed = 7;
+  Workload wl = workload::GenerateWorkload(pool, spec);
+
+  CiaoConfig config;
+  config.budget_us = 10.0;
+  config.chunk_size = 64;
+  config.sample_size = 200;
+  auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                      CostModel::Default());
+  ASSERT_TRUE(system.ok());
+
+  // Ingest in three batches, as a stream of client uploads.
+  const size_t third = ds.records.size() / 3;
+  std::vector<std::string> part1(ds.records.begin(),
+                                 ds.records.begin() + third);
+  std::vector<std::string> part2(ds.records.begin() + third,
+                                 ds.records.begin() + 2 * third);
+  std::vector<std::string> part3(ds.records.begin() + 2 * third,
+                                 ds.records.end());
+  ASSERT_TRUE((*system)->IngestRecords(part1).ok());
+  ASSERT_TRUE((*system)->IngestRecords(part2).ok());
+  ASSERT_TRUE((*system)->IngestRecords(part3).ok());
+  EXPECT_EQ((*system)->load_stats().records_in, ds.records.size());
+
+  auto results = (*system)->ExecuteWorkload();
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    EXPECT_EQ((*results)[i].count, BruteForceCount(ds.records, wl.queries[i]));
+  }
+}
+
+TEST(SystemTest, KeepZeroGainMatchesPaperAlgorithm) {
+  // The paper's Algorithms 1/2 keep adding predicates while budget
+  // remains even at zero marginal gain; our default stops. Both must
+  // yield the same f(S); keep_zero_gain may only spend more budget.
+  const workload::Dataset ds = workload::GenerateWinLog({300, 71});
+  const auto pool = workload::MicroTierPredicates(0.15);
+  Workload wl;
+  Query q;
+  q.name = "q0";
+  q.clauses = {pool[0]};
+  wl.queries.push_back(q);  // single query: extra predicates gain nothing
+
+  for (const bool keep : {false, true}) {
+    CiaoConfig config;
+    config.budget_us = 1000.0;  // room for many predicates
+    config.sample_size = 300;
+    config.keep_zero_gain = keep;
+    auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                        CostModel::Default());
+    ASSERT_TRUE(system.ok());
+    if (keep) {
+      // Paper-faithful: budget allows pushing clauses that gain nothing
+      // (there is only one candidate clause here, so sizes still match;
+      // the flag is exercised through the greedy loop).
+      EXPECT_GE((*system)->registry().size(), 1u);
+    } else {
+      EXPECT_EQ((*system)->registry().size(), 1u);
+    }
+    EXPECT_GT((*system)->plan().objective_value, 0.0);
+  }
+}
+
+TEST(SystemTest, SqlParsedQueriesExecute) {
+  const workload::Dataset ds = workload::GenerateYelp({400, 73});
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYelp).AllCandidates();
+  workload::WorkloadSpec spec;
+  spec.num_queries = 10;
+  spec.seed = 3;
+  Workload wl = workload::GenerateWorkload(pool, spec);
+
+  CiaoConfig config;
+  config.budget_us = 20.0;
+  config.sample_size = 300;
+  auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                      CostModel::Default());
+  ASSERT_TRUE(system.ok());
+  ASSERT_TRUE((*system)->IngestRecords(ds.records).ok());
+
+  auto q = sql::ParseQuery(
+      "SELECT COUNT(*) FROM reviews WHERE stars = 5 AND text LIKE "
+      "'%delicious%'");
+  ASSERT_TRUE(q.ok());
+  auto result = (*system)->ExecuteQuery(*q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, BruteForceCount(ds.records, *q));
+
+  // IN-list through the full pipeline.
+  auto q2 = sql::ParseWhere("stars IN (4, 5)");
+  ASSERT_TRUE(q2.ok());
+  auto r2 = (*system)->ExecuteQuery(*q2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->count, BruteForceCount(ds.records, *q2));
+}
+
+TEST(SystemTest, ReportFormatting) {
+  EndToEndReport r;
+  r.label = "demo";
+  r.budget_us = 1.5;
+  r.predicates_pushed = 3;
+  r.partial_loading = true;
+  r.prefilter_seconds = 0.5;
+  r.loading_seconds = 1.0;
+  r.query_seconds = 2.0;
+  r.loading_ratio = 0.25;
+  r.queries_run = 10;
+  r.queries_skipping = 7;
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(), 3.5);
+  const std::string table = FormatReports({r});
+  EXPECT_NE(table.find("demo"), std::string::npos);
+  EXPECT_NE(table.find("7/10"), std::string::npos);
+  EXPECT_NE(table.find("0.250"), std::string::npos);
+
+  TablePrinter printer({"col_a", "b"});
+  printer.AddRow({"1", "two"});
+  printer.AddRow({"longer", "x"});
+  const std::string text = printer.ToString();
+  EXPECT_NE(text.find("col_a"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ciao

@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/stats.h"
+#include "columnar/json_converter.h"
+#include "json/parser.h"
+#include "predicate/semantic_eval.h"
+#include "workload/dataset.h"
+#include "workload/history.h"
+#include "workload/micro_workloads.h"
+#include "workload/query_gen.h"
+#include "workload/selectivity.h"
+#include "workload/templates.h"
+
+namespace ciao::workload {
+namespace {
+
+// ---------- Generators ----------
+
+class GeneratorTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorTest, DeterministicUnderSeed) {
+  GeneratorOptions opt;
+  opt.num_records = 50;
+  opt.seed = 99;
+  const Dataset a = GenerateDataset(GetParam(), opt);
+  const Dataset b = GenerateDataset(GetParam(), opt);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]);
+  }
+  opt.seed = 100;
+  const Dataset c = GenerateDataset(GetParam(), opt);
+  EXPECT_NE(a.records[0], c.records[0]);
+}
+
+TEST_P(GeneratorTest, RecordsParseAndConformToSchema) {
+  GeneratorOptions opt;
+  opt.num_records = 200;
+  const Dataset ds = GenerateDataset(GetParam(), opt);
+  EXPECT_EQ(ds.records.size(), 200u);
+  EXPECT_GT(ds.MeanRecordLength(), 20.0);
+  EXPECT_GT(ds.TotalBytes(), 0u);
+
+  columnar::BatchBuilder builder(ds.schema);
+  for (const std::string& r : ds.records) {
+    ASSERT_TRUE(builder.AppendSerialized(r).ok()) << r;
+  }
+  // Generators never emit schema-violating values.
+  EXPECT_EQ(builder.coercion_errors(), 0u);
+  EXPECT_EQ(builder.Finish().num_rows(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorTest,
+                         ::testing::Values(DatasetKind::kYelp,
+                                           DatasetKind::kWinLog,
+                                           DatasetKind::kYcsb),
+                         [](const auto& info) {
+                           return std::string(DatasetKindName(info.param));
+                         });
+
+TEST(GeneratorTest, YelpFieldDistributions) {
+  const Dataset ds = GenerateYelp({2000, 5});
+  size_t stars5 = 0, has_delicious = 0;
+  for (const std::string& r : ds.records) {
+    auto v = json::Parse(r);
+    ASSERT_TRUE(v.ok());
+    const int64_t stars = v->Find("stars")->as_int();
+    ASSERT_GE(stars, 1);
+    ASSERT_LE(stars, 5);
+    if (stars == 5) ++stars5;
+    if (v->Find("text")->as_string().find("delicious") != std::string::npos) {
+      ++has_delicious;
+    }
+    const std::string& date = v->Find("date")->as_string();
+    ASSERT_EQ(date.size(), 10u);
+    ASSERT_GE(date.substr(0, 4), "2004");
+    ASSERT_LE(date.substr(0, 4), "2017");
+  }
+  EXPECT_NEAR(stars5 / 2000.0, 0.35, 0.05);
+  EXPECT_NEAR(has_delicious / 2000.0, 0.20, 0.04);
+}
+
+TEST(GeneratorTest, WinLogMicroMarkerFrequencies) {
+  const Dataset ds = GenerateWinLog({4000, 5});
+  // Tier tokens appear independently with the tier probability.
+  size_t hits35 = 0, hits01 = 0;
+  for (const std::string& r : ds.records) {
+    if (r.find("mk035_0") != std::string::npos) ++hits35;
+    if (r.find("mk001_0") != std::string::npos) ++hits01;
+  }
+  EXPECT_NEAR(hits35 / 4000.0, 0.35, 0.03);
+  EXPECT_NEAR(hits01 / 4000.0, 0.01, 0.006);
+}
+
+TEST(GeneratorTest, YcsbNullableEmailAndNestedFields) {
+  const Dataset ds = GenerateYcsb({1000, 5});
+  size_t null_email = 0;
+  for (const std::string& r : ds.records) {
+    auto v = json::Parse(r);
+    ASSERT_TRUE(v.ok());
+    const json::Value* email = v->Find("email");
+    ASSERT_NE(email, nullptr);
+    if (email->is_null()) ++null_email;
+    ASSERT_NE(v->FindPath("url.domain"), nullptr);
+    ASSERT_NE(v->FindPath("name.first"), nullptr);
+    ASSERT_NE(v->FindPath("address.city"), nullptr);
+  }
+  EXPECT_NEAR(null_email / 1000.0, 0.10, 0.04);
+}
+
+// ---------- Templates (Table II) ----------
+
+TEST(TemplateTest, TableTwoCandidateCounts) {
+  const TemplatePool yelp = TemplatesFor(DatasetKind::kYelp);
+  ASSERT_EQ(yelp.templates.size(), 8u);  // Table II: 8 Yelp templates
+  EXPECT_EQ(yelp.templates[0].num_candidates, 100u);  // useful
+  EXPECT_EQ(yelp.templates[3].num_candidates, 5u);    // stars
+  EXPECT_EQ(yelp.templates[4].num_candidates, 5u);    // user_id
+  EXPECT_EQ(yelp.templates[5].num_candidates, 5u);    // text LIKE
+  EXPECT_EQ(yelp.templates[6].num_candidates, 14u);   // year
+  EXPECT_EQ(yelp.templates[7].num_candidates, 12u);   // month
+  EXPECT_EQ(yelp.TotalCandidates(), 341u);
+
+  const TemplatePool winlog = TemplatesFor(DatasetKind::kWinLog);
+  ASSERT_EQ(winlog.templates.size(), 6u);  // Table II: 6 WinLog templates
+  EXPECT_EQ(winlog.templates[0].num_candidates, 200u);  // info LIKE
+
+  const TemplatePool ycsb = TemplatesFor(DatasetKind::kYcsb);
+  ASSERT_EQ(ycsb.templates.size(), 9u);  // Table II: 9 YCSB templates
+  EXPECT_EQ(ycsb.templates[0].num_candidates, 2u);    // isActive
+  EXPECT_EQ(ycsb.templates[6].num_candidates, 12u);   // url_domain
+  EXPECT_EQ(ycsb.templates[7].num_candidates, 14u);   // url_site
+  EXPECT_EQ(ycsb.templates[8].num_candidates, 2u);    // email
+}
+
+TEST(TemplateTest, CandidatesAreDistinctAndSupported) {
+  for (const auto kind :
+       {DatasetKind::kYelp, DatasetKind::kWinLog, DatasetKind::kYcsb}) {
+    const auto pool = TemplatesFor(kind).AllCandidates();
+    std::set<std::string> keys;
+    for (const Clause& c : pool) {
+      EXPECT_TRUE(c.SupportedOnClient());
+      keys.insert(c.CanonicalKey());
+    }
+    EXPECT_EQ(keys.size(), pool.size()) << DatasetKindName(kind);
+  }
+}
+
+TEST(TemplateTest, CandidateSelectivitiesMatchGeneratorDistributions) {
+  const Dataset ds = GenerateYcsb({3000, 11});
+  const auto pool = TemplatesFor(DatasetKind::kYcsb);
+  // age_group = "adult" (template 4, candidate 2) has pmf 0.5.
+  const Clause adult = pool.templates[4].instantiate(2);
+  auto est = EstimateClauseStats(ds.records, {adult}, 3000, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->clause_stats[0].selectivity, 0.5, 0.05);
+
+  // isActive = true: pmf 0.5.
+  const Clause active = pool.templates[0].instantiate(0);
+  auto est2 = EstimateClauseStats(ds.records, {active}, 3000, 1);
+  EXPECT_NEAR(est2->clause_stats[0].selectivity, 0.5, 0.05);
+}
+
+TEST(TemplateTest, MicroTierPools) {
+  for (const double tier : {0.35, 0.15, 0.01}) {
+    const auto pool = MicroTierPredicates(tier);
+    EXPECT_EQ(pool.size(), 10u);
+    std::set<std::string> keys;
+    for (const Clause& c : pool) keys.insert(c.CanonicalKey());
+    EXPECT_EQ(keys.size(), 10u);
+  }
+  // Tier selectivities hold empirically.
+  const Dataset ds = GenerateWinLog({3000, 17});
+  auto est = EstimateClauseStats(ds.records, MicroTierPredicates(0.15), 3000, 1);
+  ASSERT_TRUE(est.ok());
+  for (const auto& s : est->clause_stats) {
+    EXPECT_NEAR(s.selectivity, 0.15, 0.03);
+  }
+}
+
+// ---------- Query generation (Table III) ----------
+
+TEST(QueryGenTest, SpecBoundsHold) {
+  const auto pool = TemplatesFor(DatasetKind::kWinLog).AllCandidates();
+  WorkloadSpec spec;
+  spec.num_queries = 200;
+  spec.expected_predicates = 3.0;
+  spec.min_predicates = 1;
+  spec.max_predicates = 10;
+  spec.seed = 5;
+  const Workload w = GenerateWorkload(pool, spec);
+  ASSERT_EQ(w.queries.size(), 200u);
+  EXPECT_GE(w.MinPredicatesPerQuery(), 1u);
+  EXPECT_LE(w.MaxPredicatesPerQuery(), 10u);
+  // Expected total ~= 200 * 3 (Table III: 600-730 range).
+  const size_t total = w.TotalPredicateOccurrences();
+  EXPECT_GT(total, 450u);
+  EXPECT_LT(total, 800u);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(w.queries[i].frequency, 1.0);
+    EXPECT_FALSE(w.queries[i].name.empty());
+  }
+}
+
+TEST(QueryGenTest, DeterministicUnderSeed) {
+  const auto pool = TemplatesFor(DatasetKind::kYelp).AllCandidates();
+  WorkloadSpec spec;
+  spec.seed = 77;
+  const Workload a = GenerateWorkload(pool, spec);
+  const Workload b = GenerateWorkload(pool, spec);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].ToSql(), b.queries[i].ToSql());
+  }
+}
+
+TEST(QueryGenTest, ConcentrationOrderingAcrossWorkloadPresets) {
+  const auto pool = TemplatesFor(DatasetKind::kWinLog).AllCandidates();
+  const Workload a = WorkloadA(pool);
+  const Workload b = WorkloadB(pool);
+  const Workload c = WorkloadC(pool);
+
+  // What matters for CIAO is predicate *concentration*: how much of the
+  // workload the most popular few predicates cover. (The third-moment
+  // skewness factor itself is not monotone in the Zipf exponent, so it
+  // is reported but not ordered here.)
+  const auto top5_share = [](const Workload& w) {
+    std::vector<double> counts = w.ClauseQueryCounts();
+    std::sort(counts.begin(), counts.end(), std::greater<double>());
+    double top = 0.0, total = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      if (i < 5) top += counts[i];
+    }
+    return total > 0 ? top / total : 0.0;
+  };
+  EXPECT_GT(top5_share(a), top5_share(b));
+  EXPECT_GT(top5_share(b), top5_share(c));
+
+  // A uses far fewer distinct predicates than C for the same totals.
+  EXPECT_LT(a.DistinctClauses().size(), b.DistinctClauses().size());
+  EXPECT_LT(b.DistinctClauses().size(), c.DistinctClauses().size());
+
+  // Skewness factors are all finite and non-negative on these presets.
+  EXPECT_GE(WorkloadSkewness(a), 0.0);
+  EXPECT_GE(WorkloadSkewness(c), 0.0);
+}
+
+TEST(QueryGenTest, EmptyPoolYieldsEmptyWorkload) {
+  EXPECT_TRUE(GenerateWorkload({}, WorkloadSpec{}).queries.empty());
+}
+
+// ---------- Micro workloads (§VII-E) ----------
+
+TEST(MicroWorkloadTest, SelectivityConstruction) {
+  const auto pool = MicroTierPredicates(0.15);
+  const MicroWorkload mw = BuildSelectivityWorkload(pool, "0.15");
+  ASSERT_EQ(mw.workload.queries.size(), 5u);
+  ASSERT_EQ(mw.push_down.size(), 2u);
+  for (const Query& q : mw.workload.queries) {
+    EXPECT_EQ(q.clauses.size(), 3u);
+    // Both pushed predicates appear in every query -> covered.
+    EXPECT_EQ(q.clauses[0].CanonicalKey(), mw.push_down[0].CanonicalKey());
+    EXPECT_EQ(q.clauses[1].CanonicalKey(), mw.push_down[1].CanonicalKey());
+  }
+}
+
+TEST(MicroWorkloadTest, OverlapConstructions) {
+  const auto pool = MicroTierPredicates(0.15);
+  const MicroWorkload low = BuildOverlapWorkload(OverlapLevel::kLow, pool);
+  const MicroWorkload med = BuildOverlapWorkload(OverlapLevel::kMedium, pool);
+  const MicroWorkload high = BuildOverlapWorkload(OverlapLevel::kHigh, pool);
+  EXPECT_EQ(low.workload.MaxPredicatesPerQuery(), 1u);
+  EXPECT_EQ(med.workload.MaxPredicatesPerQuery(), 2u);
+  EXPECT_EQ(high.workload.MaxPredicatesPerQuery(), 4u);
+
+  // Coverage by the two pushed predicates: 2 / 4 / 5 queries.
+  const auto covered = [](const MicroWorkload& mw) {
+    std::set<std::string> pushed;
+    for (const Clause& c : mw.push_down) pushed.insert(c.CanonicalKey());
+    size_t n = 0;
+    for (const Query& q : mw.workload.queries) {
+      for (const Clause& c : q.clauses) {
+        if (pushed.count(c.CanonicalKey()) > 0) {
+          ++n;
+          break;
+        }
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(covered(low), 2u);
+  EXPECT_EQ(covered(med), 4u);
+  EXPECT_EQ(covered(high), 5u);
+}
+
+TEST(MicroWorkloadTest, SkewConstructions) {
+  const auto pool = MicroTierPredicates(0.15);
+  const MicroWorkload low = BuildSkewWorkload(SkewLevel::kLow, pool);
+  const MicroWorkload med = BuildSkewWorkload(SkewLevel::kMedium, pool);
+  const MicroWorkload high = BuildSkewWorkload(SkewLevel::kHigh, pool);
+
+  EXPECT_NEAR(low.achieved_skewness, 0.0, 1e-9);
+  EXPECT_NEAR(med.achieved_skewness, 0.75, 0.01);
+  EXPECT_NEAR(high.achieved_skewness, 2.14, 0.01);
+  EXPECT_EQ(low.push_down.size(), 1u);
+
+  // High: the pushed predicate is in all 5 queries.
+  size_t high_cover = 0;
+  for (const Query& q : high.workload.queries) {
+    for (const Clause& c : q.clauses) {
+      if (c.CanonicalKey() == high.push_down[0].CanonicalKey()) {
+        ++high_cover;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(high_cover, 5u);
+}
+
+// ---------- Selectivity estimation ----------
+
+TEST(SelectivityTest, EstimatesExactOnFullSample) {
+  // Hand-built records: field "x" equals 1 in exactly 3 of 10.
+  std::vector<std::string> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back("{\"x\":" + std::to_string(i < 3 ? 1 : 0) + "}");
+  }
+  const Clause c = Clause::Of(SimplePredicate::KeyValue("x", 1));
+  auto est = EstimateClauseStats(records, {c}, 10, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->clause_stats[0].selectivity, 0.3);
+  EXPECT_EQ(est->sample_records, 10u);
+  EXPECT_GT(est->mean_record_len, 0.0);
+}
+
+TEST(SelectivityTest, DisjunctionAndTermSelectivities) {
+  std::vector<std::string> records = {
+      R"({"name":"Bob"})", R"({"name":"John"})", R"({"name":"Alice"})",
+      R"({"name":"Bob"})"};
+  const Clause c = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                               SimplePredicate::Exact("name", "John")});
+  auto est = EstimateClauseStats(records, {c}, 4, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->clause_stats[0].selectivity, 0.75);
+  ASSERT_EQ(est->clause_stats[0].term_selectivities.size(), 2u);
+  EXPECT_DOUBLE_EQ(est->clause_stats[0].term_selectivities[0], 0.5);
+  EXPECT_DOUBLE_EQ(est->clause_stats[0].term_selectivities[1], 0.25);
+}
+
+TEST(SelectivityTest, SampleApproximatesPopulation) {
+  const Dataset ds = GenerateWinLog({4000, 19});
+  const auto pool = MicroTierPredicates(0.35);
+  auto full = EstimateClauseStats(ds.records, {pool[0]}, 4000, 1);
+  auto sampled = EstimateClauseStats(ds.records, {pool[0]}, 500, 1);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->sample_records, 500u);
+  EXPECT_NEAR(sampled->clause_stats[0].selectivity,
+              full->clause_stats[0].selectivity, 0.08);
+}
+
+TEST(SelectivityTest, ErrorsOnEmptyInput) {
+  EXPECT_FALSE(EstimateClauseStats({}, {}, 10, 1).ok());
+  std::vector<std::string> garbage = {"not json", "also not"};
+  EXPECT_FALSE(EstimateClauseStats(garbage, {}, 10, 1).ok());
+}
+
+// ---------- Query log / historical statistics ----------
+
+TEST(QueryLogTest, FrequenciesFollowCounts) {
+  Query a;
+  a.clauses = {Clause::Of(SimplePredicate::KeyValue("x", 1))};
+  Query b;
+  b.clauses = {Clause::Of(SimplePredicate::KeyValue("y", 2))};
+
+  QueryLog log;
+  log.Record(a);
+  log.Record(a);
+  log.Record(a);
+  log.Record(b);
+  EXPECT_EQ(log.total_recorded(), 4u);
+  EXPECT_EQ(log.distinct_queries(), 2u);
+
+  const Workload wl = log.DeriveWorkload();
+  ASSERT_EQ(wl.queries.size(), 2u);
+  double total = 0.0;
+  for (const Query& q : wl.queries) total += q.frequency;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The thrice-run query carries 3x the frequency.
+  const double f0 = wl.queries[0].frequency;
+  const double f1 = wl.queries[1].frequency;
+  EXPECT_NEAR(std::max(f0, f1) / std::min(f0, f1), 3.0, 1e-9);
+}
+
+TEST(QueryLogTest, SignatureIsClauseOrderInvariant) {
+  Clause c1 = Clause::Of(SimplePredicate::KeyValue("x", 1));
+  Clause c2 = Clause::Of(SimplePredicate::KeyValue("y", 2));
+  Query ab;
+  ab.clauses = {c1, c2};
+  Query ba;
+  ba.clauses = {c2, c1};
+  EXPECT_EQ(QueryLog::Signature(ab), QueryLog::Signature(ba));
+
+  QueryLog log;
+  log.Record(ab);
+  log.Record(ba);
+  EXPECT_EQ(log.distinct_queries(), 1u);
+}
+
+TEST(QueryLogTest, DecayForgetsOldQueries) {
+  Query old_query;
+  old_query.clauses = {Clause::Of(SimplePredicate::KeyValue("old", 1))};
+  Query new_query;
+  new_query.clauses = {Clause::Of(SimplePredicate::KeyValue("new", 1))};
+
+  QueryLog log(/*half_life=*/10);
+  for (int i = 0; i < 10; ++i) log.Record(old_query);
+  for (int i = 0; i < 10; ++i) log.Record(new_query);
+  const Workload wl = log.DeriveWorkload();
+  ASSERT_EQ(wl.queries.size(), 2u);
+  // After one halving the old query's weight is 5 vs the new one's 10.
+  double old_freq = 0.0, new_freq = 0.0;
+  for (const Query& q : wl.queries) {
+    if (q.clauses[0].terms[0].field == "old") old_freq = q.frequency;
+    if (q.clauses[0].terms[0].field == "new") new_freq = q.frequency;
+  }
+  EXPECT_GT(new_freq, old_freq * 1.5);
+}
+
+TEST(QueryLogTest, EmptyAndClear) {
+  QueryLog log;
+  EXPECT_TRUE(log.DeriveWorkload().queries.empty());
+  Query q;
+  q.clauses = {Clause::Of(SimplePredicate::KeyValue("x", 1))};
+  log.Record(q);
+  log.Clear();
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_TRUE(log.DeriveWorkload().queries.empty());
+}
+
+TEST(QueryLogTest, DerivedFrequenciesDriveSelection) {
+  // The optimizer should favor the predicate of the hot query.
+  Clause hot = Clause::Of(SimplePredicate::KeyValue("hot", 1));
+  Clause cold = Clause::Of(SimplePredicate::KeyValue("cold", 1));
+  Query qh;
+  qh.clauses = {hot};
+  Query qc;
+  qc.clauses = {cold};
+  QueryLog log;
+  for (int i = 0; i < 9; ++i) log.Record(qh);
+  log.Record(qc);
+  const Workload wl = log.DeriveWorkload();
+
+  std::vector<ClauseStats> stats(2);
+  stats[0].selectivity = 0.5;
+  stats[0].term_selectivities = {0.5};
+  stats[1].selectivity = 0.5;
+  stats[1].term_selectivities = {0.5};
+  // Budget for exactly one predicate.
+  const CostModel model = CostModel::Default();
+  const double one_cost =
+      model.SimplePredicateCostUs(hot.terms[0], 0.5, 100.0);
+  auto plan = SelectPredicates(wl, stats, model, 100.0, one_cost * 1.5);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->selected.size(), 1u);
+  EXPECT_EQ(plan->selected[0].clause.terms[0].field, "hot");
+}
+
+}  // namespace
+}  // namespace ciao::workload
