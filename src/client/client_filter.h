@@ -24,6 +24,13 @@ struct PrefilterStats {
                ? 0.0
                : seconds * 1e6 / static_cast<double>(records_filtered);
   }
+
+  /// Accumulates another session's counters (client-pool join). Seconds
+  /// sum CPU time across clients, not wall-clock.
+  void MergeFrom(const PrefilterStats& other) {
+    records_filtered += other.records_filtered;
+    seconds += other.seconds;
+  }
 };
 
 /// Step 1 of the paper (Fig 1) on the client: evaluate every pushed-down

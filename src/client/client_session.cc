@@ -2,23 +2,31 @@
 
 namespace ciao {
 
+json::JsonChunk ClientSession::BuildChunk(
+    const std::vector<std::string>& records, size_t start, size_t end) {
+  size_t bytes = 0;
+  for (size_t i = start; i < end; ++i) bytes += records[i].size() + 1;
+  json::JsonChunk chunk;
+  chunk.Reserve(end - start, bytes);
+  for (size_t i = start; i < end; ++i) {
+    chunk.AppendSerialized(records[i]);
+  }
+  return chunk;
+}
+
 Status ClientSession::SendRecords(const std::vector<std::string>& records) {
   for (size_t start = 0; start < records.size(); start += chunk_size_) {
-    json::JsonChunk chunk;
     const size_t end = std::min(records.size(), start + chunk_size_);
-    for (size_t i = start; i < end; ++i) {
-      chunk.AppendSerialized(records[i]);
-    }
-    CIAO_RETURN_IF_ERROR(SendChunk(chunk));
+    CIAO_RETURN_IF_ERROR(SendChunk(BuildChunk(records, start, end)));
   }
   return Status::OK();
 }
 
-Status ClientSession::SendChunk(const json::JsonChunk& chunk) {
+Status ClientSession::SendChunk(json::JsonChunk chunk) {
   ChunkMessage msg;
-  msg.chunk = chunk;
   msg.predicate_ids = filter_.evaluated_ids();
   msg.annotations = filter_.Evaluate(chunk, &stats_);
+  msg.chunk = std::move(chunk);
   std::string payload;
   msg.SerializeTo(&payload);
   return transport_->Send(std::move(payload));

@@ -25,8 +25,16 @@ class ClientSession {
   /// Filters and sends `records` (serialized JSON, one per entry).
   Status SendRecords(const std::vector<std::string>& records);
 
-  /// Filters and sends one pre-built chunk.
-  Status SendChunk(const json::JsonChunk& chunk);
+  /// Filters and sends one pre-built chunk. Takes the chunk by value so
+  /// callers can move it; the payload then moves end-to-end into the
+  /// transport queue without a full-chunk copy.
+  Status SendChunk(json::JsonChunk chunk);
+
+  /// Assembles records [start, end) into a chunk with an exact buffer
+  /// reservation; shared by SendRecords and the ClientPool partitioner so
+  /// their chunk contents stay byte-identical.
+  static json::JsonChunk BuildChunk(const std::vector<std::string>& records,
+                                    size_t start, size_t end);
 
   const PrefilterStats& stats() const { return stats_; }
   const ClientFilter& filter() const { return filter_; }

@@ -1,5 +1,8 @@
 #include "client/coordinator.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace ciao {
 
 MultiClientCoordinator::MultiClientCoordinator(
@@ -22,6 +25,51 @@ size_t MultiClientCoordinator::AddClient(const ClientSpec& spec) {
   sessions_.push_back(std::make_unique<ClientSession>(
       ClientFilter(registry_, std::move(ids)), transport_, chunk_size_));
   return sessions_.size() - 1;
+}
+
+ClientPool::ClientPool(const PredicateRegistry* registry, Transport* transport,
+                       ClientPoolOptions options)
+    : registry_(registry), transport_(transport), options_(options) {
+  if (options_.num_clients == 0) options_.num_clients = 1;
+  if (options_.chunk_size == 0) options_.chunk_size = 1;
+}
+
+Status ClientPool::SendRecords(const std::vector<std::string>& records) {
+  const size_t n = options_.num_clients;
+  const size_t chunk_size = options_.chunk_size;
+  const size_t num_chunks = (records.size() + chunk_size - 1) / chunk_size;
+  const size_t workers = std::max<size_t>(1, std::min(n, num_chunks));
+
+  std::vector<Status> statuses(workers);
+  std::vector<PrefilterStats> stats(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      ClientSession session(ClientFilter(registry_), transport_, chunk_size);
+      // Chunk c covers records [c*chunk_size, (c+1)*chunk_size); worker w
+      // owns chunks w, w+N, w+2N, ...
+      for (size_t c = w; c < num_chunks; c += workers) {
+        const size_t start = c * chunk_size;
+        const size_t end = std::min(records.size(), start + chunk_size);
+        Status st =
+            session.SendChunk(ClientSession::BuildChunk(records, start, end));
+        if (!st.ok()) {
+          statuses[w] = std::move(st);
+          break;
+        }
+      }
+      stats[w] = session.stats();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Status first_error;
+  for (size_t w = 0; w < workers; ++w) {
+    merged_stats_.MergeFrom(stats[w]);
+    if (first_error.ok() && !statuses[w].ok()) first_error = statuses[w];
+  }
+  return first_error;
 }
 
 }  // namespace ciao

@@ -53,6 +53,43 @@ class MultiClientCoordinator {
   std::vector<std::unique_ptr<ClientSession>> sessions_;
 };
 
+/// Concurrency knobs of a ClientPool.
+struct ClientPoolOptions {
+  size_t num_clients = 1;
+  size_t chunk_size = 1000;
+};
+
+/// Client half of the concurrent ingest pipeline: N full-registry
+/// ClientSessions, each prefiltering and shipping chunks from its own
+/// worker thread over a shared (thread-safe) transport. The input is
+/// partitioned chunk-wise round-robin, so the chunks produced are
+/// byte-identical to the single-client pipeline's — only their arrival
+/// order differs, which the loading decision is insensitive to.
+///
+/// Per-client PrefilterStats are merged when the workers join.
+class ClientPool {
+ public:
+  /// `registry` and `transport` must outlive the pool; `transport` must
+  /// be safe for concurrent Send (e.g. BoundedTransport).
+  ClientPool(const PredicateRegistry* registry, Transport* transport,
+             ClientPoolOptions options = {});
+
+  /// Blocks until every worker has prefiltered and shipped its share of
+  /// `records`; returns the first worker error.
+  Status SendRecords(const std::vector<std::string>& records);
+
+  /// Merged counters across all clients so far.
+  const PrefilterStats& stats() const { return merged_stats_; }
+
+  size_t num_clients() const { return options_.num_clients; }
+
+ private:
+  const PredicateRegistry* registry_;
+  Transport* transport_;
+  ClientPoolOptions options_;
+  PrefilterStats merged_stats_;
+};
+
 }  // namespace ciao
 
 #endif  // CIAO_CLIENT_COORDINATOR_H_

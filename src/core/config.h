@@ -8,6 +8,23 @@
 
 namespace ciao {
 
+/// Concurrency knobs of the ingest pipeline. Defaults reproduce the
+/// paper's sequential pipeline (one client, one loader, unbounded
+/// in-memory queue); anything above 1/1 switches IngestRecords to the
+/// overlapped pipeline: a ClientPool prefilters and ships chunks while a
+/// LoaderPool drains a BoundedTransport into the sharded catalog.
+struct IngestOptions {
+  /// Concurrent client prefilter workers (paper Step 1).
+  size_t num_clients = 1;
+  /// Concurrent partial-loader workers (paper Step 2).
+  size_t num_loaders = 1;
+  /// BoundedTransport capacity in chunk messages; caps the memory held
+  /// in flight and applies backpressure to fast clients.
+  size_t queue_capacity = 64;
+
+  bool concurrent() const { return num_clients > 1 || num_loaders > 1; }
+};
+
 /// Tuning knobs of a CIAO deployment. The one the administrator actually
 /// sets is `budget_us` — "the average amount of computation cost of
 /// evaluating predicates for each new tuple" (paper §III). Budget 0 is
@@ -38,6 +55,13 @@ struct CiaoConfig {
   /// raw JSON at query time — the paper's servers only "employ partial
   /// loading" for covered workloads, §VII-D/E).
   bool enable_partial_loading = true;
+
+  /// Concurrency of the ingest pipeline (clients, loaders, queue).
+  IngestOptions ingest;
+
+  /// Worker threads for the executor's segment scan; 1 = sequential,
+  /// 0 = one per hardware thread.
+  size_t query_scan_threads = 1;
 
   /// Seed for sampling.
   uint64_t seed = 42;

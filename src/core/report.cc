@@ -48,8 +48,8 @@ std::string TablePrinter::ToString() const {
 
 std::string FormatReports(const std::vector<EndToEndReport>& reports) {
   TablePrinter table({"label", "budget_us", "pushed", "partial_load",
-                      "prefilter_s", "loading_s", "query_s", "total_s",
-                      "load_ratio", "skipping_queries"});
+                      "prefilter_s", "loading_s", "ingest_wall_s", "query_s",
+                      "total_s", "load_ratio", "skipping_queries"});
   for (const EndToEndReport& r : reports) {
     table.AddRow({
         r.label,
@@ -58,6 +58,7 @@ std::string FormatReports(const std::vector<EndToEndReport>& reports) {
         r.partial_loading ? "yes" : "no",
         FormatDouble(r.prefilter_seconds, 3),
         FormatDouble(r.loading_seconds, 3),
+        FormatDouble(r.ingest_wall_seconds, 3),
         FormatDouble(r.query_seconds, 3),
         FormatDouble(r.TotalSeconds(), 3),
         FormatDouble(r.loading_ratio, 3),

@@ -15,9 +15,15 @@ struct EndToEndReport {
   size_t predicates_pushed = 0;
   bool partial_loading = false;
 
-  double prefilter_seconds = 0.0;  // client
-  double loading_seconds = 0.0;    // server partial loading
+  double prefilter_seconds = 0.0;  // client (CPU, summed across workers)
+  double loading_seconds = 0.0;    // server partial loading (CPU, summed)
   double query_seconds = 0.0;      // total workload execution
+
+  /// Wall-clock ingest time; with a concurrent pipeline this is what
+  /// actually shrinks while the CPU-second fields stay flat.
+  double ingest_wall_seconds = 0.0;
+  size_t ingest_clients = 1;
+  size_t ingest_loaders = 1;
 
   double loading_ratio = 1.0;
   uint64_t rows_loaded = 0;
@@ -29,7 +35,16 @@ struct EndToEndReport {
   double objective_value = 0.0;
 
   double TotalSeconds() const {
-    return prefilter_seconds + loading_seconds + query_seconds;
+    // Under a concurrent pipeline prefiltering and loading overlap and
+    // their fields sum CPU-seconds across workers, so wall-clock ingest
+    // replaces their sum. Sequential runs keep the historical
+    // prefilter+loading basis so paper-reproduction totals stay
+    // comparable across versions.
+    const bool concurrent = ingest_clients > 1 || ingest_loaders > 1;
+    const double ingest = concurrent && ingest_wall_seconds > 0.0
+                              ? ingest_wall_seconds
+                              : prefilter_seconds + loading_seconds;
+    return ingest + query_seconds;
   }
 };
 

@@ -1,5 +1,8 @@
 #include "core/system.h"
 
+#include "client/coordinator.h"
+#include "common/timer.h"
+
 namespace ciao {
 
 CiaoSystem::CiaoSystem(columnar::Schema schema, Workload workload,
@@ -14,8 +17,11 @@ CiaoSystem::CiaoSystem(columnar::Schema schema, Workload workload,
   catalog_ = std::make_unique<TableCatalog>(schema_);
   loader_ =
       std::make_unique<PartialLoader>(schema_, outcome_.registry.size());
-  executor_ =
-      std::make_unique<QueryExecutor>(catalog_.get(), &outcome_.registry);
+  ExecutorOptions executor_options;
+  executor_options.num_scan_threads = config_.query_scan_threads;
+  executor_ = std::make_unique<QueryExecutor>(catalog_.get(),
+                                              &outcome_.registry,
+                                              executor_options);
 }
 
 Result<std::unique_ptr<CiaoSystem>> CiaoSystem::Bootstrap(
@@ -45,8 +51,45 @@ Result<std::unique_ptr<CiaoSystem>> CiaoSystem::BootstrapManual(
 }
 
 Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
-  CIAO_RETURN_IF_ERROR(client_->SendRecords(records));
-  return DrainTransport();
+  Stopwatch watch;
+  Status st;
+  if (config_.ingest.concurrent()) {
+    st = IngestRecordsConcurrent(records);
+  } else {
+    st = client_->SendRecords(records);
+    if (st.ok()) st = DrainTransport();
+  }
+  ingest_wall_seconds_ += watch.ElapsedSeconds();
+  return st;
+}
+
+Status CiaoSystem::IngestRecordsConcurrent(
+    const std::vector<std::string>& records) {
+  BoundedTransport transport(config_.ingest.queue_capacity);
+  // The pool counts as one producer: its workers all finish inside
+  // SendRecords, after which the queue can be closed for draining.
+  transport.AddProducers(1);
+
+  LoaderPoolOptions loader_options;
+  loader_options.num_loaders = config_.ingest.num_loaders;
+  loader_options.partial_loading_enabled = outcome_.partial_loading_enabled;
+  LoaderPool loaders(loader_.get(), &transport, catalog_.get(),
+                     loader_options);
+  loaders.Start();  // loaders come up before any chunk is shipped
+
+  ClientPoolOptions client_options;
+  client_options.num_clients = config_.ingest.num_clients;
+  client_options.chunk_size = config_.chunk_size;
+  ClientPool clients(&outcome_.registry, &transport, client_options);
+  Status send_status = clients.SendRecords(records);
+
+  transport.ProducerDone();
+  Status load_status = loaders.Join();
+
+  pool_prefilter_stats_.MergeFrom(clients.stats());
+  load_stats_.MergeFrom(loaders.stats());
+  if (!send_status.ok()) return send_status;
+  return load_status;
 }
 
 Status CiaoSystem::DrainTransport() {
@@ -90,8 +133,11 @@ EndToEndReport CiaoSystem::BuildReport(const std::string& label) const {
   report.budget_us = config_.budget_us;
   report.predicates_pushed = outcome_.registry.size();
   report.partial_loading = outcome_.partial_loading_enabled;
-  report.prefilter_seconds = client_->stats().seconds;
+  report.prefilter_seconds = prefilter_stats().seconds;
   report.loading_seconds = load_stats_.total_seconds;
+  report.ingest_wall_seconds = ingest_wall_seconds_;
+  report.ingest_clients = config_.ingest.num_clients;
+  report.ingest_loaders = config_.ingest.num_loaders;
   report.query_seconds = query_seconds_;
   report.loading_ratio = load_stats_.LoadingRatio();
   report.rows_loaded = load_stats_.records_loaded;

@@ -1,5 +1,9 @@
 #include "engine/executor.h"
 
+#include <atomic>
+#include <functional>
+#include <thread>
+
 #include "columnar/file_reader.h"
 #include "common/timer.h"
 #include "engine/typed_eval.h"
@@ -8,6 +12,67 @@
 #include "storage/jit_loader.h"
 
 namespace ciao {
+
+namespace {
+
+/// Runs `scan_one` over every catalog segment, fanning out across worker
+/// threads when requested. Partial counts/stats accumulate per worker and
+/// merge commutatively, so any thread count yields identical results.
+Status ScanSegments(
+    const TableCatalog& catalog, size_t num_threads,
+    const std::function<Status(const ColumnarSegment&, QueryResult*)>&
+        scan_one,
+    QueryResult* result) {
+  // Snapshot the shard contents once: the catalog is quiescent during the
+  // query phase, and going through segment(i) per lookup would re-lock the
+  // shard mutexes inside the hot loop.
+  std::vector<const ColumnarSegment*> segments;
+  segments.reserve(catalog.num_segments());
+  for (size_t sh = 0; sh < catalog.num_shards(); ++sh) {
+    for (const ColumnarSegment& seg : catalog.shard_segments(sh)) {
+      segments.push_back(&seg);
+    }
+  }
+  const size_t total = segments.size();
+  size_t threads = num_threads == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : num_threads;
+  threads = std::min(threads, total);
+  if (threads <= 1) {
+    for (size_t s = 0; s < total; ++s) {
+      CIAO_RETURN_IF_ERROR(scan_one(*segments[s], result));
+    }
+    return Status::OK();
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<QueryResult> partials(threads);
+  std::vector<Status> statuses(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (true) {
+        const size_t s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= total) break;
+        Status st = scan_one(*segments[s], &partials[t]);
+        if (!st.ok()) {
+          statuses[t] = std::move(st);
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (size_t t = 0; t < threads; ++t) {
+    CIAO_RETURN_IF_ERROR(statuses[t]);
+    result->count += partials[t].count;
+    result->stats.MergeFrom(partials[t].stats);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<QueryResult> QueryExecutor::Execute(const Query& query) const {
   const PlanDecision decision = PlanQuery(query, *registry_);
@@ -28,28 +93,32 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
 
   const std::vector<bool> wanted =
       compiled.ReferencedColumns(catalog_->schema().num_fields());
-  for (size_t s = 0; s < catalog_->num_segments(); ++s) {
+  const auto scan_one = [&](const ColumnarSegment& segment,
+                            QueryResult* out) -> Status {
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(catalog_->segment(s).file_bytes));
+        columnar::TableReader::OpenBorrowed(segment.file_bytes));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
       if (options_.use_zone_maps &&
           !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
                               meta.num_rows)) {
-        ++result.stats.groups_skipped_zonemap;
-        result.stats.rows_skipped += meta.num_rows;
+        ++out->stats.groups_skipped_zonemap;
+        out->stats.rows_skipped += meta.num_rows;
         continue;
       }
       CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
                             reader.ReadBatchProjected(g, wanted));
-      ++result.stats.groups_scanned;
+      ++out->stats.groups_scanned;
       for (size_t r = 0; r < meta.num_rows; ++r) {
-        ++result.stats.rows_evaluated;
-        if (compiled.Matches(batch, r)) ++result.count;
+        ++out->stats.rows_evaluated;
+        if (compiled.Matches(batch, r)) ++out->count;
       }
     }
-  }
+    return Status::OK();
+  };
+  CIAO_RETURN_IF_ERROR(ScanSegments(*catalog_, options_.num_scan_threads,
+                                    scan_one, &result));
 
   // The raw sideline must be scanned too: records there were never
   // loaded, and without a pushed-down clause nothing proves they cannot
@@ -86,10 +155,11 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
   const std::vector<bool> wanted =
       compiled.ReferencedColumns(catalog_->schema().num_fields());
 
-  for (size_t s = 0; s < catalog_->num_segments(); ++s) {
+  const auto scan_one = [&](const ColumnarSegment& segment,
+                            QueryResult* out) -> Status {
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(catalog_->segment(s).file_bytes));
+        columnar::TableReader::OpenBorrowed(segment.file_bytes));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
       // AND the bitvectors of the query's pushed-down clauses (§VI-B).
@@ -98,29 +168,32 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
       const size_t candidates = mask.CountOnes();
       if (candidates == 0) {
         // Whole group skipped; columns never decoded.
-        ++result.stats.groups_skipped;
-        result.stats.rows_skipped += meta.num_rows;
+        ++out->stats.groups_skipped;
+        out->stats.rows_skipped += meta.num_rows;
         continue;
       }
       if (options_.use_zone_maps &&
           !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
                               meta.num_rows)) {
-        ++result.stats.groups_skipped_zonemap;
-        result.stats.rows_skipped += meta.num_rows;
+        ++out->stats.groups_skipped_zonemap;
+        out->stats.rows_skipped += meta.num_rows;
         continue;
       }
       CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
                             reader.ReadBatchProjected(g, wanted));
-      ++result.stats.groups_scanned;
-      result.stats.rows_skipped += meta.num_rows - candidates;
+      ++out->stats.groups_scanned;
+      out->stats.rows_skipped += meta.num_rows - candidates;
       // Verify candidates with the full typed predicate: bitvectors may
       // contain false positives and the query may have non-pushed clauses.
       for (const uint32_t r : mask.SetBits()) {
-        ++result.stats.rows_evaluated;
-        if (compiled.Matches(batch, r)) ++result.count;
+        ++out->stats.rows_evaluated;
+        if (compiled.Matches(batch, r)) ++out->count;
       }
     }
-  }
+    return Status::OK();
+  };
+  CIAO_RETURN_IF_ERROR(ScanSegments(*catalog_, options_.num_scan_threads,
+                                    scan_one, &result));
   // Raw sideline intentionally not scanned: every record satisfying a
   // pushed-down clause of this query was loaded (planner invariant).
   result.seconds = watch.ElapsedSeconds();

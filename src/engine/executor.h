@@ -15,6 +15,11 @@ struct ExecutorOptions {
   /// Zone-map (min/max) group skipping — the classic server-side data
   /// skipping baseline. Complements bitvector skipping; both sound.
   bool use_zone_maps = true;
+
+  /// Worker threads scanning catalog segments; 1 = sequential scan,
+  /// 0 = one per hardware thread. Counts and scan statistics are merged
+  /// commutatively, so results are identical at any thread count.
+  size_t num_scan_threads = 1;
 };
 
 /// COUNT(*) executor over a table catalog — the repository's stand-in for

@@ -33,6 +33,17 @@ struct ScanStats {
   /// Raw sideline records parsed + evaluated (full-scan path only).
   uint64_t raw_records_scanned = 0;
   uint64_t raw_parse_errors = 0;
+
+  /// Accumulates another worker's counters (parallel segment scan).
+  void MergeFrom(const ScanStats& other) {
+    rows_evaluated += other.rows_evaluated;
+    rows_skipped += other.rows_skipped;
+    groups_skipped += other.groups_skipped;
+    groups_skipped_zonemap += other.groups_skipped_zonemap;
+    groups_scanned += other.groups_scanned;
+    raw_records_scanned += other.raw_records_scanned;
+    raw_parse_errors += other.raw_parse_errors;
+  }
 };
 
 /// Result of one COUNT(*) query.

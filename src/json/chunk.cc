@@ -4,6 +4,12 @@
 
 namespace ciao::json {
 
+void JsonChunk::Reserve(size_t records, size_t bytes) {
+  data_.reserve(data_.size() + bytes);
+  offsets_.reserve(offsets_.size() + records);
+  lengths_.reserve(lengths_.size() + records);
+}
+
 void JsonChunk::AppendSerialized(std::string_view record) {
   offsets_.push_back(static_cast<uint32_t>(data_.size()));
   lengths_.push_back(static_cast<uint32_t>(record.size()));

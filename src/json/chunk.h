@@ -19,6 +19,11 @@ class JsonChunk {
  public:
   JsonChunk() = default;
 
+  /// Pre-allocates for `records` records totalling `bytes` serialized
+  /// bytes (including one '\n' per record), so a chunk assembled by a
+  /// client session does exactly one buffer allocation.
+  void Reserve(size_t records, size_t bytes);
+
   /// Appends one record given its serialized form (no trailing newline).
   void AppendSerialized(std::string_view record);
 

@@ -1,3 +1,53 @@
 #include "storage/catalog.h"
 
-// Header-only implementation; this translation unit anchors the library.
+#include <cstdlib>
+
+namespace ciao {
+
+void TableCatalog::AddSegment(std::string file_bytes, uint64_t num_rows) {
+  loaded_rows_.fetch_add(num_rows, std::memory_order_relaxed);
+  columnar_bytes_.fetch_add(file_bytes.size(), std::memory_order_relaxed);
+  Shard& shard =
+      shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
+              shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.segments.push_back(ColumnarSegment{std::move(file_bytes), num_rows});
+}
+
+void TableCatalog::AppendRaw(std::string_view record) {
+  std::lock_guard<std::mutex> lock(raw_mu_);
+  raw_.Append(record);
+}
+
+void TableCatalog::AppendRawBatch(
+    const std::vector<std::string_view>& records) {
+  if (records.empty()) return;
+  std::lock_guard<std::mutex> lock(raw_mu_);
+  for (const std::string_view record : records) raw_.Append(record);
+}
+
+uint64_t TableCatalog::raw_rows() const {
+  std::lock_guard<std::mutex> lock(raw_mu_);
+  return raw_.size();
+}
+
+size_t TableCatalog::num_segments() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.segments.size();
+  }
+  return total;
+}
+
+const ColumnarSegment& TableCatalog::segment(size_t i) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (i < shard.segments.size()) return shard.segments[i];
+    i -= shard.segments.size();
+  }
+  // Out-of-range index: a programming error, like vector::operator[].
+  std::abort();
+}
+
+}  // namespace ciao

@@ -1,8 +1,11 @@
 #ifndef CIAO_STORAGE_CATALOG_H_
 #define CIAO_STORAGE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "columnar/schema.h"
@@ -20,46 +23,86 @@ struct ColumnarSegment {
 
 /// Server-side state of one table: the columnar segments (loaded data,
 /// with bitvector annotations inside) plus the raw sideline.
+///
+/// Appends are thread-safe so a pool of PartialLoader workers can ingest
+/// concurrently: segments are striped across shards (each shard under its
+/// own mutex, picked round-robin so contention spreads), the raw sideline
+/// has its own lock, and the row counters are atomics. Read accessors
+/// (`segment`, `shard_segments`, `raw`, `mutable_raw`) expect a quiescent
+/// catalog — the query phase after ingest workers have joined; concurrent
+/// readers are fine once writers are done.
 class TableCatalog {
  public:
-  explicit TableCatalog(columnar::Schema schema)
-      : schema_(std::move(schema)) {}
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit TableCatalog(columnar::Schema schema,
+                        size_t num_shards = kDefaultShards)
+      : schema_(std::move(schema)),
+        shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  TableCatalog(const TableCatalog&) = delete;
+  TableCatalog& operator=(const TableCatalog&) = delete;
 
   const columnar::Schema& schema() const { return schema_; }
 
-  void AddSegment(std::string file_bytes, uint64_t num_rows) {
-    columnar_bytes_ += file_bytes.size();
-    loaded_rows_ += num_rows;
-    segments_.push_back(ColumnarSegment{std::move(file_bytes), num_rows});
+  /// Appends one columnar segment; safe to call from many loader threads.
+  void AddSegment(std::string file_bytes, uint64_t num_rows);
+
+  /// Appends one record to the raw sideline; safe from many threads.
+  void AppendRaw(std::string_view record);
+
+  /// Appends a batch of records under a single sideline lock acquisition
+  /// (the per-chunk path of a loader pool: one lock per chunk, not per
+  /// record).
+  void AppendRawBatch(const std::vector<std::string_view>& records);
+
+  // --- Sharded view (the executor scans shards in parallel) ---
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<ColumnarSegment>& shard_segments(size_t i) const {
+    return shards_[i].segments;
   }
 
-  size_t num_segments() const { return segments_.size(); }
-  const ColumnarSegment& segment(size_t i) const { return segments_[i]; }
+  // --- Flat view, shard-major order ---
+  size_t num_segments() const;
+  const ColumnarSegment& segment(size_t i) const;
 
+  /// Direct sideline access for single-threaded phases (promotion,
+  /// query-time JIT loading).
   RawStore* mutable_raw() { return &raw_; }
   const RawStore& raw() const { return raw_; }
 
   /// Rows materialized in columnar form.
-  uint64_t loaded_rows() const { return loaded_rows_; }
+  uint64_t loaded_rows() const {
+    return loaded_rows_.load(std::memory_order_relaxed);
+  }
   /// Rows sidelined in raw form.
-  uint64_t raw_rows() const { return raw_.size(); }
-  uint64_t columnar_bytes() const { return columnar_bytes_; }
+  uint64_t raw_rows() const;
+  uint64_t columnar_bytes() const {
+    return columnar_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Fraction of all ingested rows that were loaded (the paper's
   /// "loading ratio", Fig 7/9/11). 1.0 when nothing was ingested.
   double LoadingRatio() const {
-    const uint64_t total = loaded_rows_ + raw_.size();
+    const uint64_t total = loaded_rows() + raw_rows();
     return total == 0 ? 1.0
-                      : static_cast<double>(loaded_rows_) /
+                      : static_cast<double>(loaded_rows()) /
                             static_cast<double>(total);
   }
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<ColumnarSegment> segments;
+  };
+
   columnar::Schema schema_;
-  std::vector<ColumnarSegment> segments_;
+  std::vector<Shard> shards_;
+  std::atomic<size_t> next_shard_{0};
+  mutable std::mutex raw_mu_;
   RawStore raw_;
-  uint64_t loaded_rows_ = 0;
-  uint64_t columnar_bytes_ = 0;
+  std::atomic<uint64_t> loaded_rows_{0};
+  std::atomic<uint64_t> columnar_bytes_{0};
 };
 
 }  // namespace ciao

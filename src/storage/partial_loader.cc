@@ -34,6 +34,10 @@ Status PartialLoader::IngestChunk(const json::JsonChunk& chunk,
   }
 
   columnar::BatchBuilder builder(schema_);
+  // Sidelined records are buffered and appended under one catalog lock
+  // per chunk, so concurrent loaders don't serialize per record on the
+  // sideline-heavy (selective-pushdown) path.
+  std::vector<std::string_view> sidelined;
   {
     ScopedTimer parse_timer(&stats->parse_seconds);
     for (size_t i = 0; i < chunk.size(); ++i) {
@@ -46,10 +50,11 @@ Status PartialLoader::IngestChunk(const json::JsonChunk& chunk,
           load_mask.Set(i, false);
         }
       } else {
-        catalog->mutable_raw()->Append(chunk.Record(i));
+        sidelined.push_back(chunk.Record(i));
         ++stats->records_sidelined;
       }
     }
+    catalog->AppendRawBatch(sidelined);
   }
   stats->parse_errors += builder.parse_errors();
   stats->coercion_errors += builder.coercion_errors();
@@ -71,6 +76,67 @@ Status PartialLoader::IngestChunk(const json::JsonChunk& chunk,
 
   stats->total_seconds += total_watch.ElapsedSeconds();
   return Status::OK();
+}
+
+LoaderPool::LoaderPool(const PartialLoader* loader, Transport* transport,
+                       TableCatalog* catalog, LoaderPoolOptions options)
+    : loader_(loader),
+      transport_(transport),
+      catalog_(catalog),
+      options_(options) {
+  if (options_.num_loaders == 0) options_.num_loaders = 1;
+}
+
+LoaderPool::~LoaderPool() {
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void LoaderPool::Start() {
+  workers_.reserve(options_.num_loaders);
+  for (size_t i = 0; i < options_.num_loaders; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Status LoaderPool::Join() {
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+Status LoaderPool::LoadOne(std::string_view payload, LoadStats* stats) const {
+  CIAO_ASSIGN_OR_RETURN(ChunkMessage msg, ChunkMessage::Deserialize(payload));
+  CIAO_ASSIGN_OR_RETURN(BitVectorSet annotations,
+                        msg.ExpandAnnotations(loader_->num_predicates()));
+  return loader_->IngestChunk(msg.chunk, annotations,
+                              options_.partial_loading_enabled, catalog_,
+                              stats);
+}
+
+void LoaderPool::WorkerLoop() {
+  LoadStats local;
+  Status error;
+  while (true) {
+    Result<std::optional<std::string>> payload = transport_->Receive();
+    if (!payload.ok()) {
+      if (error.ok()) error = payload.status();
+      break;
+    }
+    if (!payload->has_value()) break;  // transport closed and drained
+    // After the first failure keep consuming (and discarding) so that
+    // senders blocked on a full bounded queue are never deadlocked.
+    if (!error.ok()) continue;
+    Status st = LoadOne(**payload, &local);
+    if (!st.ok()) error = st;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  merged_.MergeFrom(local);
+  if (first_error_.ok() && !error.ok()) first_error_ = error;
 }
 
 }  // namespace ciao

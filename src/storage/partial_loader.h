@@ -1,11 +1,16 @@
 #ifndef CIAO_STORAGE_PARTIAL_LOADER_H_
 #define CIAO_STORAGE_PARTIAL_LOADER_H_
 
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "bitvec/bitvector_set.h"
 #include "columnar/schema.h"
 #include "common/status.h"
 #include "json/chunk.h"
 #include "storage/catalog.h"
+#include "storage/transport.h"
 
 namespace ciao {
 
@@ -27,6 +32,20 @@ struct LoadStats {
     return records_in == 0 ? 1.0
                            : static_cast<double>(records_loaded) /
                                  static_cast<double>(records_in);
+  }
+
+  /// Accumulates another worker's counters (loader-pool join). The time
+  /// fields sum CPU-seconds across workers, so under a concurrent pool
+  /// they exceed the ingest wall-clock time.
+  void MergeFrom(const LoadStats& other) {
+    records_in += other.records_in;
+    records_loaded += other.records_loaded;
+    records_sidelined += other.records_sidelined;
+    parse_seconds += other.parse_seconds;
+    encode_seconds += other.encode_seconds;
+    total_seconds += other.total_seconds;
+    parse_errors += other.parse_errors;
+    coercion_errors += other.coercion_errors;
   }
 };
 
@@ -54,6 +73,61 @@ class PartialLoader {
  private:
   columnar::Schema schema_;
   size_t num_predicates_;
+};
+
+/// Concurrency knobs of a LoaderPool.
+struct LoaderPoolOptions {
+  size_t num_loaders = 1;
+  bool partial_loading_enabled = true;
+};
+
+/// Server half of the concurrent ingest pipeline: M worker threads drain
+/// annotated chunk messages from a shared transport and run the partial
+/// loader against a (thread-safe) catalog. Workers keep thread-local
+/// LoadStats merged at join. Start the pool *before* clients begin
+/// sending so Step 1 (client prefiltering) and Step 2 (partial loading)
+/// of the paper's pipeline overlap.
+///
+/// The transport must implement the close/drain protocol (see
+/// BoundedTransport): workers exit when Receive yields nullopt.
+class LoaderPool {
+ public:
+  /// `loader`, `transport`, and `catalog` must outlive the pool.
+  LoaderPool(const PartialLoader* loader, Transport* transport,
+             TableCatalog* catalog, LoaderPoolOptions options = {});
+  ~LoaderPool();
+
+  LoaderPool(const LoaderPool&) = delete;
+  LoaderPool& operator=(const LoaderPool&) = delete;
+
+  /// Spawns the worker threads.
+  void Start();
+
+  /// Blocks until every worker has exited; returns the first worker
+  /// error. Workers that hit a *load* error keep draining-and-discarding
+  /// so backpressured senders never deadlock; a transport Receive error
+  /// stops the worker (a broken channel cannot be drained — its senders
+  /// fail on the same channel).
+  Status Join();
+
+  /// Merged counters; stable only after Join.
+  const LoadStats& stats() const { return merged_; }
+
+  size_t num_loaders() const { return options_.num_loaders; }
+
+ private:
+  void WorkerLoop();
+  Status LoadOne(std::string_view payload, LoadStats* stats) const;
+
+  const PartialLoader* loader_;
+  Transport* transport_;
+  TableCatalog* catalog_;
+  LoaderPoolOptions options_;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  LoadStats merged_;
+  Status first_error_;
 };
 
 }  // namespace ciao

@@ -44,6 +44,11 @@ Status ReadU64(std::string_view buffer, size_t* offset, uint64_t* v) {
 }  // namespace
 
 void ChunkMessage::SerializeTo(std::string* out) const {
+  // Header + ids + NDJSON payload; the BitVectorSet adds its own length
+  // fields plus one word-aligned buffer per predicate.
+  out->reserve(out->size() + kMessageMagic.size() + 4 +
+               4 * predicate_ids.size() + 8 + chunk.data().size() +
+               annotations.num_predicates() * (annotations.num_records() / 8 + 16));
   out->append(kMessageMagic);
   PutU32(static_cast<uint32_t>(predicate_ids.size()), out);
   for (const uint32_t id : predicate_ids) PutU32(id, out);
@@ -116,6 +121,70 @@ Result<std::optional<std::string>> InMemoryTransport::Receive() {
   std::string payload = std::move(queue_.front());
   queue_.pop_front();
   return std::optional<std::string>(std::move(payload));
+}
+
+Status BoundedTransport::Send(std::string payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) {
+    return Status::IOError("BoundedTransport: Send on closed transport");
+  }
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  queue_.push_back(std::move(payload));
+  lock.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> BoundedTransport::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::optional<std::string>();  // closed + drained
+  std::string payload = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return std::optional<std::string>(std::move(payload));
+}
+
+void BoundedTransport::AddProducers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  producers_ += n;
+}
+
+void BoundedTransport::ProducerDone() {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (producers_ > 0) --producers_;
+    if (producers_ == 0) {
+      closed_ = true;
+      last = true;
+    }
+  }
+  if (last) {
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+}
+
+void BoundedTransport::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool BoundedTransport::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t BoundedTransport::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 FileTransport::FileTransport(std::string dir) : dir_(std::move(dir)) {}

@@ -1,8 +1,11 @@
 #ifndef CIAO_STORAGE_TRANSPORT_H_
 #define CIAO_STORAGE_TRANSPORT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -64,6 +67,58 @@ class InMemoryTransport final : public Transport {
  private:
   std::deque<std::string> queue_;
   uint64_t bytes_sent_ = 0;
+};
+
+/// Thread-safe bounded MPMC queue: many concurrent client sessions Send,
+/// many loader workers Receive. A full queue blocks senders (backpressure
+/// keeps memory bounded when clients outpace loaders); an empty queue
+/// blocks receivers until a message arrives or the channel closes.
+///
+/// Close/drain protocol: register the producer side with AddProducers
+/// before starting senders; each producer calls ProducerDone when
+/// finished. When the last producer is done (or Close is called), blocked
+/// receivers drain the remaining messages and then observe nullopt —
+/// the worker-pool shutdown signal.
+class BoundedTransport final : public Transport {
+ public:
+  explicit BoundedTransport(size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is at capacity. Fails with IOError if the
+  /// transport was closed.
+  Status Send(std::string payload) override;
+
+  /// Blocks until a message is available; nullopt once the transport is
+  /// closed and fully drained.
+  Result<std::optional<std::string>> Receive() override;
+
+  uint64_t bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers `n` producers that will call ProducerDone.
+  void AddProducers(size_t n);
+
+  /// Marks one producer finished; the last one closes the channel.
+  void ProducerDone();
+
+  /// Force-closes the channel: wakes all blocked senders (they fail) and
+  /// receivers (they drain, then observe nullopt).
+  void Close();
+
+  bool closed() const;
+  size_t pending() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::string> queue_;
+  size_t producers_ = 0;
+  bool closed_ = false;
+  std::atomic<uint64_t> bytes_sent_{0};
 };
 
 /// Numbered files in a spool directory (survives across processes; used
