@@ -10,9 +10,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/string_util.h"
 #include "core/report.h"
 #include "core/system.h"
@@ -105,10 +107,13 @@ inline EndToEndReport RunE2ECell(const workload::Dataset& ds,
 
 /// Fig 3/4/5 driver: three workload presets x a budget sweep; prints one
 /// table per workload plus the headline speedups vs the zero-budget
-/// baseline.
+/// baseline. When `report_binary` is set, every cell's phase times and
+/// ingest throughput are merged into the BENCH_hotpath.json regression
+/// file (see bench_report.h).
 inline void RunEndToEndFigure(const char* figure, workload::DatasetKind kind,
                               size_t base_records,
-                              const std::vector<double>& budgets) {
+                              const std::vector<double>& budgets,
+                              const char* report_binary = nullptr) {
   WarmUp();
   workload::GeneratorOptions gen;
   gen.num_records = Scaled(base_records);
@@ -137,6 +142,7 @@ inline void RunEndToEndFigure(const char* figure, workload::DatasetKind kind,
       {"C (Uniform)", std::move(wc)},
   };
 
+  std::map<std::string, BenchMetrics> json_entries;
   for (const Preset& preset : presets) {
     std::vector<EndToEndReport> reports;
     for (const double budget : budgets) {
@@ -146,6 +152,27 @@ inline void RunEndToEndFigure(const char* figure, workload::DatasetKind kind,
     }
     std::printf("--- Workload %s ---\n", preset.name);
     std::printf("%s", FormatReports(reports).c_str());
+
+    if (report_binary != nullptr) {
+      // One JSON entry per cell, keyed by preset letter + budget; the
+      // first word of the preset name is its stable identifier.
+      const std::string preset_key(preset.name,
+                                   std::string_view(preset.name).find(' '));
+      for (const EndToEndReport& r : reports) {
+        BenchMetrics& m =
+            json_entries[std::string(report_binary) + "/workload_" +
+                         preset_key + "/" + r.label];
+        m["prefilter_seconds"] = r.prefilter_seconds;
+        m["loading_seconds"] = r.loading_seconds;
+        m["query_seconds"] = r.query_seconds;
+        m["total_seconds"] = r.TotalSeconds();
+        m["loading_ratio"] = r.loading_ratio;
+        if (r.ingest_wall_seconds > 0) {
+          m["ingest_records_per_second"] =
+              static_cast<double>(ds.records.size()) / r.ingest_wall_seconds;
+        }
+      }
+    }
 
     const EndToEndReport& base = reports.front();
     double best_load = 1.0, best_query = 1.0, best_total = 1.0;
@@ -165,6 +192,7 @@ inline void RunEndToEndFigure(const char* figure, workload::DatasetKind kind,
         "%.1fx, end-to-end up to %.1fx\n\n",
         best_load, best_query, best_total);
   }
+  if (report_binary != nullptr) MergeIntoReportFile(json_entries);
 }
 
 }  // namespace ciao::bench

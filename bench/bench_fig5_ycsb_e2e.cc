@@ -7,6 +7,7 @@
 int main() {
   ciao::bench::RunEndToEndFigure("Fig 5", ciao::workload::DatasetKind::kYcsb,
                                  /*base_records=*/10000,
-                                 {0.0, 25.0, 50.0, 75.0, 100.0, 125.0});
+                                 {0.0, 25.0, 50.0, 75.0, 100.0, 125.0},
+                                 /*report_binary=*/"bench_fig5_ycsb_e2e");
   return 0;
 }

@@ -1,0 +1,59 @@
+#ifndef CIAO_BENCH_BENCH_GBENCH_MAIN_H_
+#define CIAO_BENCH_BENCH_GBENCH_MAIN_H_
+
+// Replacement for BENCHMARK_MAIN() in the hot-path micro benches: the
+// usual console output plus a capture of every run's counters merged into
+// BENCH_hotpath.json (see bench_report.h).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench_report.h"
+
+namespace ciao::bench {
+
+/// Console reporter that also captures each run's rates/counters for the
+/// JSON regression file.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(std::string binary_name)
+      : binary_(std::move(binary_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      BenchMetrics& m = entries_[binary_ + "/" + run.benchmark_name()];
+      m["real_time_ns"] = run.GetAdjustedRealTime();
+      m["cpu_time_ns"] = run.GetAdjustedCPUTime();
+      for (const auto& [name, counter] : run.counters) {
+        m[name] = counter.value;
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Export() const { MergeIntoReportFile(entries_); }
+
+ private:
+  std::string binary_;
+  std::map<std::string, BenchMetrics> entries_;
+};
+
+}  // namespace ciao::bench
+
+/// Drop-in for BENCHMARK_MAIN(): run benches with console output and
+/// merge the results into the shared JSON report.
+#define CIAO_BENCH_JSON_MAIN(binary_name)                                \
+  int main(int argc, char** argv) {                                      \
+    benchmark::Initialize(&argc, argv);                                  \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ciao::bench::JsonExportReporter reporter(binary_name);               \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                        \
+    reporter.Export();                                                   \
+    benchmark::Shutdown();                                               \
+    return 0;                                                            \
+  }
+
+#endif  // CIAO_BENCH_BENCH_GBENCH_MAIN_H_

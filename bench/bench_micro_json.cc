@@ -1,14 +1,21 @@
 // Micro: JSON parser and writer throughput on realistic records — the
 // dominant cost of eager loading (paper §I: parsing/validation is the
-// bottleneck CIAO avoids for irrelevant records).
+// bottleneck CIAO avoids for irrelevant records). BM_Parse is the DOM
+// oracle; BM_TapeParse is the zero-allocation tape hot path the loader
+// uses, with allocations-per-record measured by a counting allocator.
 
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <new>
 
+#include "bench_gbench_main.h"
 #include "json/parser.h"
+#include "json/tape_parser.h"
 #include "json/writer.h"
 #include "workload/dataset.h"
+
+CIAO_BENCH_DEFINE_ALLOC_COUNTER()
 
 namespace {
 
@@ -31,14 +38,42 @@ void BM_Parse(benchmark::State& state, workload::DatasetKind kind) {
   const auto& ds = Data(kind);
   uint64_t bytes = 0;
   for (const auto& r : ds.records) bytes += r.size();
+  const uint64_t allocs_before = bench::AllocCount().load();
   for (auto _ : state) {
     for (const std::string& r : ds.records) {
       benchmark::DoNotOptimize(json::Parse(r));
     }
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(ds.records.size()));
+  const uint64_t allocs = bench::AllocCount().load() - allocs_before;
+  const int64_t items =
+      state.iterations() * static_cast<int64_t>(ds.records.size());
+  state.SetItemsProcessed(items);
   state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.counters["allocs_per_record"] =
+      items > 0 ? static_cast<double>(allocs) / static_cast<double>(items)
+                : 0.0;
+}
+
+void BM_TapeParse(benchmark::State& state, workload::DatasetKind kind) {
+  const auto& ds = Data(kind);
+  uint64_t bytes = 0;
+  for (const auto& r : ds.records) bytes += r.size();
+  json::TapeParser parser;
+  json::Tape tape;
+  const uint64_t allocs_before = bench::AllocCount().load();
+  for (auto _ : state) {
+    for (const std::string& r : ds.records) {
+      benchmark::DoNotOptimize(parser.Parse(r, &tape).ok());
+    }
+  }
+  const uint64_t allocs = bench::AllocCount().load() - allocs_before;
+  const int64_t items =
+      state.iterations() * static_cast<int64_t>(ds.records.size());
+  state.SetItemsProcessed(items);
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.counters["allocs_per_record"] =
+      items > 0 ? static_cast<double>(allocs) / static_cast<double>(items)
+                : 0.0;
 }
 
 void BM_WriteRoundTrip(benchmark::State& state, workload::DatasetKind kind) {
@@ -62,7 +97,10 @@ void BM_WriteRoundTrip(benchmark::State& state, workload::DatasetKind kind) {
 BENCHMARK_CAPTURE(BM_Parse, winlog, ciao::workload::DatasetKind::kWinLog);
 BENCHMARK_CAPTURE(BM_Parse, yelp, ciao::workload::DatasetKind::kYelp);
 BENCHMARK_CAPTURE(BM_Parse, ycsb, ciao::workload::DatasetKind::kYcsb);
+BENCHMARK_CAPTURE(BM_TapeParse, winlog, ciao::workload::DatasetKind::kWinLog);
+BENCHMARK_CAPTURE(BM_TapeParse, yelp, ciao::workload::DatasetKind::kYelp);
+BENCHMARK_CAPTURE(BM_TapeParse, ycsb, ciao::workload::DatasetKind::kYcsb);
 BENCHMARK_CAPTURE(BM_WriteRoundTrip, yelp,
                   ciao::workload::DatasetKind::kYelp);
 
-BENCHMARK_MAIN();
+CIAO_BENCH_JSON_MAIN("bench_micro_json")

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_main.h"
 #include "matcher/compiled_pattern.h"
 #include "workload/dataset.h"
 
@@ -46,6 +47,7 @@ void BM_Kernel(benchmark::State& state, SearchKernel kernel,
 BENCHMARK_CAPTURE(BM_Kernel, std_find_hit, SearchKernel::kStdFind, "op_00");
 BENCHMARK_CAPTURE(BM_Kernel, memchr_hit, SearchKernel::kMemchr, "op_00");
 BENCHMARK_CAPTURE(BM_Kernel, horspool_hit, SearchKernel::kHorspool, "op_00");
+BENCHMARK_CAPTURE(BM_Kernel, swar_hit, SearchKernel::kSwar, "op_00");
 
 // Absent pattern (miss case: full-record scans dominate — the cost
 // model's k3/k4 regime).
@@ -55,11 +57,15 @@ BENCHMARK_CAPTURE(BM_Kernel, memchr_miss, SearchKernel::kMemchr,
                   "zz_not_present_zz");
 BENCHMARK_CAPTURE(BM_Kernel, horspool_miss, SearchKernel::kHorspool,
                   "zz_not_present_zz");
+BENCHMARK_CAPTURE(BM_Kernel, swar_miss, SearchKernel::kSwar,
+                  "zz_not_present_zz");
 
 // Long pattern (Horspool's skip table shines).
 BENCHMARK_CAPTURE(BM_Kernel, std_find_long, SearchKernel::kStdFind,
                   "this longer pattern is nowhere in the data at all");
 BENCHMARK_CAPTURE(BM_Kernel, horspool_long, SearchKernel::kHorspool,
                   "this longer pattern is nowhere in the data at all");
+BENCHMARK_CAPTURE(BM_Kernel, swar_long, SearchKernel::kSwar,
+                  "this longer pattern is nowhere in the data at all");
 
-BENCHMARK_MAIN();
+CIAO_BENCH_JSON_MAIN("bench_micro_matcher")

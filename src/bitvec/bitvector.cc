@@ -92,14 +92,21 @@ Result<BitVector> BitVector::CompactBy(const BitVector& mask) const {
   if (size_ != mask.size_) {
     return Status::InvalidArgument("BitVector::CompactBy: size mismatch");
   }
-  BitVector out;
+  // Pre-sized output written word-at-a-time: mask words drive a
+  // countr_zero scan over their set bits and surviving source bits are
+  // packed densely, with no per-bit PushBack reallocation.
+  BitVector out(mask.CountOnes());
+  size_t out_pos = 0;
   for (size_t wi = 0; wi < mask.words_.size(); ++wi) {
-    uint64_t w = mask.words_[wi];
-    while (w != 0) {
-      const int bit = std::countr_zero(w);
-      const size_t idx = (wi << 6) + static_cast<size_t>(bit);
-      out.PushBack(Get(idx));
-      w &= w - 1;
+    uint64_t m = mask.words_[wi];
+    const uint64_t src = words_[wi];
+    while (m != 0) {
+      const int bit = std::countr_zero(m);
+      if ((src >> bit) & 1ULL) {
+        out.words_[out_pos >> 6] |= 1ULL << (out_pos & 63);
+      }
+      ++out_pos;
+      m &= m - 1;
     }
   }
   return out;

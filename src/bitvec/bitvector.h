@@ -40,6 +40,14 @@ class BitVector {
   /// Appends one bit.
   void PushBack(bool value);
 
+  /// Word-level access for kernels that process 64 records at a time
+  /// (client filter block accumulation, set unions). Padding bits past
+  /// size() are always zero; OrWord/SetWord callers must not set them.
+  size_t num_words() const { return words_.size(); }
+  uint64_t word(size_t wi) const { return words_[wi]; }
+  void SetWord(size_t wi, uint64_t bits) { words_[wi] = bits; }
+  void OrWord(size_t wi, uint64_t bits) { words_[wi] |= bits; }
+
   /// Number of set bits.
   size_t CountOnes() const;
 

@@ -9,10 +9,18 @@ BitVectorSet::BitVectorSet(size_t num_predicates, size_t num_records)
 
 BitVector BitVectorSet::UnionAll() const {
   if (vectors_.empty()) return BitVector(0);
+  // Single word-major pass: each output word is the OR across all
+  // vectors' corresponding words, written once (vs. one full
+  // read-modify-write sweep per vector). Sizes are uniform by
+  // construction, padding bits are zero in every input so the union's
+  // padding stays zero.
   BitVector out = vectors_[0];
-  for (size_t i = 1; i < vectors_.size(); ++i) {
-    // Sizes are uniform by construction; ignore the impossible error.
-    out.OrWith(vectors_[i]).ok();
+  for (size_t wi = 0; wi < out.num_words(); ++wi) {
+    uint64_t w = out.word(wi);
+    for (size_t v = 1; v < vectors_.size(); ++v) {
+      w |= vectors_[v].word(wi);
+    }
+    out.SetWord(wi, w);
   }
   return out;
 }

@@ -1,5 +1,7 @@
 #include "client/client_filter.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
 
 namespace ciao {
@@ -10,22 +12,46 @@ ClientFilter::ClientFilter(const PredicateRegistry* registry)
   for (size_t i = 0; i < registry->size(); ++i) {
     ids_.push_back(static_cast<uint32_t>(i));
   }
+  CachePrograms();
 }
 
 ClientFilter::ClientFilter(const PredicateRegistry* registry,
                            std::vector<uint32_t> ids)
-    : registry_(registry), ids_(std::move(ids)) {}
+    : registry_(registry), ids_(std::move(ids)) {
+  CachePrograms();
+}
+
+void ClientFilter::CachePrograms() {
+  programs_.reserve(ids_.size());
+  for (const uint32_t id : ids_) {
+    programs_.push_back(&registry_->Get(id).program);
+  }
+}
 
 BitVectorSet ClientFilter::Evaluate(const json::JsonChunk& chunk,
                                     PrefilterStats* stats) const {
   BitVectorSet out(ids_.size(), chunk.size());
   ScopedTimer timer(&stats->seconds);
   stats->records_filtered += chunk.size();
-  for (size_t p = 0; p < ids_.size(); ++p) {
-    const RawClauseProgram& program = registry_->Get(ids_[p]).program;
-    BitVector* bits = out.mutable_vector(p);
-    for (size_t r = 0; r < chunk.size(); ++r) {
-      if (program.Matches(chunk.Record(r))) bits->Set(r, true);
+  const size_t num_programs = programs_.size();
+  if (num_programs == 0 || chunk.empty()) return out;
+
+  // One 64-bit accumulator per predicate, flushed per block; the chunk is
+  // the allocation unit, not the record.
+  std::vector<uint64_t> block_bits(num_programs);
+  for (size_t base = 0; base < chunk.size(); base += 64) {
+    const size_t block = std::min<size_t>(64, chunk.size() - base);
+    std::fill(block_bits.begin(), block_bits.end(), 0);
+    for (size_t r = 0; r < block; ++r) {
+      const std::string_view record = chunk.Record(base + r);
+      const uint64_t bit = 1ULL << r;
+      for (size_t p = 0; p < num_programs; ++p) {
+        if (programs_[p]->Matches(record)) block_bits[p] |= bit;
+      }
+    }
+    const size_t word = base >> 6;
+    for (size_t p = 0; p < num_programs; ++p) {
+      out.mutable_vector(p)->SetWord(word, block_bits[p]);
     }
   }
   return out;

@@ -49,6 +49,12 @@ class ClientFilter {
 
   /// Evaluates all predicates over the chunk; the returned set has one
   /// vector per evaluated id (in `evaluated_ids()` order).
+  ///
+  /// Iteration is record-major in 64-record blocks: each record's bytes
+  /// are scanned by every program while still hot in cache (clause
+  /// programs short-circuit on their first matching term), and the
+  /// per-predicate match bits accumulate in stack words flushed to the
+  /// bitvectors once per block instead of one Set() per hit.
   BitVectorSet Evaluate(const json::JsonChunk& chunk, PrefilterStats* stats) const;
 
   const std::vector<uint32_t>& evaluated_ids() const { return ids_; }
@@ -59,8 +65,14 @@ class ClientFilter {
   double ExpectedCostUs() const;
 
  private:
+  void CachePrograms();
+
   const PredicateRegistry* registry_;
   std::vector<uint32_t> ids_;
+  /// Compiled programs for ids_, resolved once at construction so the
+  /// per-chunk loop touches no registry state (programs precompile their
+  /// pattern tables at registration, paper Fig 2's "pattern string").
+  std::vector<const RawClauseProgram*> programs_;
 };
 
 }  // namespace ciao

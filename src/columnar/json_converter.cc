@@ -6,8 +6,25 @@
 
 namespace ciao::columnar {
 
-BatchBuilder::BatchBuilder(Schema schema)
-    : schema_(schema), batch_(std::move(schema)) {}
+BatchBuilder::BatchBuilder(Schema schema, ParsePath path)
+    : schema_(schema), batch_(std::move(schema)), path_(path) {
+  field_paths_.reserve(schema_.num_fields());
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    const std::string& name = schema_.field(c).name;
+    std::vector<std::string> segments;
+    size_t start = 0;
+    while (start <= name.size()) {
+      const size_t dot = name.find('.', start);
+      if (dot == std::string::npos) {
+        segments.push_back(name.substr(start));
+        break;
+      }
+      segments.push_back(name.substr(start, dot - start));
+      start = dot + 1;
+    }
+    field_paths_.push_back(std::move(segments));
+  }
+}
 
 void BatchBuilder::AppendParsed(const json::Value& record) {
   for (size_t c = 0; c < schema_.num_fields(); ++c) {
@@ -56,13 +73,80 @@ void BatchBuilder::AppendParsed(const json::Value& record) {
 }
 
 Status BatchBuilder::AppendSerialized(std::string_view serialized) {
-  Result<json::Value> parsed = json::Parse(serialized);
-  if (!parsed.ok()) {
-    ++parse_errors_;
-    return parsed.status();
+  if (path_ == ParsePath::kDom) {
+    Result<json::Value> parsed = json::Parse(serialized);
+    if (!parsed.ok()) {
+      ++parse_errors_;
+      return parsed.status();
+    }
+    AppendParsed(*parsed);
+    return Status::OK();
   }
-  AppendParsed(*parsed);
+  Status st = tape_parser_.Parse(serialized, &tape_);
+  if (!st.ok()) {
+    ++parse_errors_;
+    return st;
+  }
+  AppendFromTape();
   return Status::OK();
+}
+
+void BatchBuilder::AppendFromTape() {
+  using json::TapeKind;
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    const Field& field = schema_.field(c);
+    ColumnVector* col = batch_.mutable_column(c);
+    // Walk the pre-split dotted path down the tape. A non-object at any
+    // step (including a non-object root) is a miss, exactly like
+    // Value::FindPath returning nullptr.
+    size_t idx = 0;
+    for (const std::string& segment : field_paths_[c]) {
+      idx = tape_.FindField(idx, segment);
+      if (idx == json::Tape::npos) break;
+    }
+    if (idx == json::Tape::npos ||
+        tape_.token(idx).kind == TapeKind::kNull) {
+      col->AppendNull();
+      continue;
+    }
+    const json::TapeToken& t = tape_.token(idx);
+    switch (field.type) {
+      case ColumnType::kInt64:
+        if (t.kind == TapeKind::kInt) {
+          col->AppendInt64(t.i64);
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+      case ColumnType::kDouble:
+        if (t.kind == TapeKind::kInt) {
+          col->AppendDouble(static_cast<double>(t.i64));
+        } else if (t.kind == TapeKind::kDouble) {
+          col->AppendDouble(t.f64);
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+      case ColumnType::kBool:
+        if (t.kind == TapeKind::kBool) {
+          col->AppendBool(t.bool_value);
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+      case ColumnType::kString:
+        if (t.kind == TapeKind::kString) {
+          col->AppendString(tape_.DecodedString(t, &decode_scratch_));
+        } else {
+          col->AppendNull();
+          ++coercion_errors_;
+        }
+        break;
+    }
+  }
 }
 
 RecordBatch BatchBuilder::Finish() {

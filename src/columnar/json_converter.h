@@ -1,19 +1,28 @@
 #ifndef CIAO_COLUMNAR_JSON_CONVERTER_H_
 #define CIAO_COLUMNAR_JSON_CONVERTER_H_
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "columnar/record_batch.h"
 #include "columnar/schema.h"
 #include "common/status.h"
+#include "json/tape_parser.h"
 #include "json/value.h"
 
 namespace ciao::columnar {
 
-/// Converts parsed JSON records into a RecordBatch, schema-driven. This is
-/// the expensive "loading" step the paper wants to avoid for irrelevant
+/// Converts JSON records into a RecordBatch, schema-driven. This is the
+/// expensive "loading" step the paper wants to avoid for irrelevant
 /// records: parse, extract (dotted paths into nested objects), coerce, and
 /// append columnar values.
+///
+/// Serialized records take the zero-allocation tape path by default: one
+/// single-pass scan onto a reusable token tape, then only the schema's
+/// columns are pulled off the tape — no DOM is materialized. The DOM path
+/// (json::Parse + AppendParsed) is kept as the differential-test oracle
+/// and is selectable via ParsePath::kDom.
 ///
 /// Coercion rules: Int64 accepts JSON ints; Double accepts ints and
 /// doubles; Bool accepts bools; String accepts strings. A missing field or
@@ -22,7 +31,14 @@ namespace ciao::columnar {
 /// a non-zero count flags schema drift.
 class BatchBuilder {
  public:
-  explicit BatchBuilder(Schema schema);
+  /// How AppendSerialized turns bytes into column values. Both paths are
+  /// pinned to identical output by tests/tape_parser_test.cc.
+  enum class ParsePath {
+    kTape,  // single-pass tape scan, schema-driven extraction (default)
+    kDom,   // json::Parse into a Value DOM, then AppendParsed (oracle)
+  };
+
+  explicit BatchBuilder(Schema schema, ParsePath path = ParsePath::kTape);
 
   /// Appends one parsed record.
   void AppendParsed(const json::Value& record);
@@ -39,10 +55,22 @@ class BatchBuilder {
   RecordBatch Finish();
 
  private:
+  void AppendFromTape();
+
   Schema schema_;
   RecordBatch batch_;
+  ParsePath path_;
   size_t coercion_errors_ = 0;
   size_t parse_errors_ = 0;
+
+  // Tape-path state, reused across records so steady-state appends do not
+  // allocate: the parser's number scratch, the token tape, the
+  // escaped-string decode scratch, and each field's pre-split dotted path
+  // (split exactly like Value::FindPath, empty segments preserved).
+  json::TapeParser tape_parser_;
+  json::Tape tape_;
+  std::string decode_scratch_;
+  std::vector<std::vector<std::string>> field_paths_;
 };
 
 /// Infers a flat schema from sample records: scalar top-level (and

@@ -19,6 +19,8 @@ size_t CompiledPattern::FindIn(std::string_view hay, size_t from) const {
       return FindMemchr(hay, pattern_, from);
     case SearchKernel::kHorspool:
       return FindHorspool(hay, pattern_, table_, from);
+    case SearchKernel::kSwar:
+      return FindSwar(hay, pattern_, from);
   }
   return std::string_view::npos;
 }

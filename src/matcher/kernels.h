@@ -16,9 +16,12 @@ enum class SearchKernel {
   kStdFind,    // std::string_view::find (libstdc++ two-char probe loop)
   kMemchr,     // memchr on first byte + memcmp verify
   kHorspool,   // Boyer–Moore–Horspool with 256-entry shift table
+  kSwar,       // first-two-bytes vector filter: SSE2 when available,
+               // word-at-a-time SWAR fallback otherwise
 };
 
-/// Stable kernel name for reports ("std_find", "memchr", "horspool").
+/// Stable kernel name for reports ("std_find", "memchr", "horspool",
+/// "swar").
 std::string_view SearchKernelName(SearchKernel kernel);
 
 /// All kernels, for parameterized tests and benches.
@@ -45,8 +48,23 @@ struct HorspoolTable {
 size_t FindHorspool(std::string_view hay, std::string_view needle,
                     const HorspoolTable& table, size_t from = 0);
 
-/// Convenience dispatch (builds the Horspool table on the fly; hot paths
-/// should use CompiledPattern instead, which caches it).
+/// Candidate positions are filtered 16 (SSE2) or 8 (SWAR) at a time by
+/// comparing the window's first two bytes against the needle's before the
+/// memcmp verify, so misses skip whole blocks without touching the shift
+/// table or the full needle.
+size_t FindSwar(std::string_view hay, std::string_view needle,
+                size_t from = 0);
+
+/// The portable word-at-a-time path FindSwar falls back to without SSE2.
+/// Always compiled and exported so the x86 CI exercises it too.
+size_t FindSwarFallback(std::string_view hay, std::string_view needle,
+                        size_t from = 0);
+
+/// Convenience dispatch for one-shot searches. For kHorspool the shift
+/// table is memoized per thread keyed on the needle bytes, so loops that
+/// probe many haystacks with one needle do not rebuild it per call; hot
+/// paths should still use CompiledPattern, which precompiles the table at
+/// construction.
 size_t Find(SearchKernel kernel, std::string_view hay, std::string_view needle,
             size_t from = 0);
 

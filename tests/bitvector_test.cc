@@ -256,5 +256,69 @@ TEST(BitVectorSetTest, DeserializeTruncatedFails) {
                   .IsCorruption());
 }
 
+// Tail-word and padding edges of the word-at-a-time kernels: sizes
+// straddling the 64-bit word boundary, bits in the partial last word, and
+// padding that must stay zero through every word-level operation.
+TEST(BitVectorWordOpsTest, WordAccessorsAndPadding) {
+  for (const size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    BitVector v(n);
+    EXPECT_EQ(v.num_words(), (n + 63) / 64);
+    v.Set(n - 1, true);
+    EXPECT_EQ(v.CountOnes(), 1u);
+    // OrWord on the last word with an in-range bit.
+    v.OrWord(v.num_words() - 1, 1ULL << ((n - 1) & 63));
+    EXPECT_EQ(v.CountOnes(), 1u);
+    // Negate must keep padding clean so SetBits never reports a
+    // past-the-end index.
+    v.Negate();
+    const std::vector<uint32_t> bits = v.SetBits();
+    EXPECT_EQ(bits.size(), n - 1);
+    for (const uint32_t b : bits) EXPECT_LT(b, n);
+  }
+}
+
+TEST(BitVectorWordOpsTest, UnionAllTailWords) {
+  for (const size_t n : {1u, 63u, 64u, 65u, 130u}) {
+    BitVectorSet set(3, n);
+    // Distinct bits per vector, including the very last record.
+    set.mutable_vector(0)->Set(0, true);
+    set.mutable_vector(1)->Set(n / 2, true);
+    set.mutable_vector(2)->Set(n - 1, true);
+    const BitVector u = set.UnionAll();
+    EXPECT_EQ(u.size(), n);
+    EXPECT_TRUE(u.Get(0));
+    EXPECT_TRUE(u.Get(n / 2));
+    EXPECT_TRUE(u.Get(n - 1));
+    // Union of all-ones stays clean in the padded tail: negating twice
+    // round-trips only if no padding bit leaked.
+    size_t expected = 3;
+    if (n / 2 == 0) --expected;
+    if (n - 1 == n / 2) --expected;
+    EXPECT_EQ(u.CountOnes(), expected);
+  }
+}
+
+TEST(BitVectorWordOpsTest, CompactByTailWords) {
+  // Mask straddling word boundaries; compaction output lands in a
+  // smaller word count and must preserve order.
+  for (const size_t n : {64u, 65u, 129u}) {
+    BitVector data(n), mask(n);
+    for (size_t i = 0; i < n; i += 2) mask.Set(i, true);
+    for (size_t i = 0; i < n; i += 4) data.Set(i, true);
+    auto compacted = data.CompactBy(mask);
+    ASSERT_TRUE(compacted.ok());
+    EXPECT_EQ(compacted->size(), mask.CountOnes());
+    // Every second surviving position is set (i % 4 == 0 among i % 2 == 0).
+    for (size_t j = 0; j < compacted->size(); ++j) {
+      EXPECT_EQ(compacted->Get(j), j % 2 == 0) << "n=" << n << " j=" << j;
+    }
+  }
+  // Empty mask -> empty output; full mask -> identity.
+  BitVector data(70);
+  data.Set(69, true);
+  EXPECT_EQ(data.CompactBy(BitVector(70))->size(), 0u);
+  EXPECT_EQ(*data.CompactBy(BitVector(70, true)), data);
+}
+
 }  // namespace
 }  // namespace ciao

@@ -105,7 +105,8 @@ TEST(KernelRegistryTest, NamesAndList) {
   EXPECT_EQ(SearchKernelName(SearchKernel::kStdFind), "std_find");
   EXPECT_EQ(SearchKernelName(SearchKernel::kMemchr), "memchr");
   EXPECT_EQ(SearchKernelName(SearchKernel::kHorspool), "horspool");
-  EXPECT_EQ(AllSearchKernels().size(), 3u);
+  EXPECT_EQ(SearchKernelName(SearchKernel::kSwar), "swar");
+  EXPECT_EQ(AllSearchKernels().size(), 4u);
 }
 
 TEST(HorspoolTableTest, ShiftValues) {
@@ -116,6 +117,52 @@ TEST(HorspoolTableTest, ShiftValues) {
   EXPECT_EQ(t.shift[static_cast<unsigned char>('a')], 1u);  // index 3
   EXPECT_EQ(t.shift[static_cast<unsigned char>('b')], 3u);  // index 1 wait: last b before end is index 4? pattern abcab: b at 1 and 4; final char excluded -> b at 1 -> 5-1-1=3
   EXPECT_EQ(t.shift[static_cast<unsigned char>('c')], 2u);  // index 2
+}
+
+// The generic property test stays below one vector block; this one drives
+// FindSwar across its block boundaries: long needles (clamped candidate
+// masks), matches straddling the 16/8-byte block edge, and matches found
+// only by the scalar tail loop. The hay alphabet includes the XOR-by-1
+// neighbors of the needle bytes ('`'='a'^1, 'c'='b'^1) so the non-SSE2
+// SWAR fallback's borrow-propagation false positives are exercised.
+TEST(SwarKernelTest, BlockBoundariesAndLongNeedles) {
+  static constexpr char kHayAlphabet[] = {'a', 'b', '`', 'c'};
+  Rng rng(0xF00D);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t hay_len = rng.NextBounded(90);
+    std::string hay;
+    for (size_t i = 0; i < hay_len; ++i) {
+      hay.push_back(kHayAlphabet[rng.NextBounded(4)]);
+    }
+    const size_t needle_len = rng.NextBounded(40);
+    std::string needle;
+    if (rng.NextBool(0.5) && needle_len <= hay.size() && !hay.empty()) {
+      const size_t start = rng.NextBounded(hay.size() - needle_len + 1);
+      needle = hay.substr(start, needle_len);
+    } else {
+      for (size_t i = 0; i < needle_len; ++i) {
+        needle.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+      }
+    }
+    const size_t from = rng.NextBounded(hay.size() + 3);
+    const size_t expected = std::string_view(hay).find(needle, from);
+    EXPECT_EQ(FindSwar(hay, needle, from), expected)
+        << "hay=" << hay << " needle=" << needle << " from=" << from;
+    // The portable fallback is always compiled; pin it to the same
+    // oracle so x86 CI covers the non-SSE2 build too.
+    EXPECT_EQ(FindSwarFallback(hay, needle, from), expected)
+        << "fallback hay=" << hay << " needle=" << needle
+        << " from=" << from;
+  }
+}
+
+// Concrete borrow-propagation counterexample: a first-byte match followed
+// by needle[0]^1 then needle[1] must not report a match on either path.
+TEST(SwarKernelTest, BorrowNeighborBytesDoNotFalsePositive) {
+  EXPECT_EQ(FindSwar("a`b______", "ab"), std::string_view::npos);
+  EXPECT_EQ(FindSwarFallback("a`b______", "ab"), std::string_view::npos);
+  EXPECT_EQ(FindSwar("a`bab____", "ab"), 3u);
+  EXPECT_EQ(FindSwarFallback("a`bab____", "ab"), 3u);
 }
 
 TEST(CompiledPatternTest, MatchesAcrossKernels) {
