@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the release-bench CI job.
+
+Compares the merged hot-path bench report (BENCH_hotpath.json, written by
+bench/bench_report.h) against the checked-in baseline snapshot and fails
+when any shared entry's items_per_second regressed by more than the
+tolerance (default 15%).
+
+Usage:
+  compare_bench.py REPORT [--baseline BASELINE] [--tolerance 0.15]
+
+The baseline is taken from the report's embedded "baseline" section when
+present (CIAO_BENCH_BASELINE was set during the run), else from
+--baseline. Entries present on only one side are reported but do not
+fail the gate (benches come and go); only measured regressions do.
+Tolerance can also be set via CIAO_BENCH_GATE_TOLERANCE.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+METRIC = "items_per_second"
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("entries", {}), doc.get("baseline", {})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_hotpath.json from the run")
+    parser.add_argument("--baseline", help="baseline JSON (fallback when the "
+                        "report has no embedded baseline)")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "CIAO_BENCH_GATE_TOLERANCE", "0.15")),
+                        help="max allowed fractional regression (0.15 = 15%%)")
+    args = parser.parse_args()
+
+    entries, embedded_baseline = load_entries(args.report)
+    baseline = embedded_baseline
+    if not baseline and args.baseline:
+        baseline, _ = load_entries(args.baseline)
+    if not baseline:
+        print("no baseline available: gate skipped")
+        return 0
+    if not entries:
+        print(f"ERROR: {args.report} has no entries", file=sys.stderr)
+        return 1
+
+    regressions = []
+    compared = 0
+    for key, base_metrics in sorted(baseline.items()):
+        base = base_metrics.get(METRIC)
+        cur = entries.get(key, {}).get(METRIC)
+        if base is None or base <= 0:
+            continue
+        if cur is None:
+            print(f"  [missing ] {key} (baseline {base:.3g}, not in run)")
+            continue
+        compared += 1
+        delta = (cur - base) / base
+        marker = "ok" if delta >= -args.tolerance else "REGRESSED"
+        print(f"  [{marker:9s}] {key}: {base:.4g} -> {cur:.4g} "
+              f"({delta:+.1%})")
+        if delta < -args.tolerance:
+            regressions.append((key, base, cur, delta))
+
+    for key in sorted(set(entries) - set(baseline)):
+        print(f"  [new      ] {key}")
+
+    print(f"\ncompared {compared} entries, tolerance {args.tolerance:.0%}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} entries regressed more than "
+              f"{args.tolerance:.0%} on {METRIC}:", file=sys.stderr)
+        for key, base, cur, delta in regressions:
+            print(f"  {key}: {base:.4g} -> {cur:.4g} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
+    print("PASS: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,54 @@ struct IngestOptions {
   bool concurrent() const { return num_clients > 1 || num_loaders > 1; }
 };
 
+/// Knobs of the adaptive re-optimization runtime (epoch-versioned plans).
+/// Disabled by default: the sequential paper pipeline plans once, offline,
+/// and never revisits the decision. With `enabled` the system records
+/// every executed query into a decayed QueryLog, periodically diffs the
+/// live mix against the workload the current epoch was planned for, and —
+/// when they diverge — re-runs predicate selection on the derived
+/// workload (optionally with a cost model recalibrated from observed
+/// runtime timings), backfills annotations over already-loaded segments
+/// and the raw sideline, and atomically installs the new plan epoch.
+/// Concurrent queries keep executing against their snapshot throughout.
+struct AdaptiveOptions {
+  /// Master switch. Off = the static paper pipeline, byte-identical.
+  bool enabled = false;
+
+  /// Check the re-plan trigger every this many recorded queries.
+  uint64_t replan_interval = 64;
+
+  /// Total-variation distance between the live workload's signature
+  /// distribution and the planned one above which a re-plan fires
+  /// (0 = re-plan unconditionally at every interval). Range [0, 1]:
+  /// 0.25 means a quarter of the query mass moved to different queries.
+  double divergence_threshold = 0.25;
+
+  /// Queries that must be recorded before the first re-plan can fire
+  /// (avoids thrashing on a cold log).
+  uint64_t min_queries = 16;
+
+  /// QueryLog decay half-life in recorded queries (0 = never decay).
+  uint64_t history_half_life = 512;
+
+  /// Significance floor when deriving the prospective workload from the
+  /// log: queries whose decayed share fell below this fraction are
+  /// dropped from re-planning (they would otherwise pin their predicates
+  /// in the pushdown set forever under a loose budget). 0 = keep all.
+  double min_query_share = 0.005;
+
+  /// Refit the cost model from runtime observations (prefilter timings,
+  /// replan-time predicate sweeps) before re-running selection; with too
+  /// few observations the bootstrap model is kept.
+  bool recalibrate = true;
+
+  /// Query-driven JIT promotion: before a full-scan query touches the
+  /// raw sideline, promote the records its residual predicate cannot
+  /// rule out (parsed once, annotated for the current epoch) and screen
+  /// out the rest without parsing.
+  bool jit_promotion = true;
+};
+
 /// Tuning knobs of a CIAO deployment. The one the administrator actually
 /// sets is `budget_us` — "the average amount of computation cost of
 /// evaluating predicates for each new tuple" (paper §III). Budget 0 is
@@ -58,6 +106,11 @@ struct CiaoConfig {
 
   /// Concurrency of the ingest pipeline (clients, loaders, queue).
   IngestOptions ingest;
+
+  /// Adaptive re-optimization runtime (drift-triggered re-planning,
+  /// annotation backfill, query-driven JIT promotion). Default off:
+  /// the plan chosen at bootstrap is frozen, as in the paper.
+  AdaptiveOptions adaptive;
 
   /// Worker threads for the executor's segment scan; 1 = sequential,
   /// 0 = one per hardware thread.

@@ -28,6 +28,7 @@ Result<PlanningOutcome> PlanPushdown(
   outcome.partial_loading_enabled =
       config.enable_partial_loading && outcome.plan.covers_all_queries &&
       !outcome.registry.empty();
+  outcome.planned_workload = workload;
   return outcome;
 }
 
@@ -81,6 +82,7 @@ Result<PlanningOutcome> PlanManualPushdown(
   outcome.plan.covers_all_queries = covered;
   outcome.partial_loading_enabled = config.enable_partial_loading && covered &&
                                     !outcome.registry.empty();
+  outcome.planned_workload = workload;
   return outcome;
 }
 

@@ -22,6 +22,9 @@ struct PlanningOutcome {
   double mean_record_len = 0.0;
   /// Final decision after the coverage check (DESIGN.md §5).
   bool partial_loading_enabled = false;
+  /// The workload this plan was optimized for — the adaptive runtime
+  /// diffs the live query mix against it to decide when to re-plan.
+  Workload planned_workload;
 };
 
 /// Optimizer-driven planning (paper Fig 1, Step 1): estimate selectivities

@@ -1,0 +1,21 @@
+#include "core/plan_epoch.h"
+
+namespace ciao {
+
+std::shared_ptr<const PlanEpoch> PlanEpoch::Make(uint64_t id,
+                                                 PlanningOutcome outcome) {
+  auto epoch = std::make_shared<PlanEpoch>();
+  epoch->id = id;
+  epoch->outcome = std::move(outcome);
+  return epoch;
+}
+
+bool EpochManager::Install(std::shared_ptr<const PlanEpoch> next) {
+  if (next == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next->id <= current_->id) return false;
+  current_ = std::move(next);
+  return true;
+}
+
+}  // namespace ciao

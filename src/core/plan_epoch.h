@@ -1,0 +1,79 @@
+#ifndef CIAO_CORE_PLAN_EPOCH_H_
+#define CIAO_CORE_PLAN_EPOCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/pipeline.h"
+
+namespace ciao {
+
+/// One immutable generation of the pushdown decision: the plan, its
+/// compiled registry, and the workload it was optimized for. The adaptive
+/// runtime keeps the current epoch behind a refcounted handle so queries
+/// and in-flight ingest always see a *consistent* (plan, registry) pair
+/// while a new epoch is being prepared and installed.
+///
+/// Epoch ids are strictly increasing; id 0 is the bootstrap plan. Segment
+/// annotations are tagged with the id of the epoch that produced them
+/// (ColumnarSegment::annotation_epoch), which is what lets an executor
+/// detect bits written in a different predicate-id space.
+///
+/// PlanEpoch is immutable after construction — a shared_ptr<const
+/// PlanEpoch> may be read from any thread without synchronization.
+struct PlanEpoch {
+  uint64_t id = 0;
+  PlanningOutcome outcome;
+
+  const PushdownPlan& plan() const { return outcome.plan; }
+  const PredicateRegistry& registry() const { return outcome.registry; }
+  bool partial_loading_enabled() const {
+    return outcome.partial_loading_enabled;
+  }
+  const Workload& planned_workload() const {
+    return outcome.planned_workload;
+  }
+
+  /// Wraps a planning outcome into an immutable epoch.
+  static std::shared_ptr<const PlanEpoch> Make(uint64_t id,
+                                               PlanningOutcome outcome);
+};
+
+/// Holds the current epoch; readers take a cheap refcounted snapshot,
+/// the re-planner installs replacements. The mutex guards only the
+/// pointer swap (never held across planning or backfill), so queries are
+/// never blocked by a re-plan in progress.
+class EpochManager {
+ public:
+  explicit EpochManager(std::shared_ptr<const PlanEpoch> initial)
+      : current_(std::move(initial)) {}
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Snapshot of the current epoch; safe from any thread.
+  std::shared_ptr<const PlanEpoch> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  uint64_t current_id() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_->id;
+  }
+
+  /// Atomically publishes `next` as the current epoch. Installs are
+  /// ignored unless the id strictly increases (a stale re-planner racing
+  /// a newer install must not roll the plan back). Returns whether the
+  /// install took effect.
+  bool Install(std::shared_ptr<const PlanEpoch> next);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const PlanEpoch> current_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_CORE_PLAN_EPOCH_H_

@@ -1,0 +1,208 @@
+#include "core/replan.h"
+
+#include <utility>
+
+#include "core/pipeline.h"
+
+namespace ciao {
+
+namespace {
+
+void MergeBackfill(BackfillStats* into, const BackfillStats& from) {
+  into->segments_rebuilt += from.segments_rebuilt;
+  into->groups_rebuilt += from.groups_rebuilt;
+  into->rows_reannotated += from.rows_reannotated;
+  into->raw_promoted += from.raw_promoted;
+  into->raw_kept += from.raw_kept;
+  into->seconds += from.seconds;
+}
+
+}  // namespace
+
+ReplanController::ReplanController(const CiaoConfig& config,
+                                   CostModel initial_model,
+                                   std::vector<std::string> sample_records,
+                                   TableCatalog* catalog, EpochManager* epochs,
+                                   std::shared_mutex* ingest_gate)
+    : config_(config),
+      initial_model_(std::move(initial_model)),
+      sample_records_(std::move(sample_records)),
+      catalog_(catalog),
+      epochs_(epochs),
+      ingest_gate_(ingest_gate),
+      log_(config.adaptive.history_half_life) {}
+
+void ReplanController::RecordIngest(uint64_t records, double seconds,
+                                    const PlanEpoch& epoch) {
+  const PredicateRegistry& registry = epoch.registry();
+  if (registry.empty()) return;
+  double total_pattern_len = 0.0;
+  double selectivity_sum = 0.0;
+  for (const RegisteredPredicate& p : registry.predicates()) {
+    total_pattern_len += static_cast<double>(p.program.TotalPatternLength());
+    selectivity_sum += p.selectivity;
+  }
+  observations_.AddPrefilterAggregate(
+      records, seconds, registry.size(), total_pattern_len,
+      selectivity_sum / static_cast<double>(registry.size()),
+      epoch.outcome.mean_record_len);
+}
+
+bool ReplanController::ShouldReplanLocked() {
+  if (queries_since_check_ < config_.adaptive.replan_interval) return false;
+  if (log_.total_recorded() < config_.adaptive.min_queries) return false;
+  queries_since_check_ = 0;
+  return true;
+}
+
+bool ReplanController::OnQueryExecuted(const Query& query,
+                                       const QueryResult& result) {
+  (void)result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.Record(query);
+    ++queries_since_check_;
+    if (!ShouldReplanLocked()) return false;
+  }
+
+  // Divergence gate, outside mu_ (the epoch snapshot and the distribution
+  // diff don't need the log lock).
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_->current();
+  Workload derived;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    derived = log_.DeriveWorkload(config_.adaptive.min_query_share);
+  }
+  const double divergence =
+      workload::WorkloadDivergence(derived, epoch->planned_workload());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_divergence_ = divergence;
+  }
+  if (config_.adaptive.divergence_threshold > 0.0 &&
+      divergence < config_.adaptive.divergence_threshold) {
+    return false;
+  }
+
+  // Single-flight: if another query's thread is already re-planning,
+  // this one just keeps executing under its snapshot.
+  if (!replan_mu_.try_lock()) return false;
+  std::lock_guard<std::mutex> flight(replan_mu_, std::adopt_lock);
+  // Re-planning is best-effort: a failure keeps the previous epoch
+  // serving and must not turn the (successful) query into an error.
+  Result<bool> outcome = ReplanNow();
+  if (!outcome.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_replan_error_ = outcome.status();
+    return false;
+  }
+  return *outcome;
+}
+
+Result<bool> ReplanController::ForceReplan() {
+  std::lock_guard<std::mutex> flight(replan_mu_);
+  return ReplanNow();
+}
+
+CostModel ReplanController::ModelForReplan(const PlanEpoch& epoch) {
+  std::vector<CostObservation> observations = observations_.Snapshot();
+  // Replan-time sweep: time the *current* registry's patterns (plus a few
+  // probes for selectivity/length spread) over the retained sample —
+  // per-predicate observations on this host, right now.
+  if (!sample_records_.empty()) {
+    std::vector<std::string> patterns;
+    for (const RegisteredPredicate& p : epoch.registry().predicates()) {
+      for (const std::string& s : p.pattern_strings) patterns.push_back(s);
+    }
+    const std::vector<std::string> probes =
+        BuildProbePatterns(sample_records_, 8, config_.seed);
+    patterns.insert(patterns.end(), probes.begin(), probes.end());
+    if (patterns.size() >= kMinCalibrationObservations) {
+      Result<CalibrationResult> sweep = CalibrateWallClock(
+          sample_records_, patterns, config_.kernel, /*repeats=*/1);
+      if (sweep.ok()) {
+        observations.insert(observations.end(), sweep->observations.begin(),
+                            sweep->observations.end());
+      }
+    }
+  }
+  if (observations.size() >= kMinCalibrationObservations) {
+    Result<CalibrationResult> fitted = CalibrateFromRuntime(observations);
+    if (fitted.ok()) return fitted->model;
+  }
+  return initial_model_;
+}
+
+Result<bool> ReplanController::ReplanNow() {
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_->current();
+  Workload derived;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    derived = log_.DeriveWorkload(config_.adaptive.min_query_share);
+  }
+  if (derived.queries.empty()) return false;
+
+  const CostModel model = config_.adaptive.recalibrate
+                              ? ModelForReplan(*epoch)
+                              : initial_model_;
+  CIAO_ASSIGN_OR_RETURN(PlanningOutcome outcome,
+                        PlanPushdown(derived, sample_records_, config_, model));
+
+  // An identical selection would re-install the same decision under a new
+  // id numbering and force a pointless backfill sweep — keep the epoch.
+  if (outcome.plan.SelectedKeys() == epoch->plan().SelectedKeys()) {
+    return false;
+  }
+
+  const uint64_t new_id = epoch->id + 1;
+  // Exclude in-flight ingest across backfill + install: an append racing
+  // the sideline rebuild would be lost, and a chunk sidelined under the
+  // old plan after the promotion pass could hide rows from the new
+  // epoch's skipping scans. Queries are unaffected — they never hold the
+  // gate.
+  std::unique_lock<std::shared_mutex> gate;
+  if (ingest_gate_ != nullptr) {
+    gate = std::unique_lock<std::shared_mutex>(*ingest_gate_);
+  }
+  // Backfill BEFORE install: once queries can plan against the new
+  // registry, every segment must already carry bits in its id space and
+  // the sideline must hold no record matching a new predicate.
+  BackfillStats backfill;
+  CIAO_RETURN_IF_ERROR(BackfillEpochAnnotations(catalog_, outcome.registry,
+                                                new_id, &backfill));
+  const bool installed =
+      epochs_->Install(PlanEpoch::Make(new_id, std::move(outcome)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (installed) ++replans_installed_;
+    MergeBackfill(&backfill_total_, backfill);
+  }
+  return installed;
+}
+
+uint64_t ReplanController::replans_installed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replans_installed_;
+}
+
+uint64_t ReplanController::queries_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.total_recorded();
+}
+
+double ReplanController::last_divergence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_divergence_;
+}
+
+BackfillStats ReplanController::backfill_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backfill_total_;
+}
+
+Status ReplanController::last_replan_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_replan_error_;
+}
+
+}  // namespace ciao

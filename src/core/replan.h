@@ -1,0 +1,117 @@
+#ifndef CIAO_CORE_REPLAN_H_
+#define CIAO_CORE_REPLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/plan_epoch.h"
+#include "costmodel/calibration.h"
+#include "costmodel/cost_model.h"
+#include "engine/plan.h"
+#include "storage/backfill.h"
+#include "storage/catalog.h"
+#include "workload/history.h"
+
+namespace ciao {
+
+/// The adaptive runtime's control loop (paper §III historical statistics,
+/// made continuous): records every executed query into a decayed
+/// QueryLog, and when the live mix drifts from the workload the current
+/// epoch was planned for, prepares and installs a new epoch —
+///
+///   record → trigger (interval + divergence) → derive workload →
+///   recalibrate cost model from runtime observations → re-run selection
+///   → backfill annotations + promote matching sideline records →
+///   install epoch (atomic pointer swap)
+///
+/// Everything up to the install happens on the *triggering* query's
+/// thread while other queries keep executing against their epoch
+/// snapshots; a try-lock makes re-planning single-flight (concurrent
+/// triggers skip instead of queueing).
+class ReplanController {
+ public:
+  /// `catalog` and `epochs` must outlive the controller. `sample_records`
+  /// are retained for selectivity estimation at re-plan time (the same
+  /// sample the bootstrap used); `initial_model` is the fallback when too
+  /// few runtime observations exist to recalibrate. `ingest_gate` (may be
+  /// null) is held exclusively across backfill + install so a re-plan can
+  /// never restructure the sideline while an ingest call — which holds it
+  /// shared — is appending to it; without the gate, records appended
+  /// between backfill's sideline snapshot and its swap would be lost.
+  ReplanController(const CiaoConfig& config, CostModel initial_model,
+                   std::vector<std::string> sample_records,
+                   TableCatalog* catalog, EpochManager* epochs,
+                   std::shared_mutex* ingest_gate = nullptr);
+
+  ReplanController(const ReplanController&) = delete;
+  ReplanController& operator=(const ReplanController&) = delete;
+
+  /// Records one successfully executed query; if the re-plan trigger
+  /// fires, re-plans inline on this thread. Returns whether a new epoch
+  /// was installed. Re-planning is an optimization: its failures are
+  /// recorded (see last_replan_error) and never surfaced as the query's
+  /// error. Thread-safe.
+  bool OnQueryExecuted(const Query& query, const QueryResult& result);
+
+  /// Feeds one ingest pass's prefilter timing into the runtime
+  /// calibration log. Thread-safe.
+  void RecordIngest(uint64_t records, double seconds, const PlanEpoch& epoch);
+
+  /// Unconditional re-plan from the current log (test/ops hook; still
+  /// single-flight). Returns whether a new epoch was installed — false
+  /// when the log is empty or the selection matches the current epoch's.
+  Result<bool> ForceReplan();
+
+  // --- Introspection (thread-safe) ---
+  uint64_t replans_installed() const;
+  uint64_t queries_recorded() const;
+  /// Divergence measured at the last trigger check (0 before the first).
+  double last_divergence() const;
+  /// Backfill counters accumulated across all installed re-plans.
+  BackfillStats backfill_stats() const;
+  /// Status of the most recent failed re-plan attempt (OK when none
+  /// failed). Failures leave the previous epoch serving.
+  Status last_replan_error() const;
+
+ private:
+  /// Interval/min-queries part of the trigger; requires mu_ held.
+  bool ShouldReplanLocked();
+
+  /// The re-plan pipeline; assumes the single-flight lock is held.
+  Result<bool> ReplanNow();
+
+  /// Picks the cost model for re-selection: recalibrated from runtime
+  /// observations (augmented with a replan-time sweep of the current
+  /// registry's patterns over the retained sample) when possible,
+  /// otherwise the bootstrap model.
+  CostModel ModelForReplan(const PlanEpoch& epoch);
+
+  const CiaoConfig config_;
+  const CostModel initial_model_;
+  const std::vector<std::string> sample_records_;
+  TableCatalog* catalog_;
+  EpochManager* epochs_;
+  std::shared_mutex* ingest_gate_;
+
+  RuntimeObservationLog observations_;
+
+  mutable std::mutex mu_;  // guards log_ and the counters below
+  workload::QueryLog log_;
+  uint64_t queries_since_check_ = 0;
+  uint64_t replans_installed_ = 0;
+  double last_divergence_ = 0.0;
+  BackfillStats backfill_total_;
+  Status last_replan_error_;
+
+  std::mutex replan_mu_;  // single-flight re-planning
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_CORE_REPLAN_H_

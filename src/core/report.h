@@ -34,6 +34,15 @@ struct EndToEndReport {
   uint64_t total_result_rows = 0;
   double objective_value = 0.0;
 
+  /// Adaptive runtime: id of the plan epoch current at report time
+  /// (0 = the bootstrap plan) and how many re-plans installed.
+  uint64_t plan_epoch = 0;
+  uint64_t replans_installed = 0;
+  /// Query-driven JIT promotion: sideline records promoted to columnar
+  /// vs ruled out (and left unparsed) by the query's pattern screen.
+  uint64_t jit_promoted_rows = 0;
+  uint64_t jit_screened_out = 0;
+
   double TotalSeconds() const {
     // Under a concurrent pipeline prefiltering and loading overlap and
     // their fields sum CPU-seconds across workers, so wall-clock ingest

@@ -2,26 +2,37 @@
 
 #include "client/coordinator.h"
 #include "common/timer.h"
+#include "engine/planner.h"
 
 namespace ciao {
 
 CiaoSystem::CiaoSystem(columnar::Schema schema, Workload workload,
-                       CiaoConfig config, PlanningOutcome outcome)
+                       CiaoConfig config, CostModel cost_model,
+                       PlanningOutcome outcome,
+                       const std::vector<std::string>& sample_records)
     : schema_(std::move(schema)),
       workload_(std::move(workload)),
       config_(config),
-      outcome_(std::move(outcome)) {
+      cost_model_(std::move(cost_model)),
+      bootstrap_epoch_(PlanEpoch::Make(0, std::move(outcome))),
+      epochs_(bootstrap_epoch_) {
   transport_ = std::make_unique<InMemoryTransport>();
   client_ = std::make_unique<ClientSession>(
-      ClientFilter(&outcome_.registry), transport_.get(), config_.chunk_size);
+      ClientFilter(&bootstrap_epoch_->registry()), transport_.get(),
+      config_.chunk_size);
   catalog_ = std::make_unique<TableCatalog>(schema_);
-  loader_ =
-      std::make_unique<PartialLoader>(schema_, outcome_.registry.size());
   ExecutorOptions executor_options;
   executor_options.num_scan_threads = config_.query_scan_threads;
+  executor_options.raw_prefilter =
+      config_.adaptive.enabled && config_.adaptive.jit_promotion;
   executor_ = std::make_unique<QueryExecutor>(catalog_.get(),
-                                              &outcome_.registry,
+                                              &bootstrap_epoch_->registry(),
                                               executor_options);
+  if (config_.adaptive.enabled) {
+    replan_ = std::make_unique<ReplanController>(
+        config_, cost_model_, sample_records, catalog_.get(), &epochs_,
+        &ingest_replan_gate_);
+  }
 }
 
 Result<std::unique_ptr<CiaoSystem>> CiaoSystem::Bootstrap(
@@ -33,7 +44,7 @@ Result<std::unique_ptr<CiaoSystem>> CiaoSystem::Bootstrap(
       PlanPushdown(workload, sample_records, config, cost_model));
   return std::unique_ptr<CiaoSystem>(
       new CiaoSystem(std::move(schema), std::move(workload), config,
-                     std::move(outcome)));
+                     cost_model, std::move(outcome), sample_records));
 }
 
 Result<std::unique_ptr<CiaoSystem>> CiaoSystem::BootstrapManual(
@@ -47,40 +58,73 @@ Result<std::unique_ptr<CiaoSystem>> CiaoSystem::BootstrapManual(
                          cost_model));
   return std::unique_ptr<CiaoSystem>(
       new CiaoSystem(std::move(schema), std::move(workload), config,
-                     std::move(outcome)));
+                     cost_model, std::move(outcome), sample_records));
 }
 
 Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
   Stopwatch watch;
+  // Shared side of the ingest/re-plan gate: a re-plan's backfill waits
+  // for this call (and vice versa), so sideline appends can never race a
+  // sideline rebuild. Taken before the epoch snapshot, so the plan also
+  // cannot flip mid-call.
+  std::shared_lock<std::shared_mutex> gate(ingest_replan_gate_);
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_.current();
   Status st;
   if (config_.ingest.concurrent()) {
-    st = IngestRecordsConcurrent(records);
+    st = IngestRecordsConcurrent(records, *epoch);
+  } else if (config_.adaptive.enabled) {
+    st = IngestRecordsSequential(records, *epoch);
   } else {
+    // The paper's sequential pipeline, untouched: the bootstrap session
+    // prefilters and ships, then the transport is drained.
     st = client_->SendRecords(records);
-    if (st.ok()) st = DrainTransport();
+    if (st.ok()) {
+      const PartialLoader loader(schema_, bootstrap_epoch_->registry().size(),
+                                 bootstrap_epoch_->id);
+      st = DrainTransport(loader, *bootstrap_epoch_);
+    }
   }
   ingest_wall_seconds_ += watch.ElapsedSeconds();
   return st;
 }
 
+Status CiaoSystem::IngestRecordsSequential(
+    const std::vector<std::string>& records, const PlanEpoch& epoch) {
+  // Per-call session: a re-plan between ingest calls switches the
+  // prefilter to the new epoch's registry.
+  ClientSession session(ClientFilter(&epoch.registry()), transport_.get(),
+                        config_.chunk_size);
+  Status st = session.SendRecords(records);
+  if (st.ok()) {
+    const PartialLoader loader(schema_, epoch.registry().size(), epoch.id);
+    st = DrainTransport(loader, epoch);
+  }
+  pool_prefilter_stats_.MergeFrom(session.stats());
+  if (replan_ != nullptr) {
+    replan_->RecordIngest(session.stats().records_filtered,
+                          session.stats().seconds, epoch);
+  }
+  return st;
+}
+
 Status CiaoSystem::IngestRecordsConcurrent(
-    const std::vector<std::string>& records) {
+    const std::vector<std::string>& records, const PlanEpoch& epoch) {
   BoundedTransport transport(config_.ingest.queue_capacity);
   // The pool counts as one producer: its workers all finish inside
   // SendRecords, after which the queue can be closed for draining.
   transport.AddProducers(1);
 
+  const PartialLoader loader(schema_, epoch.registry().size(), epoch.id);
   LoaderPoolOptions loader_options;
   loader_options.num_loaders = config_.ingest.num_loaders;
-  loader_options.partial_loading_enabled = outcome_.partial_loading_enabled;
-  LoaderPool loaders(loader_.get(), &transport, catalog_.get(),
-                     loader_options);
+  loader_options.partial_loading_enabled = epoch.partial_loading_enabled();
+  LoaderPool loaders(&loader, &transport, catalog_.get(), loader_options);
   loaders.Start();  // loaders come up before any chunk is shipped
 
   ClientPoolOptions client_options;
   client_options.num_clients = config_.ingest.num_clients;
   client_options.chunk_size = config_.chunk_size;
-  ClientPool clients(&outcome_.registry, &transport, client_options);
+  ClientPool clients(&epoch.registry(), &transport, client_options);
   Status send_status = clients.SendRecords(records);
 
   transport.ProducerDone();
@@ -88,11 +132,16 @@ Status CiaoSystem::IngestRecordsConcurrent(
 
   pool_prefilter_stats_.MergeFrom(clients.stats());
   load_stats_.MergeFrom(loaders.stats());
+  if (replan_ != nullptr) {
+    replan_->RecordIngest(clients.stats().records_filtered,
+                          clients.stats().seconds, epoch);
+  }
   if (!send_status.ok()) return send_status;
   return load_status;
 }
 
-Status CiaoSystem::DrainTransport() {
+Status CiaoSystem::DrainTransport(const PartialLoader& loader,
+                                  const PlanEpoch& epoch) {
   while (true) {
     CIAO_ASSIGN_OR_RETURN(std::optional<std::string> payload,
                           transport_->Receive());
@@ -100,20 +149,56 @@ Status CiaoSystem::DrainTransport() {
     CIAO_ASSIGN_OR_RETURN(ChunkMessage msg,
                           ChunkMessage::Deserialize(*payload));
     CIAO_ASSIGN_OR_RETURN(BitVectorSet annotations,
-                          msg.ExpandAnnotations(outcome_.registry.size()));
-    CIAO_RETURN_IF_ERROR(loader_->IngestChunk(
-        msg.chunk, annotations, outcome_.partial_loading_enabled,
+                          msg.ExpandAnnotations(epoch.registry().size()));
+    CIAO_RETURN_IF_ERROR(loader.IngestChunk(
+        msg.chunk, annotations, epoch.partial_loading_enabled(),
         catalog_.get(), &load_stats_));
   }
   return Status::OK();
 }
 
 Result<QueryResult> CiaoSystem::ExecuteQuery(const Query& query) {
-  CIAO_ASSIGN_OR_RETURN(QueryResult result, executor_->Execute(query));
-  query_seconds_ += result.seconds;
-  ++queries_run_;
-  if (result.plan == PlanKind::kSkippingScan) ++queries_skipping_;
-  total_result_rows_ += result.count;
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_.current();
+
+  if (config_.adaptive.enabled && config_.adaptive.jit_promotion) {
+    // Query-driven JIT loading: a full-scan query about to touch the
+    // sideline first promotes the records it cannot rule out (parsed
+    // once, annotated for this epoch); the rest are screened out of the
+    // scan entirely.
+    const PlanDecision decision = PlanQuery(query, epoch->registry());
+    if (decision.kind == PlanKind::kFullScan &&
+        !catalog_->SnapshotRaw()->empty()) {
+      JitStats jit;
+      QueryPromotionStats promotion;
+      CIAO_RETURN_IF_ERROR(PromoteForQuery(catalog_.get(), query,
+                                           epoch->registry(), epoch->id, &jit,
+                                           &promotion));
+      std::lock_guard<std::mutex> lock(query_stats_mu_);
+      jit_stats_.records_parsed += jit.records_parsed;
+      jit_stats_.parse_errors += jit.parse_errors;
+      jit_stats_.seconds += jit.seconds;
+      promotion_stats_.promoted += promotion.promoted;
+      promotion_stats_.screened_out += promotion.screened_out;
+      promotion_stats_.parse_failures += promotion.parse_failures;
+    }
+  }
+
+  const EpochView view{&epoch->registry(), epoch->id};
+  CIAO_ASSIGN_OR_RETURN(QueryResult result, executor_->Execute(query, view));
+  {
+    std::lock_guard<std::mutex> lock(query_stats_mu_);
+    query_seconds_ += result.seconds;
+    ++queries_run_;
+    if (result.plan == PlanKind::kSkippingScan) ++queries_skipping_;
+    total_result_rows_ += result.count;
+  }
+  if (replan_ != nullptr) {
+    // Drift tracking; may re-plan inline on this thread while other
+    // queries keep executing against their snapshots. Re-plan failures
+    // are recorded by the controller, never surfaced as the query's
+    // error — the query already produced its (correct) result.
+    replan_->OnQueryExecuted(query, result);
+  }
   return result;
 }
 
@@ -128,24 +213,32 @@ Result<std::vector<QueryResult>> CiaoSystem::ExecuteWorkload() {
 }
 
 EndToEndReport CiaoSystem::BuildReport(const std::string& label) const {
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_.current();
   EndToEndReport report;
   report.label = label;
   report.budget_us = config_.budget_us;
-  report.predicates_pushed = outcome_.registry.size();
-  report.partial_loading = outcome_.partial_loading_enabled;
+  report.predicates_pushed = epoch->registry().size();
+  report.partial_loading = epoch->partial_loading_enabled();
   report.prefilter_seconds = prefilter_stats().seconds;
   report.loading_seconds = load_stats_.total_seconds;
   report.ingest_wall_seconds = ingest_wall_seconds_;
   report.ingest_clients = config_.ingest.num_clients;
   report.ingest_loaders = config_.ingest.num_loaders;
-  report.query_seconds = query_seconds_;
   report.loading_ratio = load_stats_.LoadingRatio();
   report.rows_loaded = load_stats_.records_loaded;
   report.rows_sidelined = load_stats_.records_sidelined;
-  report.queries_run = queries_run_;
-  report.queries_skipping = queries_skipping_;
-  report.total_result_rows = total_result_rows_;
-  report.objective_value = outcome_.plan.objective_value;
+  {
+    std::lock_guard<std::mutex> lock(query_stats_mu_);
+    report.query_seconds = query_seconds_;
+    report.queries_run = queries_run_;
+    report.queries_skipping = queries_skipping_;
+    report.total_result_rows = total_result_rows_;
+    report.jit_promoted_rows = promotion_stats_.promoted;
+    report.jit_screened_out = promotion_stats_.screened_out;
+  }
+  report.objective_value = epoch->plan().objective_value;
+  report.plan_epoch = epoch->id;
+  report.replans_installed = replans_installed();
   return report;
 }
 

@@ -2,6 +2,8 @@
 #define CIAO_CORE_SYSTEM_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -10,12 +12,15 @@
 #include "common/status.h"
 #include "core/config.h"
 #include "core/pipeline.h"
+#include "core/plan_epoch.h"
+#include "core/replan.h"
 #include "core/report.h"
 #include "costmodel/cost_model.h"
 #include "engine/executor.h"
 #include "engine/plan.h"
 #include "predicate/registry.h"
 #include "storage/catalog.h"
+#include "storage/jit_loader.h"
 #include "storage/partial_loader.h"
 #include "storage/transport.h"
 
@@ -33,10 +38,21 @@ namespace ciao {
 ///   system->IngestRecords(records);   // client filter -> partial load
 ///   auto results = system->ExecuteWorkload();
 ///   EndToEndReport report = system->BuildReport("my-run");
+///
+/// With `config.adaptive.enabled` the bootstrap plan becomes *epoch 0* of
+/// an adaptive runtime: every executed query is recorded, drift against
+/// the planned workload periodically triggers a re-plan (with a cost
+/// model recalibrated from runtime observations), already-loaded
+/// segments are backfilled with annotations for the new predicate set,
+/// and the new epoch is installed atomically. ExecuteQuery is then safe
+/// to call from multiple threads; queries executing concurrently with a
+/// re-plan keep their consistent epoch snapshot. Ingest remains a
+/// single-caller phase either way.
 class CiaoSystem {
  public:
   /// Optimizer-driven bootstrap: plans the pushdown under
-  /// `config.budget_us` using `sample_records` for statistics.
+  /// `config.budget_us` using `sample_records` for statistics. In
+  /// adaptive mode the sample is retained for re-planning.
   static Result<std::unique_ptr<CiaoSystem>> Bootstrap(
       columnar::Schema schema, Workload workload,
       const std::vector<std::string>& sample_records, const CiaoConfig& config,
@@ -57,11 +73,16 @@ class CiaoSystem {
   /// prefilter + ship `records` (chunked), then drain the transport into
   /// the partial loader. With `config.ingest` above 1/1 the phases
   /// overlap: a LoaderPool starts draining a BoundedTransport before the
-  /// ClientPool finishes prefiltering.
+  /// ClientPool finishes prefiltering. In adaptive mode the whole call
+  /// runs against a snapshot of the current plan epoch, so a concurrent
+  /// re-plan never mixes predicate-id spaces mid-stream.
   Status IngestRecords(const std::vector<std::string>& records);
 
   /// Executes one query through the planner (skipping scan when its
-  /// clauses were pushed down, full scan otherwise).
+  /// clauses were pushed down, full scan otherwise). Adaptive mode:
+  /// may first JIT-promote sideline records the query cannot rule out,
+  /// records the query for drift tracking, and may re-plan inline when
+  /// the trigger fires. Thread-safe in adaptive mode.
   Result<QueryResult> ExecuteQuery(const Query& query);
 
   /// Executes every workload query in order; accumulates query-phase
@@ -72,11 +93,32 @@ class CiaoSystem {
   EndToEndReport BuildReport(const std::string& label) const;
 
   // --- Introspection ---
-  const PushdownPlan& plan() const { return outcome_.plan; }
-  const PredicateRegistry& registry() const { return outcome_.registry; }
-  bool partial_loading_enabled() const {
-    return outcome_.partial_loading_enabled;
+  /// The *bootstrap* plan/registry (epoch 0) — stable references for the
+  /// paper pipeline and for pre-replan assertions. After a re-plan the
+  /// live decision is `epoch()`'s.
+  const PushdownPlan& plan() const { return bootstrap_epoch_->plan(); }
+  const PredicateRegistry& registry() const {
+    return bootstrap_epoch_->registry();
   }
+  bool partial_loading_enabled() const {
+    return bootstrap_epoch_->partial_loading_enabled();
+  }
+  /// Snapshot of the current plan epoch (== bootstrap until a re-plan
+  /// installs).
+  std::shared_ptr<const PlanEpoch> epoch() const { return epochs_.current(); }
+  /// Re-plans installed so far (0 when adaptive mode is off).
+  uint64_t replans_installed() const {
+    return replan_ != nullptr ? replan_->replans_installed() : 0;
+  }
+  /// The adaptive controller (nullptr when adaptive mode is off).
+  const ReplanController* replan_controller() const { return replan_.get(); }
+  /// Query-driven JIT promotion counters (all zero when adaptive mode or
+  /// jit_promotion is off).
+  QueryPromotionStats promotion_stats() const {
+    std::lock_guard<std::mutex> lock(query_stats_mu_);
+    return promotion_stats_;
+  }
+
   const TableCatalog& catalog() const { return *catalog_; }
   const LoadStats& load_stats() const { return load_stats_; }
   /// Client-side counters, merged across the sequential session and any
@@ -93,35 +135,60 @@ class CiaoSystem {
 
  private:
   CiaoSystem(columnar::Schema schema, Workload workload, CiaoConfig config,
-             PlanningOutcome outcome);
+             CostModel cost_model, PlanningOutcome outcome,
+             const std::vector<std::string>& sample_records);
 
-  /// Receives every pending transport message and loads it.
-  Status DrainTransport();
+  /// Receives every pending transport message and loads it with `loader`
+  /// under `epoch`'s plan.
+  Status DrainTransport(const PartialLoader& loader, const PlanEpoch& epoch);
+
+  /// Sequential ingest against an explicit epoch snapshot (adaptive
+  /// mode; the session is per-call so a re-plan between calls switches
+  /// the filter registry).
+  Status IngestRecordsSequential(const std::vector<std::string>& records,
+                                 const PlanEpoch& epoch);
 
   /// Overlapped pipeline: loader pool drains a bounded queue while the
   /// client pool fills it.
-  Status IngestRecordsConcurrent(const std::vector<std::string>& records);
+  Status IngestRecordsConcurrent(const std::vector<std::string>& records,
+                                 const PlanEpoch& epoch);
 
   columnar::Schema schema_;
   Workload workload_;
   CiaoConfig config_;
-  PlanningOutcome outcome_;
+  CostModel cost_model_;
+
+  /// Epoch 0, kept alive for the stable introspection accessors; the
+  /// live epoch is epochs_.current().
+  std::shared_ptr<const PlanEpoch> bootstrap_epoch_;
+  EpochManager epochs_;
 
   // unique_ptr members keep internal cross-pointers stable if the
   // enclosing unique_ptr<CiaoSystem> moves.
   std::unique_ptr<InMemoryTransport> transport_;
   std::unique_ptr<ClientSession> client_;
   std::unique_ptr<TableCatalog> catalog_;
-  std::unique_ptr<PartialLoader> loader_;
   std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<ReplanController> replan_;  // adaptive mode only
 
+  /// Held shared by IngestRecords and exclusively by a re-plan's
+  /// backfill+install, so a sideline rebuild can never race in-flight
+  /// ingest appends (queries never touch it).
+  std::shared_mutex ingest_replan_gate_;
+
+  // Ingest-phase counters; single ingest caller assumed (as before).
   LoadStats load_stats_;
   PrefilterStats pool_prefilter_stats_;
   double ingest_wall_seconds_ = 0.0;
+
+  // Query-phase counters, guarded for concurrent ExecuteQuery callers.
+  mutable std::mutex query_stats_mu_;
   double query_seconds_ = 0.0;
   size_t queries_run_ = 0;
   size_t queries_skipping_ = 0;
   uint64_t total_result_rows_ = 0;
+  JitStats jit_stats_;
+  QueryPromotionStats promotion_stats_;
 };
 
 }  // namespace ciao

@@ -1,6 +1,7 @@
 #include "costmodel/calibration.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/random.h"
 #include "common/timer.h"
@@ -97,6 +98,49 @@ Result<CalibrationResult> CalibrateSimulated(
     CostObservation& o = result.observations[i];
     o.measured_us = profile.Measure(o.selectivity, o.len_p, o.len_t, seed, i);
   }
+  CIAO_ASSIGN_OR_RETURN(result.model, FitCostModel(result.observations));
+  return result;
+}
+
+void RuntimeObservationLog::Add(const CostObservation& obs) {
+  if (!std::isfinite(obs.measured_us) || obs.measured_us <= 0.0) return;
+  if (!std::isfinite(obs.len_p) || !std::isfinite(obs.len_t)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  observations_.push_back(obs);
+}
+
+void RuntimeObservationLog::AddPrefilterAggregate(
+    uint64_t records, double seconds, size_t num_predicates,
+    double total_pattern_len, double mean_selectivity, double len_t) {
+  if (records == 0 || num_predicates == 0) return;
+  CostObservation obs;
+  obs.selectivity = std::clamp(mean_selectivity, 0.0, 1.0);
+  obs.len_p = total_pattern_len / static_cast<double>(num_predicates);
+  obs.len_t = len_t;
+  obs.measured_us = seconds * 1e6 /
+                    (static_cast<double>(records) *
+                     static_cast<double>(num_predicates));
+  Add(obs);
+}
+
+std::vector<CostObservation> RuntimeObservationLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+size_t RuntimeObservationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_.size();
+}
+
+Result<CalibrationResult> CalibrateFromRuntime(
+    const std::vector<CostObservation>& observations) {
+  if (observations.size() < kMinCalibrationObservations) {
+    return Status::InvalidArgument(
+        "CalibrateFromRuntime: need >= 5 observations");
+  }
+  CalibrationResult result;
+  result.observations = observations;
   CIAO_ASSIGN_OR_RETURN(result.model, FitCostModel(result.observations));
   return result;
 }

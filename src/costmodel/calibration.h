@@ -1,6 +1,7 @@
 #ifndef CIAO_COSTMODEL_CALIBRATION_H_
 #define CIAO_COSTMODEL_CALIBRATION_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,50 @@ Result<CalibrationResult> CalibrateSimulated(
 /// found/miss cases both occur, as the model requires).
 std::vector<std::string> BuildProbePatterns(
     const std::vector<std::string>& records, size_t count, uint64_t seed);
+
+/// Minimum observations any calibration fit requires.
+inline constexpr size_t kMinCalibrationObservations = 5;
+
+/// Thread-safe accumulator of cost observations harvested from the
+/// *running* system — per-ingest prefilter timings, replan-time predicate
+/// sweeps — instead of offline microbenchmarks. The ReplanController
+/// drains it to recalibrate the cost model before re-running selection,
+/// so pushdown decisions track the machine's actual behaviour under live
+/// load (paper §VII-F: "the client evaluates the predicates and records
+/// the time cost and selectivity for each predicate").
+class RuntimeObservationLog {
+ public:
+  RuntimeObservationLog() = default;
+  RuntimeObservationLog(const RuntimeObservationLog&) = delete;
+  RuntimeObservationLog& operator=(const RuntimeObservationLog&) = delete;
+
+  /// Appends one observation; non-finite or non-positive measurements are
+  /// dropped (a zero-record ingest produces no signal).
+  void Add(const CostObservation& obs);
+
+  /// Convenience for the ingest path: one aggregate observation from a
+  /// prefilter pass of `num_predicates` predicates (total pattern bytes
+  /// `total_pattern_len`, mean estimated selectivity `mean_selectivity`)
+  /// over `records` records of mean length `len_t` taking `seconds`.
+  /// Charged as the cost of ONE average substring search: measured_us is
+  /// divided by the predicate count, len_p is the mean pattern length.
+  void AddPrefilterAggregate(uint64_t records, double seconds,
+                             size_t num_predicates, double total_pattern_len,
+                             double mean_selectivity, double len_t);
+
+  std::vector<CostObservation> Snapshot() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CostObservation> observations_;
+};
+
+/// Fits the cost model from runtime observations (>= 5 required, same
+/// regression as the offline modes). The caller decides the fallback when
+/// too few observations exist (typically: keep the previous model).
+Result<CalibrationResult> CalibrateFromRuntime(
+    const std::vector<CostObservation>& observations);
 
 }  // namespace ciao
 

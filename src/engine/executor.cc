@@ -8,6 +8,8 @@
 #include "common/timer.h"
 #include "engine/typed_eval.h"
 #include "engine/zone_map_filter.h"
+#include "json/parser.h"
+#include "predicate/pattern_compiler.h"
 #include "predicate/semantic_eval.h"
 #include "storage/jit_loader.h"
 
@@ -15,24 +17,17 @@ namespace ciao {
 
 namespace {
 
-/// Runs `scan_one` over every catalog segment, fanning out across worker
-/// threads when requested. Partial counts/stats accumulate per worker and
-/// merge commutatively, so any thread count yields identical results.
+/// Runs `scan_one` over every snapshotted segment, fanning out across
+/// worker threads when requested. Partial counts/stats accumulate per
+/// worker and merge commutatively, so any thread count yields identical
+/// results. The refcounted snapshot keeps replaced segments alive for the
+/// duration of the scan, so a concurrent backfill cannot pull bytes out
+/// from under a worker.
 Status ScanSegments(
-    const TableCatalog& catalog, size_t num_threads,
+    const std::vector<SegmentRef>& segments, size_t num_threads,
     const std::function<Status(const ColumnarSegment&, QueryResult*)>&
         scan_one,
     QueryResult* result) {
-  // Snapshot the shard contents once: the catalog is quiescent during the
-  // query phase, and going through segment(i) per lookup would re-lock the
-  // shard mutexes inside the hot loop.
-  std::vector<const ColumnarSegment*> segments;
-  segments.reserve(catalog.num_segments());
-  for (size_t sh = 0; sh < catalog.num_shards(); ++sh) {
-    for (const ColumnarSegment& seg : catalog.shard_segments(sh)) {
-      segments.push_back(&seg);
-    }
-  }
   const size_t total = segments.size();
   size_t threads = num_threads == 0
                        ? std::max(1u, std::thread::hardware_concurrency())
@@ -72,12 +67,34 @@ Status ScanSegments(
   return Status::OK();
 }
 
+/// Typed verify of every row of one group (zone maps already consulted):
+/// the path for full scans and for groups whose annotations are stale.
+Status ScanGroupAllRows(const columnar::TableReader& reader, size_t group,
+                        uint64_t num_rows, const CompiledTypedQuery& compiled,
+                        const std::vector<bool>& wanted, QueryResult* out) {
+  CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
+                        reader.ReadBatchProjected(group, wanted));
+  ++out->stats.groups_scanned;
+  for (size_t r = 0; r < num_rows; ++r) {
+    ++out->stats.rows_evaluated;
+    if (compiled.Matches(batch, r)) ++out->count;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<QueryResult> QueryExecutor::Execute(const Query& query) const {
-  const PlanDecision decision = PlanQuery(query, *registry_);
+  return Execute(query, EpochView{registry_, 0});
+}
+
+Result<QueryResult> QueryExecutor::Execute(const Query& query,
+                                           const EpochView& view) const {
+  const PredicateRegistry* registry =
+      view.registry != nullptr ? view.registry : registry_;
+  const PlanDecision decision = PlanQuery(query, *registry);
   if (decision.kind == PlanKind::kSkippingScan) {
-    return ExecuteWithSkipping(query, decision.predicate_ids);
+    return ExecuteWithSkipping(query, decision.predicate_ids, view.epoch_id);
   }
   return ExecuteFullScan(query);
 }
@@ -86,6 +103,11 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
   Stopwatch watch;
   QueryResult result;
   result.plan = PlanKind::kFullScan;
+
+  // One combined snapshot of segments + sideline: a concurrent promotion
+  // moves records between the two, and a consistent cut is what keeps the
+  // count exact (either view of the move counts each record once).
+  const CatalogSnapshot snapshot = catalog_->Snapshot();
 
   CIAO_ASSIGN_OR_RETURN(
       CompiledTypedQuery compiled,
@@ -107,30 +129,52 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
         out->stats.rows_skipped += meta.num_rows;
         continue;
       }
-      CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
-                            reader.ReadBatchProjected(g, wanted));
-      ++out->stats.groups_scanned;
-      for (size_t r = 0; r < meta.num_rows; ++r) {
-        ++out->stats.rows_evaluated;
-        if (compiled.Matches(batch, r)) ++out->count;
-      }
+      CIAO_RETURN_IF_ERROR(
+          ScanGroupAllRows(reader, g, meta.num_rows, compiled, wanted, out));
     }
     return Status::OK();
   };
-  CIAO_RETURN_IF_ERROR(ScanSegments(*catalog_, options_.num_scan_threads,
-                                    scan_one, &result));
+  CIAO_RETURN_IF_ERROR(ScanSegments(snapshot.segments,
+                                    options_.num_scan_threads, scan_one,
+                                    &result));
 
   // The raw sideline must be scanned too: records there were never
   // loaded, and without a pushed-down clause nothing proves they cannot
-  // satisfy the query.
-  if (!catalog_->raw().empty()) {
+  // satisfy the query. With raw_prefilter the query's own clause patterns
+  // rule records out *before* parsing (no false negatives, §IV-B); a
+  // clause that cannot run on raw bytes simply does not screen.
+  const std::shared_ptr<const RawStore>& raw = snapshot.raw;
+  if (!raw->empty()) {
+    std::vector<RawClauseProgram> screen;
+    if (options_.raw_prefilter) {
+      for (const Clause& clause : query.clauses) {
+        if (!clause.SupportedOnClient()) continue;
+        Result<RawClauseProgram> program = RawClauseProgram::Compile(clause);
+        if (program.ok()) screen.push_back(std::move(program).value());
+      }
+    }
     JitStats jit;
-    CIAO_RETURN_IF_ERROR(ForEachRawRecord(
-        catalog_->raw(),
-        [&](const json::Value& record) {
-          if (EvaluateQuery(query, record)) ++result.count;
-        },
-        &jit));
+    for (size_t i = 0; i < raw->size(); ++i) {
+      const std::string_view record = raw->Record(i);
+      bool maybe = true;
+      for (const RawClauseProgram& program : screen) {
+        if (!program.Matches(record)) {  // conjunction: one miss kills it
+          maybe = false;
+          break;
+        }
+      }
+      if (!maybe) {
+        ++result.stats.raw_records_screened_out;
+        continue;
+      }
+      Result<json::Value> parsed = json::Parse(record);
+      if (!parsed.ok()) {
+        ++jit.parse_errors;
+        continue;
+      }
+      ++jit.records_parsed;
+      if (EvaluateQuery(query, *parsed)) ++result.count;
+    }
     result.stats.raw_records_scanned = jit.records_parsed;
     result.stats.raw_parse_errors = jit.parse_errors;
   }
@@ -140,7 +184,8 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
 }
 
 Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
-    const Query& query, const std::vector<uint32_t>& predicate_ids) const {
+    const Query& query, const std::vector<uint32_t>& predicate_ids,
+    uint64_t epoch_id) const {
   Stopwatch watch;
   QueryResult result;
   result.plan = PlanKind::kSkippingScan;
@@ -157,11 +202,29 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
 
   const auto scan_one = [&](const ColumnarSegment& segment,
                             QueryResult* out) -> Status {
+    // Bits written under another epoch index a different predicate set:
+    // ignore them and verify every row (sound; zone maps still apply).
+    // Only happens in the adaptive transition window, before/while
+    // backfill rewrites the segment for the new epoch.
+    const bool annotations_fresh = segment.annotation_epoch == epoch_id;
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
         columnar::TableReader::OpenBorrowed(segment.file_bytes));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
+      if (!annotations_fresh) {
+        ++out->stats.groups_stale_annotations;
+        if (options_.use_zone_maps &&
+            !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
+                                meta.num_rows)) {
+          ++out->stats.groups_skipped_zonemap;
+          out->stats.rows_skipped += meta.num_rows;
+          continue;
+        }
+        CIAO_RETURN_IF_ERROR(
+            ScanGroupAllRows(reader, g, meta.num_rows, compiled, wanted, out));
+        continue;
+      }
       // AND the bitvectors of the query's pushed-down clauses (§VI-B).
       CIAO_ASSIGN_OR_RETURN(BitVector mask,
                             meta.annotations.Intersect(predicate_ids));
@@ -192,10 +255,14 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
     }
     return Status::OK();
   };
-  CIAO_RETURN_IF_ERROR(ScanSegments(*catalog_, options_.num_scan_threads,
-                                    scan_one, &result));
+  CIAO_RETURN_IF_ERROR(ScanSegments(catalog_->SnapshotSegments(),
+                                    options_.num_scan_threads, scan_one,
+                                    &result));
   // Raw sideline intentionally not scanned: every record satisfying a
-  // pushed-down clause of this query was loaded (planner invariant).
+  // pushed-down clause of this query was loaded (planner invariant —
+  // upheld across re-plans because a new epoch installs only after
+  // backfill promoted every sideline record matching one of its
+  // predicates).
   result.seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -1,6 +1,8 @@
 #ifndef CIAO_ENGINE_EXECUTOR_H_
 #define CIAO_ENGINE_EXECUTOR_H_
 
+#include <cstdint>
+
 #include "common/status.h"
 #include "engine/plan.h"
 #include "engine/planner.h"
@@ -20,27 +22,55 @@ struct ExecutorOptions {
   /// 0 = one per hardware thread. Counts and scan statistics are merged
   /// commutatively, so results are identical at any thread count.
   size_t num_scan_threads = 1;
+
+  /// Full-scan path only: screen raw sideline records with the query's
+  /// compiled clause patterns before parsing them. The screen has no
+  /// false negatives (the client-filter property, §IV-B), so records it
+  /// rules out are counted as non-matching without a JSON parse. Off by
+  /// default — the legacy pipeline parses every sideline record.
+  bool raw_prefilter = false;
+};
+
+/// The plan generation a query executes against: the registry that
+/// assigned the pushed-down predicate ids, plus the epoch id that tags
+/// matching segment annotations. The legacy single-plan pipeline is
+/// epoch 0 throughout; the adaptive runtime snapshots the current epoch
+/// per query so a re-plan installing mid-flight never mixes id spaces.
+struct EpochView {
+  const PredicateRegistry* registry = nullptr;
+  uint64_t epoch_id = 0;
 };
 
 /// COUNT(*) executor over a table catalog — the repository's stand-in for
 /// the Spark scan operator the paper integrates with: the only extension
 /// is "checking corresponding bit vectors to decide whether to discard a
 /// tuple" (§VII-A), which is exactly the skipping path here.
+///
+/// Scans run against catalog *snapshots*, so they are safe against a
+/// concurrent backfill replacing segments or the sideline (the adaptive
+/// runtime's transition window). A segment whose annotations were written
+/// under a different epoch than the query's view is scanned with the full
+/// typed predicate instead of its bitvectors — always sound, never wrong.
 class QueryExecutor {
  public:
   /// Both pointers must outlive the executor. `registry` may be empty
-  /// (baseline: every query full-scans).
+  /// (baseline: every query full-scans). The constructor registry forms
+  /// the default EpochView (epoch 0).
   QueryExecutor(const TableCatalog* catalog, const PredicateRegistry* registry,
                 const ExecutorOptions& options = {})
       : catalog_(catalog), registry_(registry), options_(options) {}
 
-  /// Plans and executes the query, timing it.
+  /// Plans and executes the query against the default (epoch 0) view.
   Result<QueryResult> Execute(const Query& query) const;
+
+  /// Plans and executes against an explicit epoch snapshot.
+  Result<QueryResult> Execute(const Query& query, const EpochView& view) const;
 
   /// Forced plan variants, used by tests and the ablation benches.
   Result<QueryResult> ExecuteFullScan(const Query& query) const;
   Result<QueryResult> ExecuteWithSkipping(
-      const Query& query, const std::vector<uint32_t>& predicate_ids) const;
+      const Query& query, const std::vector<uint32_t>& predicate_ids,
+      uint64_t epoch_id = 0) const;
 
  private:
   const TableCatalog* catalog_;

@@ -30,9 +30,17 @@ struct ScanStats {
   /// Row groups proved empty by zone maps (numeric min/max statistics).
   uint64_t groups_skipped_zonemap = 0;
   uint64_t groups_scanned = 0;
+  /// Row groups whose annotations were written under a different plan
+  /// epoch than the one this query planned against — their bits live in
+  /// another predicate-id space, so the scan verified every row instead
+  /// of trusting them (adaptive runtime, transition window only).
+  uint64_t groups_stale_annotations = 0;
   /// Raw sideline records parsed + evaluated (full-scan path only).
   uint64_t raw_records_scanned = 0;
   uint64_t raw_parse_errors = 0;
+  /// Raw sideline records ruled out by the no-false-negative pattern
+  /// screen without being parsed (adaptive full-scan path).
+  uint64_t raw_records_screened_out = 0;
 
   /// Accumulates another worker's counters (parallel segment scan).
   void MergeFrom(const ScanStats& other) {
@@ -41,8 +49,10 @@ struct ScanStats {
     groups_skipped += other.groups_skipped;
     groups_skipped_zonemap += other.groups_skipped_zonemap;
     groups_scanned += other.groups_scanned;
+    groups_stale_annotations += other.groups_stale_annotations;
     raw_records_scanned += other.raw_records_scanned;
     raw_parse_errors += other.raw_parse_errors;
+    raw_records_screened_out += other.raw_records_screened_out;
   }
 };
 

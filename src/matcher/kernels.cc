@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #ifdef __SSE2__
@@ -217,15 +218,28 @@ size_t Find(SearchKernel kernel, std::string_view hay, std::string_view needle,
       return FindMemchr(hay, needle, from);
     case SearchKernel::kHorspool: {
       // Per-thread memo keyed on the needle bytes: repeated one-shot
-      // probes with the same needle (calibration sweeps, tests) reuse the
-      // table instead of rebuilding the 256-entry array per call.
-      thread_local std::string cached_needle;
-      thread_local HorspoolTable cached_table;
-      if (cached_needle != needle) {
-        cached_needle.assign(needle);
-        cached_table = HorspoolTable::Build(needle);
+      // probes with the same needle (calibration sweeps, tests, backfill
+      // passes) reuse the table instead of rebuilding the 256-entry
+      // array per call.
+      //
+      // Thread-safety: the memo is thread_local, so every thread —
+      // including backfill and loader-pool workers, which reach this
+      // dispatch concurrently — owns an independent entry and no state
+      // is ever shared across threads. Each entry is immutable after
+      // construction: a needle change builds a *fresh* entry and swaps
+      // it in, rather than mutating a table another frame could alias
+      // (tests/matcher_concurrency_test.cc pins this under TSan).
+      struct Memo {
+        std::string needle;
+        HorspoolTable table;
+        explicit Memo(std::string_view n)
+            : needle(n), table(HorspoolTable::Build(n)) {}
+      };
+      thread_local std::unique_ptr<Memo> memo;
+      if (memo == nullptr || memo->needle != needle) {
+        memo = std::make_unique<Memo>(needle);
       }
-      return FindHorspool(hay, needle, cached_table, from);
+      return FindHorspool(hay, needle, memo->table, from);
     }
     case SearchKernel::kSwar:
       return FindSwar(hay, needle, from);

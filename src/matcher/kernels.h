@@ -64,7 +64,9 @@ size_t FindSwarFallback(std::string_view hay, std::string_view needle,
 /// table is memoized per thread keyed on the needle bytes, so loops that
 /// probe many haystacks with one needle do not rebuild it per call; hot
 /// paths should still use CompiledPattern, which precompiles the table at
-/// construction.
+/// construction. Thread-safe: the memo is thread_local and each entry is
+/// immutable after construction, so concurrent callers (backfill/loader
+/// worker threads) never share mutable state.
 size_t Find(SearchKernel kernel, std::string_view hay, std::string_view needle,
             size_t from = 0);
 

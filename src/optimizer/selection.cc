@@ -1,5 +1,6 @@
 #include "optimizer/selection.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -119,6 +120,16 @@ Result<PushdownPlan> SelectPredicates(
       !workload.queries.empty() &&
       covered_queries.size() == workload.queries.size();
   return plan;
+}
+
+std::vector<std::string> PushdownPlan::SelectedKeys() const {
+  std::vector<std::string> keys;
+  keys.reserve(selected.size());
+  for (const CandidatePredicate& cand : selected) {
+    keys.push_back(cand.clause.CanonicalKey());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 Result<PredicateRegistry> BuildRegistry(const PushdownPlan& plan,

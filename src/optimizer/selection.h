@@ -52,6 +52,12 @@ struct PushdownPlan {
   /// True iff every query has >= 1 selected clause — the condition for
   /// the server to enable partial loading (DESIGN.md §5, paper §VII-E2).
   bool covers_all_queries = false;
+
+  /// Canonical keys of the selected clauses, sorted. Two plans push the
+  /// same predicate set iff their key lists are equal — the drift tests
+  /// and the ReplanController use this to detect that a re-plan actually
+  /// changed the decision.
+  std::vector<std::string> SelectedKeys() const;
 };
 
 /// Builds candidates from the workload (distinct client-supported

@@ -4,31 +4,92 @@
 
 namespace ciao {
 
-void TableCatalog::AddSegment(std::string file_bytes, uint64_t num_rows) {
+void TableCatalog::AddSegment(std::string file_bytes, uint64_t num_rows,
+                              uint64_t annotation_epoch) {
   loaded_rows_.fetch_add(num_rows, std::memory_order_relaxed);
   columnar_bytes_.fetch_add(file_bytes.size(), std::memory_order_relaxed);
+  auto segment = std::make_shared<const ColumnarSegment>(
+      ColumnarSegment{std::move(file_bytes), num_rows, annotation_epoch});
   Shard& shard =
       shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
               shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.segments.push_back(ColumnarSegment{std::move(file_bytes), num_rows});
+  shard.segments.push_back(std::move(segment));
+}
+
+bool TableCatalog::ReplaceSegment(const SegmentRef& old_segment,
+                                  ColumnarSegment replacement) {
+  auto fresh =
+      std::make_shared<const ColumnarSegment>(std::move(replacement));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (SegmentRef& slot : shard.segments) {
+      if (slot.get() == old_segment.get()) {
+        columnar_bytes_.fetch_add(fresh->file_bytes.size(),
+                                  std::memory_order_relaxed);
+        columnar_bytes_.fetch_sub(slot->file_bytes.size(),
+                                  std::memory_order_relaxed);
+        slot = std::move(fresh);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<SegmentRef> TableCatalog::SnapshotSegments() const {
+  std::vector<SegmentRef> snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    snapshot.insert(snapshot.end(), shard.segments.begin(),
+                    shard.segments.end());
+  }
+  return snapshot;
+}
+
+CatalogSnapshot TableCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  CatalogSnapshot snapshot;
+  snapshot.segments = SnapshotSegments();
+  snapshot.raw = SnapshotRaw();
+  return snapshot;
+}
+
+void TableCatalog::PublishPromotion(std::string file_bytes, uint64_t num_rows,
+                                    uint64_t annotation_epoch, RawStore kept) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (!file_bytes.empty() && num_rows > 0) {
+    AddSegment(std::move(file_bytes), num_rows, annotation_epoch);
+  }
+  ReplaceRaw(std::move(kept));
 }
 
 void TableCatalog::AppendRaw(std::string_view record) {
   std::lock_guard<std::mutex> lock(raw_mu_);
-  raw_.Append(record);
+  raw_->Append(record);
 }
 
 void TableCatalog::AppendRawBatch(
     const std::vector<std::string_view>& records) {
   if (records.empty()) return;
   std::lock_guard<std::mutex> lock(raw_mu_);
-  for (const std::string_view record : records) raw_.Append(record);
+  for (const std::string_view record : records) raw_->Append(record);
+}
+
+std::shared_ptr<const RawStore> TableCatalog::SnapshotRaw() const {
+  std::lock_guard<std::mutex> lock(raw_mu_);
+  return raw_;
+}
+
+void TableCatalog::ReplaceRaw(RawStore replacement) {
+  auto fresh = std::make_shared<RawStore>(std::move(replacement));
+  std::lock_guard<std::mutex> lock(raw_mu_);
+  raw_ = std::move(fresh);
 }
 
 uint64_t TableCatalog::raw_rows() const {
   std::lock_guard<std::mutex> lock(raw_mu_);
-  return raw_.size();
+  return raw_->size();
 }
 
 size_t TableCatalog::num_segments() const {
@@ -43,7 +104,7 @@ size_t TableCatalog::num_segments() const {
 const ColumnarSegment& TableCatalog::segment(size_t i) const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (i < shard.segments.size()) return shard.segments[i];
+    if (i < shard.segments.size()) return *shard.segments[i];
     i -= shard.segments.size();
   }
   // Out-of-range index: a programming error, like vector::operator[].

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -16,9 +17,33 @@ namespace ciao {
 /// One encoded columnar file (one row group per ingested chunk in the
 /// normal pipeline). Kept as bytes; queries open a TableReader over it —
 /// mirroring Spark re-reading Parquet files per query.
+///
+/// Immutable once published to the catalog: the adaptive runtime replaces
+/// whole segments (ReplaceSegment) instead of mutating bytes in place, so
+/// in-flight scans holding a snapshot keep reading a consistent file.
 struct ColumnarSegment {
   std::string file_bytes;
   uint64_t num_rows = 0;
+  /// The plan epoch whose predicate-id space the embedded annotation
+  /// bitvectors use. Executors planned against a different epoch must not
+  /// trust the bits (they fall back to a typed full-group scan, which is
+  /// always sound). 0 = the bootstrap plan — the only epoch in the
+  /// non-adaptive pipeline, so defaults keep the legacy behaviour.
+  uint64_t annotation_epoch = 0;
+};
+
+/// Refcounted handle to an immutable published segment.
+using SegmentRef = std::shared_ptr<const ColumnarSegment>;
+
+/// A consistent point-in-time view of the whole catalog: the published
+/// segments AND the raw sideline, taken atomically w.r.t. promotions.
+/// A full scan must use this combined snapshot — snapshotting segments
+/// and sideline in two separate steps lets a concurrent promotion move
+/// records from the (already-snapshotted) sideline into a segment the
+/// scan never sees, silently dropping them from the count.
+struct CatalogSnapshot {
+  std::vector<SegmentRef> segments;
+  std::shared_ptr<const RawStore> raw;
 };
 
 /// Server-side state of one table: the columnar segments (loaded data,
@@ -27,10 +52,17 @@ struct ColumnarSegment {
 /// Appends are thread-safe so a pool of PartialLoader workers can ingest
 /// concurrently: segments are striped across shards (each shard under its
 /// own mutex, picked round-robin so contention spreads), the raw sideline
-/// has its own lock, and the row counters are atomics. Read accessors
-/// (`segment`, `shard_segments`, `raw`, `mutable_raw`) expect a quiescent
-/// catalog — the query phase after ingest workers have joined; concurrent
-/// readers are fine once writers are done.
+/// has its own lock, and the row counters are atomics.
+///
+/// Two access regimes:
+///  - Quiescent accessors (`segment`, `raw`, `mutable_raw`) expect no
+///    concurrent writer — the legacy query phase after ingest workers have
+///    joined.
+///  - Snapshot accessors (`SnapshotSegments`, `SnapshotRaw`) are safe
+///    against concurrent ReplaceSegment / ReplaceRaw / AddSegment: the
+///    returned shared_ptrs keep the superseded objects alive, so the
+///    adaptive runtime can backfill annotations and promote sideline
+///    records while queries are in flight.
 class TableCatalog {
  public:
   static constexpr size_t kDefaultShards = 8;
@@ -38,7 +70,8 @@ class TableCatalog {
   explicit TableCatalog(columnar::Schema schema,
                         size_t num_shards = kDefaultShards)
       : schema_(std::move(schema)),
-        shards_(num_shards == 0 ? 1 : num_shards) {}
+        shards_(num_shards == 0 ? 1 : num_shards),
+        raw_(std::make_shared<RawStore>()) {}
 
   TableCatalog(const TableCatalog&) = delete;
   TableCatalog& operator=(const TableCatalog&) = delete;
@@ -46,7 +79,34 @@ class TableCatalog {
   const columnar::Schema& schema() const { return schema_; }
 
   /// Appends one columnar segment; safe to call from many loader threads.
-  void AddSegment(std::string file_bytes, uint64_t num_rows);
+  /// `annotation_epoch` tags the id-space of the embedded annotations.
+  void AddSegment(std::string file_bytes, uint64_t num_rows,
+                  uint64_t annotation_epoch = 0);
+
+  /// Atomically replaces the published segment `old_segment` (matched by
+  /// identity) with `replacement`. Readers holding a snapshot of the old
+  /// segment keep it alive; new snapshots see the replacement. Row-count
+  /// bookkeeping assumes the replacement carries the same rows (an
+  /// annotation rewrite, not a data change). Returns false when the old
+  /// segment is no longer in the catalog (already replaced).
+  bool ReplaceSegment(const SegmentRef& old_segment, ColumnarSegment replacement);
+
+  /// Consistent point-in-time view of every published segment, shard-major
+  /// order. Safe against concurrent appends/replacements.
+  std::vector<SegmentRef> SnapshotSegments() const;
+
+  /// Atomic combined snapshot of segments + sideline: sees either the
+  /// pre- or the post-state of any concurrent PublishPromotion, never a
+  /// half-applied one. The scan path for full scans.
+  CatalogSnapshot Snapshot() const;
+
+  /// Atomically publishes a promotion: appends the promoted segment (when
+  /// `file_bytes` is non-empty) and swaps the sideline for `kept` in one
+  /// step, so no combined Snapshot can miss records mid-move. Callers
+  /// must hold restructure_mu() across the preceding sideline read and
+  /// this publish.
+  void PublishPromotion(std::string file_bytes, uint64_t num_rows,
+                        uint64_t annotation_epoch, RawStore kept);
 
   /// Appends one record to the raw sideline; safe from many threads.
   void AppendRaw(std::string_view record);
@@ -56,20 +116,28 @@ class TableCatalog {
   /// record).
   void AppendRawBatch(const std::vector<std::string_view>& records);
 
-  // --- Sharded view (the executor scans shards in parallel) ---
+  /// Point-in-time view of the raw sideline. Safe against a concurrent
+  /// ReplaceRaw (promotion/backfill); concurrent *appends* still require
+  /// the quiescence the legacy pipeline already assumes.
+  std::shared_ptr<const RawStore> SnapshotRaw() const;
+
+  /// Atomically swaps the sideline for `replacement` (after promotion
+  /// moved some records into columnar segments). Readers holding an old
+  /// snapshot keep reading the superseded store.
+  void ReplaceRaw(RawStore replacement);
+
+  /// Shard count (segment placement is striped round-robin across them).
   size_t num_shards() const { return shards_.size(); }
-  const std::vector<ColumnarSegment>& shard_segments(size_t i) const {
-    return shards_[i].segments;
-  }
 
   // --- Flat view, shard-major order ---
   size_t num_segments() const;
+  /// Quiescent accessor; the reference is invalidated by ReplaceSegment.
   const ColumnarSegment& segment(size_t i) const;
 
-  /// Direct sideline access for single-threaded phases (promotion,
-  /// query-time JIT loading).
-  RawStore* mutable_raw() { return &raw_; }
-  const RawStore& raw() const { return raw_; }
+  /// Direct sideline access for single-threaded phases (tests, benches,
+  /// legacy promotion). The pointer is invalidated by ReplaceRaw.
+  RawStore* mutable_raw() { return raw_.get(); }
+  const RawStore& raw() const { return *raw_; }
 
   /// Rows materialized in columnar form.
   uint64_t loaded_rows() const {
@@ -90,17 +158,30 @@ class TableCatalog {
                             static_cast<double>(total);
   }
 
+  /// Serializes sideline *restructuring* — the snapshot→rebuild→replace
+  /// sequences of query-driven promotion and backfill. Two concurrent
+  /// restructures would each rebuild from the same snapshot and the
+  /// second ReplaceRaw would resurrect records the first one promoted
+  /// (double-counting them). Plain appends and snapshot readers do not
+  /// take this lock.
+  std::mutex& restructure_mu() const { return restructure_mu_; }
+
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::vector<ColumnarSegment> segments;
+    std::vector<SegmentRef> segments;
   };
 
   columnar::Schema schema_;
   std::vector<Shard> shards_;
   std::atomic<size_t> next_shard_{0};
   mutable std::mutex raw_mu_;
-  RawStore raw_;
+  mutable std::mutex restructure_mu_;
+  /// Held (briefly) by combined Snapshot() and by the publish step of a
+  /// promotion, making the segment-append + sideline-swap pair atomic
+  /// from any combined reader's point of view.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<RawStore> raw_;
   std::atomic<uint64_t> loaded_rows_{0};
   std::atomic<uint64_t> columnar_bytes_{0};
 };

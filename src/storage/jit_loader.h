@@ -5,6 +5,8 @@
 
 #include "common/status.h"
 #include "json/value.h"
+#include "predicate/predicate.h"
+#include "predicate/registry.h"
 #include "storage/catalog.h"
 
 namespace ciao {
@@ -26,10 +28,67 @@ Status ForEachRawRecord(const RawStore& store,
 /// Just-in-time loading (paper §I: "set aside the other raw data to be
 /// loaded when needed"): converts the whole raw sideline into a columnar
 /// segment and clears it. The promoted rows get all-zero annotation
-/// bitvectors — they satisfy no pushed-down predicate by construction, so
-/// skipping scans remain sound after promotion.
+/// bitvectors.
+///
+/// Soundness of the all-zero annotations (single-plan pipeline): a record
+/// reaches the sideline only when the partial loader saw its OR over all
+/// pushed-down predicate bits as 0, and the client filter never produces
+/// false negatives (§IV-B, property-tested) — so a sidelined record
+/// provably satisfies NO pushed-down predicate. All-zero bits are
+/// therefore *exact* for those rows, not an approximation: a skipping
+/// scan that drops them can never drop a qualifying record
+/// (tests/no_false_negative_test.cc pins this end-to-end).
+///
+/// The argument breaks the moment the predicate set changes: under a new
+/// plan epoch a sidelined record may well satisfy a newly pushed
+/// predicate. The adaptive runtime therefore never uses this overload —
+/// it re-evaluates (the overload below / storage/backfill.h) instead.
 Status PromoteRawToColumnar(TableCatalog* catalog, size_t num_predicates,
                             JitStats* stats);
+
+/// Re-evaluating promotion: like the above, but instead of pessimistic
+/// all-zero bits the promoted rows carry annotations computed by running
+/// `registry`'s predicates over the raw bytes (the client filter's
+/// record-major kernel), and the segment is tagged `annotation_epoch`.
+/// Use when the registry may differ from the one that sidelined the
+/// records — the bits stay free of false negatives, so skipping scans
+/// keep their benefit on the promoted rows.
+Status PromoteRawToColumnar(TableCatalog* catalog,
+                            const PredicateRegistry& registry,
+                            uint64_t annotation_epoch, JitStats* stats);
+
+/// Counters of one query-driven promotion pass.
+struct QueryPromotionStats {
+  /// Raw records the query's clause patterns could not rule out — parsed
+  /// and promoted.
+  uint64_t promoted = 0;
+  /// Raw records the screen proved non-matching — left raw, unparsed.
+  uint64_t screened_out = 0;
+  /// Screen survivors that failed to parse — left raw.
+  uint64_t parse_failures = 0;
+};
+
+/// Query-driven just-in-time promotion (the adaptive replacement for the
+/// all-or-nothing overloads): parses ONLY the raw records the query's
+/// residual predicate cannot rule out.
+///
+/// Each sideline record is screened with the query's compiled clause
+/// patterns (clauses that cannot run on raw bytes do not screen). The
+/// screen has no false negatives, so a record failing any clause of the
+/// conjunction provably does not satisfy the query and stays raw,
+/// unparsed. Survivors are parsed batch-wise via the tape parser and
+/// published as a columnar segment whose annotations re-evaluate
+/// `registry`'s predicates on the raw bytes — so subsequent skipping
+/// scans keep skipping (no pessimistic all-zero rows), and subsequent
+/// full scans find the rows in columnar form instead of re-parsing them.
+///
+/// Run this BEFORE executing the query's full scan: the scan then counts
+/// the promoted rows from the segment and the remaining sideline shrinks
+/// to records this query could never match.
+Status PromoteForQuery(TableCatalog* catalog, const Query& query,
+                       const PredicateRegistry& registry,
+                       uint64_t annotation_epoch, JitStats* stats,
+                       QueryPromotionStats* promotion);
 
 }  // namespace ciao
 

@@ -57,9 +57,15 @@ struct LoadStats {
 class PartialLoader {
  public:
   /// `num_predicates` must match the annotation sets presented later
-  /// (0 for the baseline pipeline).
-  PartialLoader(columnar::Schema schema, size_t num_predicates)
-      : schema_(std::move(schema)), num_predicates_(num_predicates) {}
+  /// (0 for the baseline pipeline). `annotation_epoch` tags every segment
+  /// this loader publishes with the plan epoch whose id-space the
+  /// annotations use (0 = bootstrap plan, the only epoch outside the
+  /// adaptive runtime).
+  PartialLoader(columnar::Schema schema, size_t num_predicates,
+                uint64_t annotation_epoch = 0)
+      : schema_(std::move(schema)),
+        num_predicates_(num_predicates),
+        annotation_epoch_(annotation_epoch) {}
 
   /// Ingests one chunk. `annotations` must have `num_predicates` vectors
   /// of chunk.size() bits (or zero vectors when num_predicates is 0).
@@ -69,10 +75,12 @@ class PartialLoader {
                      LoadStats* stats) const;
 
   size_t num_predicates() const { return num_predicates_; }
+  uint64_t annotation_epoch() const { return annotation_epoch_; }
 
  private:
   columnar::Schema schema_;
   size_t num_predicates_;
+  uint64_t annotation_epoch_ = 0;
 };
 
 /// Concurrency knobs of a LoaderPool.

@@ -1,6 +1,7 @@
 #include "workload/history.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -19,10 +20,24 @@ std::string QueryLog::Signature(const Query& query) {
   return sig;
 }
 
+void QueryLog::DecayAll() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second.weight *= 0.5;
+    // Entries decayed to effectively zero mass can never influence a
+    // derived workload again; dropping them keeps the log bounded by the
+    // distinct queries of the last ~50 half-lives.
+    if (it->second.weight < 1e-12) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void QueryLog::Record(const Query& query) {
   ++total_recorded_;
   if (half_life_ > 0 && total_recorded_ % half_life_ == 0) {
-    for (auto& [sig, entry] : entries_) entry.weight *= 0.5;
+    DecayAll();
   }
   const std::string sig = Signature(query);
   const auto it = entries_.find(sig);
@@ -36,15 +51,25 @@ void QueryLog::Record(const Query& query) {
   }
 }
 
-Workload QueryLog::DeriveWorkload() const {
+Workload QueryLog::DeriveWorkload(double min_share) const {
   Workload workload;
   double total_weight = 0.0;
   for (const auto& [sig, entry] : entries_) total_weight += entry.weight;
   if (total_weight <= 0.0) return workload;
+  // Two passes: find the surviving mass first so the emitted frequencies
+  // re-normalize over the significant entries only.
+  double surviving_weight = 0.0;
+  for (const auto& [sig, entry] : entries_) {
+    if (entry.weight / total_weight >= min_share) {
+      surviving_weight += entry.weight;
+    }
+  }
+  if (surviving_weight <= 0.0) return workload;
   size_t i = 0;
   for (const auto& [sig, entry] : entries_) {
+    if (entry.weight / total_weight < min_share) continue;
     Query q = entry.query;
-    q.frequency = entry.weight / total_weight;
+    q.frequency = entry.weight / surviving_weight;
     if (q.name.empty()) q.name = StrFormat("h%zu", i);
     ++i;
     workload.queries.push_back(std::move(q));
@@ -55,6 +80,43 @@ Workload QueryLog::DeriveWorkload() const {
 void QueryLog::Clear() {
   entries_.clear();
   total_recorded_ = 0;
+}
+
+std::map<std::string, double> SignatureDistribution(const Workload& workload) {
+  std::map<std::string, double> mass;
+  double total = 0.0;
+  for (const Query& q : workload.queries) {
+    const double f = q.frequency > 0.0 ? q.frequency : 0.0;
+    mass[QueryLog::Signature(q)] += f;
+    total += f;
+  }
+  if (total <= 0.0) return {};
+  for (auto& [sig, m] : mass) m /= total;
+  return mass;
+}
+
+double WorkloadDivergence(const Workload& a, const Workload& b) {
+  const std::map<std::string, double> pa = SignatureDistribution(a);
+  const std::map<std::string, double> pb = SignatureDistribution(b);
+  if (pa.empty() && pb.empty()) return 0.0;
+  if (pa.empty() || pb.empty()) return 1.0;
+  double l1 = 0.0;
+  auto ia = pa.begin();
+  auto ib = pb.begin();
+  while (ia != pa.end() || ib != pb.end()) {
+    if (ib == pb.end() || (ia != pa.end() && ia->first < ib->first)) {
+      l1 += ia->second;
+      ++ia;
+    } else if (ia == pa.end() || ib->first < ia->first) {
+      l1 += ib->second;
+      ++ib;
+    } else {
+      l1 += std::abs(ia->second - ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return 0.5 * l1;
 }
 
 }  // namespace ciao::workload

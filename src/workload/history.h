@@ -35,7 +35,14 @@ class QueryLog {
   /// Builds the prospective workload: one entry per distinct query, with
   /// frequency = its (decayed) share of the log. Returns an empty
   /// workload when nothing was recorded.
-  Workload DeriveWorkload() const;
+  ///
+  /// `min_share` is a significance floor: entries whose share of the
+  /// total (decayed) mass fell below it are omitted, and the remaining
+  /// frequencies re-normalized. Long-decayed queries otherwise linger
+  /// forever at epsilon frequency and keep dragging their predicates
+  /// into every re-planned pushdown set (any positive gain looks worth
+  /// keeping under a loose budget). 0 = keep everything (legacy).
+  Workload DeriveWorkload(double min_share = 0.0) const;
 
   /// Drops everything.
   void Clear();
@@ -44,6 +51,9 @@ class QueryLog {
   static std::string Signature(const Query& query);
 
  private:
+  /// Halves every weight, dropping entries that decayed below the point
+  /// where they can influence a derived workload.
+  void DecayAll();
   struct Entry {
     Query query;
     double weight = 0.0;
@@ -53,6 +63,19 @@ class QueryLog {
   uint64_t total_recorded_ = 0;
   std::map<std::string, Entry> entries_;
 };
+
+/// Normalized frequency mass per query signature — the workload's shape
+/// with clause order and query naming abstracted away. Empty map for an
+/// empty workload.
+std::map<std::string, double> SignatureDistribution(const Workload& workload);
+
+/// Total-variation distance between two workloads' signature
+/// distributions: ½ Σ |p(sig) - q(sig)| over the union of signatures.
+/// 0 = identical mixes, 1 = disjoint. One empty and one non-empty
+/// workload are maximally divergent; two empty workloads are identical.
+/// This is the drift metric the ReplanController compares against
+/// `AdaptiveOptions::divergence_threshold`.
+double WorkloadDivergence(const Workload& a, const Workload& b);
 
 }  // namespace ciao::workload
 

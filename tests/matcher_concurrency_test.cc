@@ -1,0 +1,95 @@
+// The free Find() dispatch memoizes the Horspool shift table per thread.
+// Since the adaptive runtime made it reachable from backfill and loader
+// worker threads, this suite hammers it from many threads concurrently —
+// mixed needles, interleaved kernel kinds — and checks every result
+// against the std::string_view::find oracle. Run it under
+// -DCIAO_SANITIZE=thread (the CI TSan job does) to prove the memo shares
+// no mutable state across threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "matcher/kernels.h"
+
+namespace ciao {
+namespace {
+
+TEST(MatcherConcurrencyTest, HorspoolMemoIsThreadSafe) {
+  // Haystacks and needles with deliberate overlap so hits and misses,
+  // repeats and needle switches all occur on every thread.
+  Rng rng(0xBEEF);
+  std::vector<std::string> haystacks;
+  for (int i = 0; i < 32; ++i) {
+    std::string hay;
+    for (int w = 0; w < 40; ++w) {
+      hay += rng.NextIdentifier(rng.NextInt(2, 9));
+      hay += ' ';
+    }
+    haystacks.push_back(std::move(hay));
+  }
+  std::vector<std::string> needles;
+  for (int i = 0; i < 12; ++i) {
+    const std::string& hay = haystacks[rng.NextBounded(haystacks.size())];
+    const size_t len = static_cast<size_t>(rng.NextInt(2, 12));
+    const size_t start = rng.NextBounded(hay.size() - len);
+    needles.push_back(hay.substr(start, len));  // guaranteed-hit needles
+    needles.push_back(rng.NextIdentifier(8));   // likely-miss needles
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Per-thread rng so the threads interleave different needles —
+      // exactly the access pattern that would corrupt a shared memo.
+      Rng local(0x1234 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::string& hay =
+            haystacks[local.NextBounded(haystacks.size())];
+        const std::string& needle =
+            needles[local.NextBounded(needles.size())];
+        const size_t expected = FindStd(hay, needle);
+        if (Find(SearchKernel::kHorspool, hay, needle) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Mix in the other kernels through the same dispatch: backfill
+        // workers use whatever kernel the config chose.
+        if (Find(SearchKernel::kSwar, hay, needle) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (Find(SearchKernel::kMemchr, hay, needle) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(MatcherConcurrencyTest, RepeatedNeedleReusesMemoCorrectly) {
+  // Same needle many times, then a switch, then back — the memo's
+  // rebuild-on-change path must stay correct within one thread too.
+  const std::string hay = "the quick brown fox jumps over the lazy dog";
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(Find(SearchKernel::kHorspool, hay, "fox"), 16u);
+    }
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(Find(SearchKernel::kHorspool, hay, "lazy"), 35u);
+    }
+    EXPECT_EQ(Find(SearchKernel::kHorspool, hay, "unicorn"),
+              std::string_view::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ciao

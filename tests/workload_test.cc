@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <set>
 
@@ -430,6 +432,163 @@ TEST(QueryLogTest, DecayForgetsOldQueries) {
     if (q.clauses[0].terms[0].field == "new") new_freq = q.frequency;
   }
   EXPECT_GT(new_freq, old_freq * 1.5);
+}
+
+TEST(QueryLogTest, HalfLifeZeroNeverDecays) {
+  // half_life = 0 disables decay entirely: weights equal raw counts no
+  // matter how many queries pass, so frequencies follow counts exactly.
+  Query a;
+  a.clauses = {Clause::Of(SimplePredicate::KeyValue("a", 1))};
+  Query b;
+  b.clauses = {Clause::Of(SimplePredicate::KeyValue("b", 1))};
+  QueryLog log(/*half_life=*/0);
+  for (int i = 0; i < 1000; ++i) log.Record(a);
+  for (int i = 0; i < 250; ++i) log.Record(b);
+  const Workload wl = log.DeriveWorkload();
+  ASSERT_EQ(wl.queries.size(), 2u);
+  double fa = 0.0, fb = 0.0;
+  for (const Query& q : wl.queries) {
+    (q.clauses[0].terms[0].field == "a" ? fa : fb) = q.frequency;
+  }
+  EXPECT_NEAR(fa, 0.8, 1e-12);
+  EXPECT_NEAR(fb, 0.2, 1e-12);
+}
+
+TEST(QueryLogTest, HalfLifeOneDecaysEveryRecord) {
+  // half_life = 1 is the most aggressive legal setting: every Record
+  // halves all weights first. Weights stay bounded (sum of a geometric
+  // series, < 2 per entry) and frequencies stay normalized — the hottest
+  // recent query dominates.
+  Query old_query;
+  old_query.clauses = {Clause::Of(SimplePredicate::KeyValue("old", 1))};
+  Query new_query;
+  new_query.clauses = {Clause::Of(SimplePredicate::KeyValue("new", 1))};
+  QueryLog log(/*half_life=*/1);
+  for (int i = 0; i < 100; ++i) log.Record(old_query);
+  for (int i = 0; i < 8; ++i) log.Record(new_query);
+  const Workload wl = log.DeriveWorkload();
+  double total = 0.0;
+  double old_freq = 0.0, new_freq = 0.0;
+  for (const Query& q : wl.queries) {
+    total += q.frequency;
+    EXPECT_TRUE(std::isfinite(q.frequency));
+    if (q.clauses[0].terms[0].field == "old") old_freq = q.frequency;
+    if (q.clauses[0].terms[0].field == "new") new_freq = q.frequency;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // 100 stale records decayed through 8 halvings carry less mass than
+  // the 8 fresh ones (geometric sum ~2 vs ~2 * 2^-8 * 100 ... compute:
+  // old weight < 2 * 2^-8 * ... ) — the fresh query must dominate.
+  EXPECT_GT(new_freq, old_freq);
+}
+
+TEST(QueryLogTest, ExtremeWeightsStayFiniteAndNormalized) {
+  // No decay + many records: weights are raw counts in a double. They
+  // must neither overflow nor lose normalization, and a huge half_life
+  // (never reached) must behave exactly like "no decay yet".
+  Query hot;
+  hot.clauses = {Clause::Of(SimplePredicate::KeyValue("hot", 1))};
+  Query rare;
+  rare.clauses = {Clause::Of(SimplePredicate::KeyValue("rare", 1))};
+  for (const uint64_t half_life : {uint64_t{0}, UINT64_MAX}) {
+    QueryLog log(half_life);
+    for (int i = 0; i < 100000; ++i) log.Record(hot);
+    log.Record(rare);
+    EXPECT_EQ(log.total_recorded(), 100001u);
+    const Workload wl = log.DeriveWorkload();
+    ASSERT_EQ(wl.queries.size(), 2u);
+    double total = 0.0;
+    for (const Query& q : wl.queries) {
+      EXPECT_TRUE(std::isfinite(q.frequency));
+      EXPECT_GT(q.frequency, 0.0);
+      total += q.frequency;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(QueryLogTest, TinyWeightsDecayOutOfTheLog) {
+  // An entry halved far below any representable influence is dropped, so
+  // a long-lived log under heavy drift stays bounded.
+  Query ancient;
+  ancient.clauses = {Clause::Of(SimplePredicate::KeyValue("ancient", 1))};
+  Query fresh;
+  fresh.clauses = {Clause::Of(SimplePredicate::KeyValue("fresh", 1))};
+  QueryLog log(/*half_life=*/1);
+  log.Record(ancient);
+  // 50 halvings take the ancient weight below 1e-12.
+  for (int i = 0; i < 64; ++i) log.Record(fresh);
+  EXPECT_EQ(log.distinct_queries(), 1u);
+  const Workload wl = log.DeriveWorkload();
+  ASSERT_EQ(wl.queries.size(), 1u);
+  EXPECT_EQ(wl.queries[0].clauses[0].terms[0].field, "fresh");
+}
+
+TEST(QueryLogTest, DedupUnderClauseAndTermReordering) {
+  // Signature canonicalization must dedup queries whose clauses arrive
+  // in any order — including multi-term OR clauses with reordered terms
+  // (Clause::CanonicalKey sorts term keys).
+  const SimplePredicate p1 = SimplePredicate::KeyValue("x", 1);
+  const SimplePredicate p2 = SimplePredicate::Exact("s", "v");
+  const SimplePredicate p3 = SimplePredicate::Presence("z");
+
+  Query abc;
+  abc.clauses = {Clause::Of(p1), Clause::Or({p2, p3})};
+  Query cba;
+  cba.clauses = {Clause::Or({p3, p2}), Clause::Of(p1)};
+  EXPECT_EQ(QueryLog::Signature(abc), QueryLog::Signature(cba));
+
+  QueryLog log;
+  log.Record(abc);
+  log.Record(cba);
+  log.Record(abc);
+  EXPECT_EQ(log.distinct_queries(), 1u);
+  const Workload wl = log.DeriveWorkload();
+  ASSERT_EQ(wl.queries.size(), 1u);
+  EXPECT_NEAR(wl.queries[0].frequency, 1.0, 1e-12);
+
+  // Different clause sets must NOT collapse.
+  Query different;
+  different.clauses = {Clause::Of(p1), Clause::Of(p2)};
+  EXPECT_NE(QueryLog::Signature(abc), QueryLog::Signature(different));
+  log.Record(different);
+  EXPECT_EQ(log.distinct_queries(), 2u);
+}
+
+TEST(WorkloadDivergenceTest, IdenticalDisjointAndPartialMixes) {
+  Query qa;
+  qa.clauses = {Clause::Of(SimplePredicate::KeyValue("a", 1))};
+  qa.frequency = 1.0;
+  Query qb;
+  qb.clauses = {Clause::Of(SimplePredicate::KeyValue("b", 1))};
+  qb.frequency = 1.0;
+
+  Workload only_a;
+  only_a.queries = {qa};
+  Workload only_b;
+  only_b.queries = {qb};
+  Workload mixed;
+  mixed.queries = {qa, qb};  // 50/50
+
+  EXPECT_DOUBLE_EQ(WorkloadDivergence(only_a, only_a), 0.0);
+  EXPECT_DOUBLE_EQ(WorkloadDivergence(only_a, only_b), 1.0);
+  EXPECT_NEAR(WorkloadDivergence(only_a, mixed), 0.5, 1e-12);
+  EXPECT_NEAR(WorkloadDivergence(mixed, only_b), 0.5, 1e-12);
+
+  Workload empty;
+  EXPECT_DOUBLE_EQ(WorkloadDivergence(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(WorkloadDivergence(empty, only_a), 1.0);
+
+  // Clause order within a query does not contribute divergence.
+  Query qab;
+  qab.clauses = {qa.clauses[0], qb.clauses[0]};
+  Query qba;
+  qba.clauses = {qb.clauses[0], qa.clauses[0]};
+  Workload w1;
+  w1.queries = {qab};
+  Workload w2;
+  w2.queries = {qba};
+  EXPECT_DOUBLE_EQ(WorkloadDivergence(w1, w2), 0.0);
 }
 
 TEST(QueryLogTest, EmptyAndClear) {
