@@ -1,15 +1,22 @@
 // Ablation: substring-search kernels (std::find vs memchr-skip vs
-// Boyer-Moore-Horspool) on realistic log records — the client's hot loop.
+// Boyer-Moore-Horspool) on realistic log records — the client's hot loop —
+// plus the batched multi-pattern matcher against the per-pattern loop at
+// growing pattern counts (the prefilter's O(P) rescans vs one scan).
 
 #include <benchmark/benchmark.h>
 
 #include "bench_gbench_main.h"
+#include "common/random.h"
 #include "matcher/compiled_pattern.h"
+#include "matcher/multi_pattern.h"
 #include "workload/dataset.h"
 
 namespace {
 
 using ciao::CompiledPattern;
+using ciao::MultiPatternHits;
+using ciao::MultiPatternMatcher;
+using ciao::Rng;
 using ciao::SearchKernel;
 
 const std::vector<std::string>& Records() {
@@ -67,5 +74,85 @@ BENCHMARK_CAPTURE(BM_Kernel, horspool_long, SearchKernel::kHorspool,
                   "this longer pattern is nowhere in the data at all");
 BENCHMARK_CAPTURE(BM_Kernel, swar_long, SearchKernel::kSwar,
                   "this longer pattern is nowhere in the data at all");
+
+namespace {
+
+/// A realistic mixed pattern set: half true substrings of the records
+/// (hits at varying selectivity), half absent tokens (full-scan misses).
+std::vector<std::string> MixedPatternSet(size_t count) {
+  const auto& records = Records();
+  Rng rng(0x5EED + count);
+  std::vector<std::string> patterns;
+  patterns.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0) {
+      const std::string& r = records[rng.NextBounded(records.size())];
+      const size_t len = 4 + rng.NextBounded(8);
+      const size_t start = rng.NextBounded(r.size() - len);
+      patterns.push_back(r.substr(start, len));
+    } else {
+      patterns.push_back("zq_miss_" + std::to_string(i));
+    }
+  }
+  return patterns;
+}
+
+/// The batched engine: one scan of each record answers all patterns.
+void BM_MultiPattern(benchmark::State& state, size_t num_patterns) {
+  const std::vector<std::string> patterns = MixedPatternSet(num_patterns);
+  const MultiPatternMatcher matcher = MultiPatternMatcher::Build(patterns);
+  MultiPatternHits hits = matcher.MakeHits();
+  const auto& records = Records();
+  size_t found = 0;
+  for (auto _ : state) {
+    for (const std::string& r : records) {
+      matcher.Scan(r, &hits);
+      found += hits.found_count();
+    }
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+  uint64_t bytes = 0;
+  for (const std::string& r : records) bytes += r.size();
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.SetLabel(std::string(matcher.engine_name()));
+}
+
+/// The per-pattern oracle loop the batched engine replaces: P independent
+/// scans per record.
+void BM_PerPatternLoop(benchmark::State& state, size_t num_patterns) {
+  const std::vector<std::string> pattern_strings =
+      MixedPatternSet(num_patterns);
+  std::vector<CompiledPattern> patterns;
+  patterns.reserve(pattern_strings.size());
+  for (const std::string& p : pattern_strings) {
+    patterns.emplace_back(p, SearchKernel::kSwar);
+  }
+  const auto& records = Records();
+  size_t found = 0;
+  for (auto _ : state) {
+    for (const std::string& r : records) {
+      for (const CompiledPattern& p : patterns) {
+        if (p.Matches(r)) ++found;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+  uint64_t bytes = 0;
+  for (const std::string& r : records) bytes += r.size();
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_MultiPattern, 8_patterns, 8);
+BENCHMARK_CAPTURE(BM_MultiPattern, 32_patterns, 32);
+BENCHMARK_CAPTURE(BM_MultiPattern, 128_patterns, 128);
+BENCHMARK_CAPTURE(BM_PerPatternLoop, 8_patterns, 8);
+BENCHMARK_CAPTURE(BM_PerPatternLoop, 32_patterns, 32);
+BENCHMARK_CAPTURE(BM_PerPatternLoop, 128_patterns, 128);
 
 CIAO_BENCH_JSON_MAIN("bench_micro_matcher")

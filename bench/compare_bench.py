@@ -3,8 +3,11 @@
 
 Compares the merged hot-path bench report (BENCH_hotpath.json, written by
 bench/bench_report.h) against the checked-in baseline snapshot and fails
-when any shared entry's items_per_second regressed by more than the
-tolerance (default 15%).
+when any shared entry regressed by more than the tolerance (default 15%)
+on a gated metric: items_per_second (higher is better) or — for the e2e
+figure cells — prefilter_seconds (lower is better; cells whose baseline
+prefilter is under 1 ms do no real prefilter work and sit in timer noise,
+so they are skipped).
 
 Usage:
   compare_bench.py REPORT [--baseline BASELINE] [--tolerance 0.15]
@@ -21,7 +24,11 @@ import json
 import os
 import sys
 
-METRIC = "items_per_second"
+# metric -> (higher_is_better, min_baseline_to_gate)
+METRICS = {
+    "items_per_second": (True, 0.0),
+    "prefilter_seconds": (False, 1e-3),
+}
 
 
 def load_entries(path):
@@ -55,20 +62,24 @@ def main():
     regressions = []
     compared = 0
     for key, base_metrics in sorted(baseline.items()):
-        base = base_metrics.get(METRIC)
-        cur = entries.get(key, {}).get(METRIC)
-        if base is None or base <= 0:
-            continue
-        if cur is None:
-            print(f"  [missing ] {key} (baseline {base:.3g}, not in run)")
-            continue
-        compared += 1
-        delta = (cur - base) / base
-        marker = "ok" if delta >= -args.tolerance else "REGRESSED"
-        print(f"  [{marker:9s}] {key}: {base:.4g} -> {cur:.4g} "
-              f"({delta:+.1%})")
-        if delta < -args.tolerance:
-            regressions.append((key, base, cur, delta))
+        for metric, (higher_is_better, min_baseline) in METRICS.items():
+            base = base_metrics.get(metric)
+            if base is None or base <= min_baseline:
+                continue
+            cur = entries.get(key, {}).get(metric)
+            if cur is None:
+                print(f"  [missing ] {key}/{metric} "
+                      f"(baseline {base:.3g}, not in run)")
+                continue
+            compared += 1
+            # delta > 0 always means "improved".
+            delta = (cur - base) / base if higher_is_better \
+                else (base - cur) / base
+            marker = "ok" if delta >= -args.tolerance else "REGRESSED"
+            print(f"  [{marker:9s}] {key}/{metric}: {base:.4g} -> {cur:.4g} "
+                  f"({delta:+.1%})")
+            if delta < -args.tolerance:
+                regressions.append((f"{key}/{metric}", base, cur, delta))
 
     for key in sorted(set(entries) - set(baseline)):
         print(f"  [new      ] {key}")

@@ -6,8 +6,10 @@
 
 namespace ciao {
 
-ClientFilter::ClientFilter(const PredicateRegistry* registry)
-    : registry_(registry) {
+ClientFilter::ClientFilter(const PredicateRegistry* registry,
+                           std::optional<ClientMatcherMode> mode)
+    : registry_(registry),
+      mode_(mode.value_or(registry->matcher_mode())) {
   ids_.reserve(registry->size());
   for (size_t i = 0; i < registry->size(); ++i) {
     ids_.push_back(static_cast<uint32_t>(i));
@@ -16,8 +18,11 @@ ClientFilter::ClientFilter(const PredicateRegistry* registry)
 }
 
 ClientFilter::ClientFilter(const PredicateRegistry* registry,
-                           std::vector<uint32_t> ids)
-    : registry_(registry), ids_(std::move(ids)) {
+                           std::vector<uint32_t> ids,
+                           std::optional<ClientMatcherMode> mode)
+    : registry_(registry),
+      ids_(std::move(ids)),
+      mode_(mode.value_or(registry->matcher_mode())) {
   CachePrograms();
 }
 
@@ -25,6 +30,23 @@ void ClientFilter::CachePrograms() {
   programs_.reserve(ids_.size());
   for (const uint32_t id : ids_) {
     programs_.push_back(&registry_->Get(id).program);
+  }
+  if (mode_ != ClientMatcherMode::kBatched || ids_.empty()) return;
+  // Full-registry filters share the registry's immutable compiled
+  // program (one compile per plan, every client pool thread reuses it);
+  // subset filters compile a private one over their clauses. Sharing is
+  // only sound when ids_ is exactly identity order — the shared
+  // program's clause indices are registry ids, and Evaluate maps clause
+  // i's result to ids_[i]'s bitvector.
+  bool identity_ids = ids_.size() == registry_->size();
+  for (size_t i = 0; identity_ids && i < ids_.size(); ++i) {
+    identity_ids = ids_[i] == i;
+  }
+  if (identity_ids && registry_->batched() != nullptr) {
+    batched_ = registry_->batched();
+  } else {
+    batched_ = std::make_shared<const BatchedClauseSet>(
+        BatchedClauseSet::Compile(programs_));
   }
 }
 
@@ -36,6 +58,12 @@ BitVectorSet ClientFilter::Evaluate(const json::JsonChunk& chunk,
   const size_t num_programs = programs_.size();
   if (num_programs == 0 || chunk.empty()) return out;
 
+  const bool batched = mode_ == ClientMatcherMode::kBatched;
+  // Scratch is per-call (not a member) so a shared filter stays
+  // const-thread-safe; its allocations amortize over the whole chunk.
+  BatchedClauseSet::Scratch scratch;
+  if (batched) scratch = batched_->MakeScratch();
+
   // One 64-bit accumulator per predicate, flushed per block; the chunk is
   // the allocation unit, not the record.
   std::vector<uint64_t> block_bits(num_programs);
@@ -45,8 +73,16 @@ BitVectorSet ClientFilter::Evaluate(const json::JsonChunk& chunk,
     for (size_t r = 0; r < block; ++r) {
       const std::string_view record = chunk.Record(base + r);
       const uint64_t bit = 1ULL << r;
-      for (size_t p = 0; p < num_programs; ++p) {
-        if (programs_[p]->Matches(record)) block_bits[p] |= bit;
+      if (batched) {
+        // One scan answers every clause at once.
+        batched_->EvaluateRecord(record, &scratch);
+        for (size_t p = 0; p < num_programs; ++p) {
+          if (scratch.clause_matched[p]) block_bits[p] |= bit;
+        }
+      } else {
+        for (size_t p = 0; p < num_programs; ++p) {
+          if (programs_[p]->Matches(record)) block_bits[p] |= bit;
+        }
       }
     }
     const size_t word = base >> 6;
@@ -60,6 +96,11 @@ BitVectorSet ClientFilter::Evaluate(const json::JsonChunk& chunk,
 double ClientFilter::ExpectedCostUs() const {
   double total = 0.0;
   for (const uint32_t id : ids_) total += registry_->Get(id).cost_us;
+  // Batched: the per-predicate costs are marginal; the shared scan is
+  // charged once (and only when something is evaluated at all).
+  if (mode_ == ClientMatcherMode::kBatched && !ids_.empty()) {
+    total += registry_->base_cost_us();
+  }
   return total;
 }
 

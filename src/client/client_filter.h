@@ -2,11 +2,15 @@
 #define CIAO_CLIENT_CLIENT_FILTER_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "bitvec/bitvector_set.h"
 #include "common/status.h"
 #include "json/chunk.h"
+#include "matcher/multi_pattern.h"
+#include "predicate/batched_program.h"
 #include "predicate/registry.h"
 
 namespace ciao {
@@ -37,31 +41,47 @@ struct PrefilterStats {
 /// predicate on each raw JSON record with substring matching (no parsing)
 /// and emit one bitvector per predicate. The filter never produces false
 /// negatives (property-tested).
+///
+/// Two evaluation strategies (config knob `client.matcher`):
+///  - `batched` (default): all pushed pattern strings are compiled into
+///    one multi-pattern matcher, so each record is scanned exactly once
+///    regardless of predicate count; hits map back through a pattern ->
+///    (predicate, term, role) table, key-value terms replaying their
+///    ordered key-then-value check from the recorded positions.
+///  - `per_pattern`: the paper's loop — every clause program rescans the
+///    record. Kept as the differential oracle; both strategies produce
+///    byte-identical bitvectors (tests/multi_pattern_test.cc pins this).
 class ClientFilter {
  public:
   /// Takes the predicate ids + programs to evaluate. The registry must
-  /// outlive the filter.
-  explicit ClientFilter(const PredicateRegistry* registry);
+  /// outlive the filter. The matcher strategy follows the registry's
+  /// `matcher_mode()` unless `mode` overrides it (tests, oracle runs).
+  explicit ClientFilter(const PredicateRegistry* registry,
+                        std::optional<ClientMatcherMode> mode = std::nullopt);
 
   /// Subset variant for budget-limited clients: evaluate only `ids`.
-  ClientFilter(const PredicateRegistry* registry,
-               std::vector<uint32_t> ids);
+  ClientFilter(const PredicateRegistry* registry, std::vector<uint32_t> ids,
+               std::optional<ClientMatcherMode> mode = std::nullopt);
 
   /// Evaluates all predicates over the chunk; the returned set has one
   /// vector per evaluated id (in `evaluated_ids()` order).
   ///
   /// Iteration is record-major in 64-record blocks: each record's bytes
-  /// are scanned by every program while still hot in cache (clause
-  /// programs short-circuit on their first matching term), and the
-  /// per-predicate match bits accumulate in stack words flushed to the
-  /// bitvectors once per block instead of one Set() per hit.
+  /// are scanned while still hot in cache — once by the batched matcher,
+  /// or once per program in per-pattern mode — and the per-predicate
+  /// match bits accumulate in stack words flushed to the bitvectors once
+  /// per block instead of one Set() per hit.
   BitVectorSet Evaluate(const json::JsonChunk& chunk, PrefilterStats* stats) const;
 
   const std::vector<uint32_t>& evaluated_ids() const { return ids_; }
   size_t num_predicates() const { return ids_.size(); }
+  ClientMatcherMode matcher_mode() const { return mode_; }
 
-  /// Expected per-record cost (Σ cost_us of evaluated predicates), i.e.
-  /// what the optimizer budgeted for this client.
+  /// Expected per-record cost (µs) — what the optimizer budgeted for
+  /// this client. Per-pattern: Σ cost_us of the evaluated predicates.
+  /// Batched: the shared scan base cost plus the Σ of the (marginal)
+  /// per-predicate costs; the additive sum alone would over-report the
+  /// batched client several-fold.
   double ExpectedCostUs() const;
 
  private:
@@ -69,10 +89,16 @@ class ClientFilter {
 
   const PredicateRegistry* registry_;
   std::vector<uint32_t> ids_;
+  ClientMatcherMode mode_ = ClientMatcherMode::kBatched;
   /// Compiled programs for ids_, resolved once at construction so the
   /// per-chunk loop touches no registry state (programs precompile their
   /// pattern tables at registration, paper Fig 2's "pattern string").
   std::vector<const RawClauseProgram*> programs_;
+  /// Batched mode: the multi-pattern program over ids_'s clauses. For a
+  /// full-registry filter this aliases the registry's shared immutable
+  /// instance (one compile per plan, shared across client threads);
+  /// subset filters compile their own.
+  std::shared_ptr<const BatchedClauseSet> batched_;
 };
 
 }  // namespace ciao

@@ -12,8 +12,11 @@ MultiClientCoordinator::MultiClientCoordinator(
 size_t MultiClientCoordinator::AddClient(const ClientSpec& spec) {
   // Registry order is selection order (best predicates first), so the
   // maximal affordable prefix is the natural budget-constrained subset.
+  // A batched client pays the shared scan before any predicate fits.
   std::vector<uint32_t> ids;
-  double cost = 0.0;
+  double cost = registry_->matcher_mode() == ClientMatcherMode::kBatched
+                    ? registry_->base_cost_us()
+                    : 0.0;
   for (size_t i = 0; i < registry_->size(); ++i) {
     const RegisteredPredicate& p = registry_->Get(static_cast<uint32_t>(i));
     if (cost + p.cost_us > spec.budget_us + 1e-12) continue;

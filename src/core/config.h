@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "matcher/kernels.h"
+#include "matcher/multi_pattern.h"
 #include "optimizer/selection.h"
 
 namespace ciao {
@@ -86,6 +87,16 @@ struct CiaoConfig {
 
   /// Substring-search kernel used by the client filter.
   SearchKernel kernel = SearchKernel::kStdFind;
+
+  /// Client matcher strategy (`client.matcher`). `batched` (default)
+  /// compiles all pushed clauses' pattern strings into one multi-pattern
+  /// matcher (Teddy SIMD buckets / Aho–Corasick) that scans each record
+  /// exactly once, making prefilter cost nearly independent of predicate
+  /// count — the optimizer then costs predicates as base-scan +
+  /// marginal-verify instead of additively. `per_pattern` is the paper's
+  /// loop (one scan per pushed clause), kept as the differential oracle;
+  /// both produce byte-identical annotation bitvectors.
+  ClientMatcherMode matcher = ClientMatcherMode::kBatched;
 
   /// Records sampled for selectivity estimation.
   size_t sample_size = 2000;

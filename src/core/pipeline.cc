@@ -22,7 +22,7 @@ Result<PlanningOutcome> PlanPushdown(
       outcome.plan,
       SelectPredicates(workload, estimate.clause_stats, cost_model,
                        estimate.mean_record_len, config.budget_us,
-                       config.algorithm, extra));
+                       config.algorithm, extra, config.matcher));
   CIAO_ASSIGN_OR_RETURN(outcome.registry,
                         BuildRegistry(outcome.plan, config.kernel));
   outcome.partial_loading_enabled =
@@ -44,9 +44,16 @@ Result<PlanningOutcome> PlanManualPushdown(
                                     config.sample_size, config.seed));
   outcome.mean_record_len = estimate.mean_record_len;
 
+  const bool batched = config.matcher == ClientMatcherMode::kBatched;
   outcome.plan.algorithm = "manual";
   outcome.plan.budget_us = config.budget_us;
   outcome.plan.num_candidates = push_down.size();
+  outcome.plan.matcher_mode = config.matcher;
+  outcome.plan.base_cost_us =
+      batched && !push_down.empty()
+          ? cost_model.BatchedScanBaseUs(estimate.mean_record_len)
+          : 0.0;
+  outcome.plan.total_cost_us = outcome.plan.base_cost_us;
   for (size_t i = 0; i < push_down.size(); ++i) {
     CandidatePredicate cand;
     cand.clause = push_down[i];
@@ -54,8 +61,12 @@ Result<PlanningOutcome> PlanManualPushdown(
     cand.term_selectivities = estimate.clause_stats[i].term_selectivities;
     CIAO_ASSIGN_OR_RETURN(
         cand.cost_us,
-        cost_model.ClauseCostUs(cand.clause, cand.term_selectivities,
-                                estimate.mean_record_len));
+        batched ? cost_model.BatchedClauseCostUs(cand.clause,
+                                                 cand.term_selectivities,
+                                                 estimate.mean_record_len)
+                : cost_model.ClauseCostUs(cand.clause,
+                                          cand.term_selectivities,
+                                          estimate.mean_record_len));
     outcome.plan.selected.push_back(std::move(cand));
     outcome.plan.total_cost_us += outcome.plan.selected.back().cost_us;
   }

@@ -42,10 +42,20 @@ void ReplanController::RecordIngest(uint64_t records, double seconds,
     total_pattern_len += static_cast<double>(p.program.TotalPatternLength());
     selectivity_sum += p.selectivity;
   }
-  observations_.AddPrefilterAggregate(
-      records, seconds, registry.size(), total_pattern_len,
-      selectivity_sum / static_cast<double>(registry.size()),
-      epoch.outcome.mean_record_len);
+  // Batched prefilters spend one shared scan per record, so the whole
+  // pass is logged as one observation at the full per-record cost; the
+  // per-pattern path keeps the divided per-search accounting.
+  if (registry.matcher_mode() == ClientMatcherMode::kBatched) {
+    observations_.AddBatchedPrefilterAggregate(
+        records, seconds, registry.size(), total_pattern_len,
+        selectivity_sum / static_cast<double>(registry.size()),
+        epoch.outcome.mean_record_len);
+  } else {
+    observations_.AddPrefilterAggregate(
+        records, seconds, registry.size(), total_pattern_len,
+        selectivity_sum / static_cast<double>(registry.size()),
+        epoch.outcome.mean_record_len);
+  }
 }
 
 bool ReplanController::ShouldReplanLocked() {
@@ -147,6 +157,15 @@ Result<bool> ReplanController::ReplanNow() {
                               : initial_model_;
   CIAO_ASSIGN_OR_RETURN(PlanningOutcome outcome,
                         PlanPushdown(derived, sample_records_, config_, model));
+
+  // Guard against cost-model refit artifacts: a single load-inflated
+  // ingest observation can blow the recalibrated batched base-scan cost
+  // past the budget, making selection come back empty. Replacing a
+  // working pushdown set with *nothing* on one noisy timing is never an
+  // improvement — keep serving the current epoch instead.
+  if (outcome.plan.selected.empty() && !epoch->registry().empty()) {
+    return false;
+  }
 
   // An identical selection would re-install the same decision under a new
   // id numbering and force a pointless backfill sweep — keep the epoch.

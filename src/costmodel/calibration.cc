@@ -123,6 +123,18 @@ void RuntimeObservationLog::AddPrefilterAggregate(
   Add(obs);
 }
 
+void RuntimeObservationLog::AddBatchedPrefilterAggregate(
+    uint64_t records, double seconds, size_t num_predicates,
+    double total_pattern_len, double mean_selectivity, double len_t) {
+  if (records == 0 || num_predicates == 0) return;
+  CostObservation obs;
+  obs.selectivity = std::clamp(mean_selectivity, 0.0, 1.0);
+  obs.len_p = total_pattern_len;
+  obs.len_t = len_t;
+  obs.measured_us = seconds * 1e6 / static_cast<double>(records);
+  Add(obs);
+}
+
 std::vector<CostObservation> RuntimeObservationLog::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return observations_;

@@ -75,6 +75,17 @@ class RuntimeObservationLog {
                              size_t num_predicates, double total_pattern_len,
                              double mean_selectivity, double len_t);
 
+  /// Batched-matcher counterpart: the whole prefilter pass is ONE shared
+  /// scan per record, so the observation charges the full per-record cost
+  /// (not divided by the predicate count) against len_p = the total
+  /// pattern bytes. The fitted model's record-byte terms then absorb the
+  /// scan and its pattern-byte terms the marginal verify slope — the same
+  /// decomposition BatchedScanBaseUs / BatchedClauseCostUs read back out.
+  void AddBatchedPrefilterAggregate(uint64_t records, double seconds,
+                                    size_t num_predicates,
+                                    double total_pattern_len,
+                                    double mean_selectivity, double len_t);
+
   std::vector<CostObservation> Snapshot() const;
   size_t size() const;
 

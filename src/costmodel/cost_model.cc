@@ -58,6 +58,63 @@ double CostModel::SimplePredicateCostUs(const SimplePredicate& p,
   return 0.0;
 }
 
+double CostModel::BatchedScanBaseUs(double len_t) const {
+  const double base = coeffs_.k4 * len_t + coeffs_.c;
+  return base > 0.0 ? base : 0.0;
+}
+
+double CostModel::BatchedMarginalPredicateCostUs(const SimplePredicate& p,
+                                                 double selectivity,
+                                                 double len_t) const {
+  (void)len_t;  // the shared base scan already covers the record bytes
+  switch (p.kind) {
+    case PredicateKind::kExactMatch: {
+      const double len_pattern =
+          static_cast<double>(p.operand.is_string()
+                                  ? p.operand.as_string().size() + 2
+                                  : json::Write(p.operand).size());
+      return PredictUs(selectivity, len_pattern, 0.0);
+    }
+    case PredicateKind::kSubstringMatch: {
+      const double len_pattern = static_cast<double>(
+          p.operand.is_string() ? p.operand.as_string().size() : 0);
+      return PredictUs(selectivity, len_pattern, 0.0);
+    }
+    case PredicateKind::kKeyPresence: {
+      const double len_pattern = static_cast<double>(p.field.size() + 3);
+      return PredictUs(selectivity, len_pattern, 0.0);
+    }
+    case PredicateKind::kKeyValueMatch: {
+      // Key fingerprint verify, plus the ordered value-window replay the
+      // batched evaluator still performs (window ~16 bytes, as in the
+      // per-pattern model).
+      const double len_key = static_cast<double>(p.field.size() + 3);
+      const double len_value =
+          static_cast<double>(json::Write(p.operand).size());
+      return PredictUs(selectivity, len_key, 0.0) +
+             PredictUs(selectivity, len_value, 16.0);
+    }
+    case PredicateKind::kRangeLess:
+      return PredictUs(selectivity, 8.0, 0.0);
+  }
+  return 0.0;
+}
+
+Result<double> CostModel::BatchedClauseCostUs(
+    const Clause& clause, const std::vector<double>& term_selectivities,
+    double len_t) const {
+  if (clause.terms.size() != term_selectivities.size()) {
+    return Status::InvalidArgument(
+        "BatchedClauseCostUs: term selectivity count mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < clause.terms.size(); ++i) {
+    total += BatchedMarginalPredicateCostUs(clause.terms[i],
+                                            term_selectivities[i], len_t);
+  }
+  return total;
+}
+
 Result<double> CostModel::ClauseCostUs(
     const Clause& clause, const std::vector<double>& term_selectivities,
     double len_t) const {

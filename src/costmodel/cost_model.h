@@ -60,6 +60,37 @@ class CostModel {
                               const std::vector<double>& term_selectivities,
                               double len_t) const;
 
+  /// ---- Batched matcher cost shape (client.matcher = batched) ----
+  ///
+  /// With the multi-pattern matcher one shared scan of the record serves
+  /// every pushed pattern, so per-record client cost stops being additive
+  /// in the predicates and decomposes as
+  ///
+  ///   T_batched(S) = BatchedScanBaseUs(len_t) + Σ_{p in S} marginal(p)
+  ///
+  /// where the base term is the single scan (record-byte dominated) and
+  /// each marginal term covers p's fingerprint verification and
+  /// bookkeeping — pattern-byte dominated, independent of len_t.
+
+  /// Shared scan cost, paid once per record when any predicate is pushed:
+  /// the miss-case record-byte term plus one startup (k4·len_t + c).
+  double BatchedScanBaseUs(double len_t) const;
+
+  /// Marginal cost of adding one simple predicate to a batched matcher:
+  /// the pattern-byte terms of the model with the record-byte term
+  /// dropped (the base scan already paid it). Key-value predicates keep
+  /// their bounded value-window check (modeled over ~16 bytes), which the
+  /// batched evaluator still replays per key occurrence.
+  double BatchedMarginalPredicateCostUs(const SimplePredicate& p,
+                                        double selectivity,
+                                        double len_t) const;
+
+  /// Marginal clause cost = Σ marginal term costs (the disjunction's
+  /// patterns all ride the same shared scan).
+  Result<double> BatchedClauseCostUs(
+      const Clause& clause, const std::vector<double>& term_selectivities,
+      double len_t) const;
+
   const CostModelCoefficients& coefficients() const { return coeffs_; }
   double r_squared() const { return r_squared_; }
 

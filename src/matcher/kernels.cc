@@ -106,11 +106,13 @@ inline bool VerifyTail(const char* hay, const char* needle, size_t m,
 size_t FindSwarFallback(std::string_view hay, std::string_view needle,
                         size_t from) {
   const size_t m = needle.size();
-  if (m == 0) return from <= hay.size() ? from : std::string_view::npos;
+  // Degenerate needles (empty, 1-byte) have no second probe byte; route
+  // them to FindMemchr before any two-byte setup. FindMemchr implements
+  // the empty-needle semantics of std::string_view::find exactly.
+  if (m < 2) return FindMemchr(hay, needle, from);
   if (from >= hay.size() || hay.size() - from < m) {
     return std::string_view::npos;
   }
-  if (m == 1) return FindMemchr(hay, needle, from);
 
   const char* base = hay.data();
   const size_t last_start = hay.size() - m;
@@ -160,11 +162,12 @@ size_t FindSwarFallback(std::string_view hay, std::string_view needle,
 size_t FindSwar(std::string_view hay, std::string_view needle, size_t from) {
 #ifdef __SSE2__
   const size_t m = needle.size();
-  if (m == 0) return from <= hay.size() ? from : std::string_view::npos;
+  // As in FindSwarFallback: degenerate needles route to FindMemchr
+  // explicitly instead of threading through the two-byte probe setup.
+  if (m < 2) return FindMemchr(hay, needle, from);
   if (from >= hay.size() || hay.size() - from < m) {
     return std::string_view::npos;
   }
-  if (m == 1) return FindMemchr(hay, needle, from);
 
   const char* base = hay.data();
   const size_t last_start = hay.size() - m;

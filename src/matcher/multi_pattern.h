@@ -1,0 +1,168 @@
+#ifndef CIAO_MATCHER_MULTI_PATTERN_H_
+#define CIAO_MATCHER_MULTI_PATTERN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ciao {
+
+/// Which matching strategy the client filter runs (config knob
+/// `client.matcher`). Per-pattern is the paper's loop — every pushed
+/// clause's program rescans the record — kept as the differential oracle;
+/// batched compiles all pushed pattern strings into one multi-pattern
+/// matcher that scans each record exactly once.
+enum class ClientMatcherMode {
+  kPerPattern,
+  kBatched,
+};
+
+/// Stable mode name for reports/config dumps ("per_pattern", "batched").
+std::string_view ClientMatcherModeName(ClientMatcherMode mode);
+
+/// Per-scan result buffer of a MultiPatternMatcher: which patterns
+/// occurred, and — for position-tracked patterns — every occurrence's
+/// start offset in ascending order. Reused across records (Scan resets
+/// it); one instance per scanning thread, the matcher itself is shared.
+class MultiPatternHits {
+ public:
+  /// True iff pattern `pattern_id` occurred anywhere in the scanned hay.
+  bool Contains(uint32_t pattern_id) const {
+    return (found_[pattern_id >> 6] >> (pattern_id & 63)) & 1;
+  }
+
+  /// All occurrence start offsets of a *tracked* pattern, ascending.
+  /// Undefined for untracked patterns (they stop recording after the
+  /// first hit).
+  const std::vector<uint32_t>& Positions(uint32_t pattern_id) const {
+    return positions_[slot_of_[pattern_id]];
+  }
+
+  size_t found_count() const { return found_count_; }
+
+  /// Raw presence bitmap words (pattern id bit order) — for callers that
+  /// fold several scans' results together (e.g. one scan per key window).
+  const std::vector<uint64_t>& found_words() const { return found_; }
+
+  /// --- Engine-internal interface (used by the scan kernels) ---
+
+  /// True while `pattern_id` still needs reporting: untracked patterns
+  /// are done after their first occurrence, tracked ones never are.
+  bool NeedsHit(uint32_t pattern_id) const {
+    return slot_of_[pattern_id] >= 0 || !Contains(pattern_id);
+  }
+
+  /// Records one occurrence of `pattern_id` starting at `pos`.
+  void RecordHit(uint32_t pattern_id, uint32_t pos) {
+    uint64_t& word = found_[pattern_id >> 6];
+    const uint64_t bit = 1ULL << (pattern_id & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++found_count_;
+    }
+    const int32_t slot = slot_of_[pattern_id];
+    if (slot >= 0) positions_[slot].push_back(pos);
+  }
+
+ private:
+  friend class MultiPatternMatcher;
+
+  std::vector<uint64_t> found_;
+  /// pattern id -> tracked slot, -1 when positions are not tracked.
+  std::vector<int32_t> slot_of_;
+  /// Occurrence start offsets per tracked slot.
+  std::vector<std::vector<uint32_t>> positions_;
+  size_t found_count_ = 0;
+};
+
+namespace internal {
+struct TeddyPlan;
+struct AcAutomaton;
+}  // namespace internal
+
+/// Build options for MultiPatternMatcher (namespace scope so it can be a
+/// default argument of Build).
+struct MultiPatternOptions {
+  enum class Force { kAuto, kTeddy, kAhoCorasick };
+  /// Engine override for tests/benches; kAuto applies the heuristic in
+  /// the class comment.
+  Force force = Force::kAuto;
+};
+
+/// Hyperscan-style batched literal matcher: compiles a set of pattern
+/// strings once and reports, per scanned record, which patterns occur —
+/// in a single pass regardless of pattern count. Two engines:
+///
+///  - **Teddy**: a shuffle-bucket SIMD prefilter (SSSE3 `pshufb` nibble
+///    lookup when the CPU has it, a portable scalar/SWAR table screen
+///    otherwise). Patterns are hashed into 8 buckets by their first 1-3
+///    bytes; each 16-byte block of input is classified in a handful of
+///    instructions and only fingerprint hits are verified with memcmp.
+///    Chosen for small sets (<= 64 patterns) of length >= 2.
+///  - **Aho–Corasick**: a flat 256-way DFA over all patterns; strictly
+///    one transition per input byte. Chosen for large sets and sets
+///    containing 1-byte patterns (whose Teddy fingerprint would fire on
+///    every occurrence of a common byte).
+///
+/// Immutable after Build and safe to share across threads; all per-scan
+/// state lives in the caller's MultiPatternHits.
+class MultiPatternMatcher {
+ public:
+  enum class Engine {
+    kNone,         // no non-empty patterns
+    kTeddy,        // shuffle-bucket prefilter + memcmp verify
+    kAhoCorasick,  // flat DFA
+  };
+
+  using Options = MultiPatternOptions;
+
+  MultiPatternMatcher();
+  MultiPatternMatcher(MultiPatternMatcher&&) noexcept;
+  MultiPatternMatcher& operator=(MultiPatternMatcher&&) noexcept;
+  ~MultiPatternMatcher();
+
+  /// Compiles `patterns`. `track_positions[i]` requests that Scan report
+  /// every occurrence start of pattern i (key-value verification needs
+  /// them); empty means presence-only for all. Empty pattern strings are
+  /// legal and always reported as found (a tracked empty pattern yields
+  /// every offset 0..hay.size(), matching std::string_view::find).
+  static MultiPatternMatcher Build(std::vector<std::string> patterns,
+                                   std::vector<bool> track_positions = {},
+                                   const Options& options = {});
+
+  size_t num_patterns() const { return patterns_.size(); }
+  const std::string& pattern(uint32_t id) const { return patterns_[id]; }
+  Engine engine() const { return engine_; }
+  std::string_view engine_name() const;
+  /// True when the Teddy engine will use the SSSE3 kernel on this CPU.
+  bool simd_active() const;
+
+  /// A scratch buffer sized for this matcher; one per scanning thread.
+  MultiPatternHits MakeHits() const;
+
+  /// Scans `hay` once; `hits` (from MakeHits) is reset and filled with
+  /// the presence bits and tracked positions of every pattern.
+  void Scan(std::string_view hay, MultiPatternHits* hits) const;
+
+ private:
+  /// Teddy kernel, resolved once at Build (the CPU's ISA cannot change):
+  /// Scan must not pay a cross-TU dispatch probe per record.
+  enum class TeddyKernel : uint8_t { kScalar, kSsse3, kAvx2 };
+
+  std::vector<std::string> patterns_;
+  std::vector<bool> tracked_;
+  /// Pattern ids with empty strings (always found, no scan needed).
+  std::vector<uint32_t> empty_ids_;
+  bool any_tracked_ = false;
+  Engine engine_ = Engine::kNone;
+  TeddyKernel teddy_kernel_ = TeddyKernel::kScalar;
+
+  std::unique_ptr<internal::TeddyPlan> teddy_;
+  std::unique_ptr<internal::AcAutomaton> ac_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_MATCHER_MULTI_PATTERN_H_

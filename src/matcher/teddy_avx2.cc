@@ -1,0 +1,116 @@
+// The AVX2 Teddy kernel: 32 candidate positions per iteration, same
+// nibble-table screen as the SSSE3 kernel with both 128-bit lanes sharing
+// the tables. Compiled with -mavx2 (see CMakeLists.txt) and only called
+// after a runtime __builtin_cpu_supports check.
+
+#include "matcher/teddy_impl.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace ciao::internal {
+
+#if defined(__AVX2__)
+
+bool TeddyAvx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+inline __m256i ClassifyBlock256(const TeddyPlan& plan, int j, __m256i block) {
+  const __m256i lo_table = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(plan.lo_nibble[j])));
+  const __m256i hi_table = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(plan.hi_nibble[j])));
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(block, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(block, 4), low_mask);
+  return _mm256_and_si256(_mm256_shuffle_epi8(lo_table, lo),
+                          _mm256_shuffle_epi8(hi_table, hi));
+}
+
+}  // namespace
+
+void TeddyScanAvx2(const TeddyPlan& plan,
+                   const std::vector<std::string>& patterns,
+                   std::string_view hay, size_t total_patterns,
+                   bool any_tracked, MultiPatternHits* hits) {
+  const size_t n = hay.size();
+  const size_t m = static_cast<size_t>(plan.m);
+  if (n < m) return;
+  const char* base = hay.data();
+  const size_t last_candidate = n - m;
+
+  size_t pos = 0;
+  while (pos + 32 + m - 1 <= n) {
+    __m256i acc = ClassifyBlock256(
+        plan, 0,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + pos)));
+    if (m > 1) {
+      acc = _mm256_and_si256(
+          acc, ClassifyBlock256(plan, 1,
+                                _mm256_loadu_si256(
+                                    reinterpret_cast<const __m256i*>(
+                                        base + pos + 1))));
+    }
+    if (m > 2) {
+      acc = _mm256_and_si256(
+          acc, ClassifyBlock256(plan, 2,
+                                _mm256_loadu_si256(
+                                    reinterpret_cast<const __m256i*>(
+                                        base + pos + 2))));
+    }
+    uint32_t nonzero = ~static_cast<uint32_t>(_mm256_movemask_epi8(
+        _mm256_cmpeq_epi8(acc, _mm256_setzero_si256())));
+    if (nonzero != 0) {
+      alignas(32) uint8_t masks[32];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(masks), acc);
+      while (nonzero != 0) {
+        const unsigned k = static_cast<unsigned>(__builtin_ctz(nonzero));
+        nonzero &= nonzero - 1;
+        const size_t candidate = pos + k;
+        if (candidate > last_candidate) break;
+        // The nibble screen over-approximates: re-check the exact byte
+        // masks before paying the memcmp verify.
+        uint32_t mask = masks[k];
+        mask &= plan.byte_mask[0][static_cast<unsigned char>(base[candidate])];
+        if (m > 1) {
+          mask &= plan.byte_mask[1]
+                                [static_cast<unsigned char>(base[candidate + 1])];
+        }
+        if (m > 2) {
+          mask &= plan.byte_mask[2]
+                                [static_cast<unsigned char>(base[candidate + 2])];
+        }
+        if (mask == 0) continue;
+        TeddyVerifyCandidate(plan, patterns, hay, candidate, mask, hits);
+      }
+      if (!any_tracked && hits->found_count() == total_patterns) return;
+    }
+    pos += 32;
+  }
+  // Scalar tail for the final partial block.
+  TeddyScanScalar(plan, patterns, hay, pos, total_patterns, any_tracked, hits);
+}
+
+#else  // !defined(__AVX2__)
+
+bool TeddyAvx2Available() { return false; }
+
+void TeddyScanAvx2(const TeddyPlan& plan,
+                   const std::vector<std::string>& patterns,
+                   std::string_view hay, size_t total_patterns,
+                   bool any_tracked, MultiPatternHits* hits) {
+  TeddyScanScalar(plan, patterns, hay, 0, total_patterns, any_tracked, hits);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace ciao::internal

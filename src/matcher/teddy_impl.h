@@ -1,0 +1,136 @@
+#ifndef CIAO_MATCHER_TEDDY_IMPL_H_
+#define CIAO_MATCHER_TEDDY_IMPL_H_
+
+// Internal Teddy data structures and the verify/scalar-scan primitives,
+// shared between multi_pattern.cc (portable paths) and teddy_ssse3.cc
+// (the SIMD kernel, compiled with -mssse3 and runtime-dispatched). Not
+// part of the public matcher API.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "matcher/multi_pattern.h"
+
+namespace ciao::internal {
+
+/// Compiled Teddy tables: patterns are assigned to 8 buckets; for each
+/// fingerprint byte position j < m, `byte_mask[j][c]` is the OR of the
+/// bucket bits whose patterns have byte c at position j. The nibble
+/// tables are the pshufb-decomposed form (mask = lo[c & 15] & hi[c >> 4],
+/// a superset of the exact byte mask — false positives are removed by the
+/// memcmp verify, never false negatives).
+struct TeddyPlan {
+  int m = 1;  // fingerprint length, 1..3 (= min(3, shortest pattern))
+  uint8_t byte_mask[3][256] = {};
+  alignas(16) uint8_t lo_nibble[3][16] = {};
+  alignas(16) uint8_t hi_nibble[3][16] = {};
+  std::vector<uint32_t> bucket_patterns[8];
+};
+
+/// Verifies one candidate position against every pattern in the buckets
+/// of `bucket_mask`. The fingerprint screen guarantees nothing beyond
+/// "some bucket's first m bytes may start here", so the full memcmp runs
+/// per bucket pattern; patterns already found (and not position-tracked)
+/// are skipped.
+///
+/// `static`: this header is included by the -mssse3/-mavx2 kernel TUs as
+/// well as baseline ones. With external linkage the linker could resolve
+/// a baseline caller to the COMDAT copy compiled under AVX2 codegen —
+/// internal linkage keeps each TU's copy at its own ISA.
+static inline void TeddyVerifyCandidate(const TeddyPlan& plan,
+                                 const std::vector<std::string>& patterns,
+                                 std::string_view hay, size_t pos,
+                                 uint32_t bucket_mask,
+                                 MultiPatternHits* hits) {
+  while (bucket_mask != 0) {
+    const unsigned b = static_cast<unsigned>(__builtin_ctz(bucket_mask));
+    bucket_mask &= bucket_mask - 1;
+    for (const uint32_t pid : plan.bucket_patterns[b]) {
+      if (!hits->NeedsHit(pid)) continue;
+      const std::string& p = patterns[pid];
+      if (pos + p.size() <= hay.size() &&
+          std::memcmp(hay.data() + pos, p.data(), p.size()) == 0) {
+        hits->RecordHit(pid, static_cast<uint32_t>(pos));
+      }
+    }
+  }
+}
+
+/// Portable Teddy scan over [from, hay.size()): the same bucket screen as
+/// the SIMD kernel, one byte-indexed table load per fingerprint position.
+/// Used as the SIMD loop's tail and as the full scan without SSSE3.
+/// `static` for the same ISA-isolation reason as TeddyVerifyCandidate.
+static inline void TeddyScanScalar(const TeddyPlan& plan,
+                            const std::vector<std::string>& patterns,
+                            std::string_view hay, size_t from,
+                            size_t total_patterns, bool any_tracked,
+                            MultiPatternHits* hits) {
+  const size_t n = hay.size();
+  const size_t m = static_cast<size_t>(plan.m);
+  if (n < m) return;
+  const unsigned char* base =
+      reinterpret_cast<const unsigned char*>(hay.data());
+  for (size_t pos = from; pos + m <= n; ++pos) {
+    uint32_t mask = plan.byte_mask[0][base[pos]];
+    if (m > 1) mask &= plan.byte_mask[1][base[pos + 1]];
+    if (m > 2) mask &= plan.byte_mask[2][base[pos + 2]];
+    if (mask == 0) continue;
+    TeddyVerifyCandidate(plan, patterns, hay, pos, mask, hits);
+    if (!any_tracked && hits->found_count() == total_patterns) return;
+  }
+}
+
+/// True when the SSSE3 kernel is compiled in and this CPU supports it.
+bool TeddySimdAvailable();
+
+/// The SSSE3 shuffle-bucket scan (whole record). Only call when
+/// TeddySimdAvailable(); falls back to nothing otherwise.
+void TeddyScanSimd(const TeddyPlan& plan,
+                   const std::vector<std::string>& patterns,
+                   std::string_view hay, size_t total_patterns,
+                   bool any_tracked, MultiPatternHits* hits);
+
+/// True when the AVX2 kernel is compiled in and this CPU supports it.
+bool TeddyAvx2Available();
+
+/// The AVX2 variant (32 candidates per iteration). Only call when
+/// TeddyAvx2Available().
+void TeddyScanAvx2(const TeddyPlan& plan,
+                   const std::vector<std::string>& patterns,
+                   std::string_view hay, size_t total_patterns,
+                   bool any_tracked, MultiPatternHits* hits);
+
+/// Aho–Corasick automaton flattened to a byte-class DFA: exactly one
+/// transition load per input byte; output pattern ids per state are the
+/// suffix-closed lists (own matches plus the fail chain's), flattened
+/// into one array.
+///
+/// The automaton only distinguishes bytes that occur in some pattern, so
+/// the transition table's alphabet is compressed to those equivalence
+/// classes (class 0 = "in no pattern", whose column is all-root). A
+/// 271-pattern JSON workload shrinks from 256 to ~70 columns — the table
+/// drops from megabytes to L2-resident.
+///
+/// Each transition word is the *premultiplied row* of the target state
+/// (state * num_classes) with bit 31 flagging "target state has outputs",
+/// so the per-byte dependency chain is load → and → add — no multiply,
+/// and no separate output-table probe on the hot path. The actual state
+/// index is only recovered (one division) on the rare output path.
+struct AcAutomaton {
+  /// next[row + byte_class[byte]] = target_row | (has_output << 31).
+  std::vector<uint32_t> next;
+  /// Byte -> equivalence class; 0 for bytes in no pattern.
+  uint8_t byte_class[256] = {};
+  uint32_t num_classes = 1;
+  /// Per state: [out_start[s], out_end[s]) into out_patterns.
+  std::vector<uint32_t> out_start;
+  std::vector<uint32_t> out_end;
+  std::vector<uint32_t> out_patterns;
+  size_t num_states = 0;
+};
+
+}  // namespace ciao::internal
+
+#endif  // CIAO_MATCHER_TEDDY_IMPL_H_

@@ -1,0 +1,119 @@
+// The SSSE3 Teddy kernel: 16 candidate positions are classified per
+// iteration with two pshufb nibble lookups per fingerprint byte. This
+// translation unit is compiled with -mssse3 (see CMakeLists.txt) and only
+// ever *called* after a runtime __builtin_cpu_supports check, so the rest
+// of the library keeps the baseline ISA.
+
+#include "matcher/teddy_impl.h"
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+
+namespace ciao::internal {
+
+#if defined(__SSSE3__)
+
+bool TeddySimdAvailable() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported = __builtin_cpu_supports("ssse3");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Bucket masks for the 16 bytes of `block` at fingerprint position j:
+/// pshufb on the low and high nibble tables, ANDed. A byte's result is a
+/// superset of the exact byte_mask (nibbles classify independently).
+inline __m128i ClassifyBlock(const TeddyPlan& plan, int j, __m128i block) {
+  const __m128i lo_table = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(plan.lo_nibble[j]));
+  const __m128i hi_table = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(plan.hi_nibble[j]));
+  const __m128i low_mask = _mm_set1_epi8(0x0F);
+  const __m128i lo = _mm_and_si128(block, low_mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(block, 4), low_mask);
+  return _mm_and_si128(_mm_shuffle_epi8(lo_table, lo),
+                       _mm_shuffle_epi8(hi_table, hi));
+}
+
+}  // namespace
+
+void TeddyScanSimd(const TeddyPlan& plan,
+                   const std::vector<std::string>& patterns,
+                   std::string_view hay, size_t total_patterns,
+                   bool any_tracked, MultiPatternHits* hits) {
+  const size_t n = hay.size();
+  const size_t m = static_cast<size_t>(plan.m);
+  if (n < m) return;
+  const char* base = hay.data();
+  const size_t last_candidate = n - m;
+
+  size_t pos = 0;
+  // Position j's load reads hay[pos+j .. pos+j+15]; stay in bounds for
+  // the deepest fingerprint byte.
+  while (pos + 16 + m - 1 <= n) {
+    __m128i acc = ClassifyBlock(
+        plan, 0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(base + pos)));
+    if (m > 1) {
+      acc = _mm_and_si128(
+          acc, ClassifyBlock(plan, 1,
+                             _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 base + pos + 1))));
+    }
+    if (m > 2) {
+      acc = _mm_and_si128(
+          acc, ClassifyBlock(plan, 2,
+                             _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 base + pos + 2))));
+    }
+    uint32_t nonzero = 0xFFFFu ^ static_cast<uint32_t>(_mm_movemask_epi8(
+                                     _mm_cmpeq_epi8(acc, _mm_setzero_si128())));
+    if (nonzero != 0) {
+      alignas(16) uint8_t masks[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(masks), acc);
+      while (nonzero != 0) {
+        const unsigned k = static_cast<unsigned>(__builtin_ctz(nonzero));
+        nonzero &= nonzero - 1;
+        const size_t candidate = pos + k;
+        if (candidate > last_candidate) break;  // beyond the final window
+        // The nibble screen over-approximates: re-check the exact byte
+        // masks before paying the memcmp verify.
+        uint32_t mask = masks[k];
+        mask &= plan.byte_mask[0][static_cast<unsigned char>(base[candidate])];
+        if (m > 1) {
+          mask &=
+              plan.byte_mask[1][static_cast<unsigned char>(base[candidate + 1])];
+        }
+        if (m > 2) {
+          mask &=
+              plan.byte_mask[2][static_cast<unsigned char>(base[candidate + 2])];
+        }
+        if (mask == 0) continue;
+        TeddyVerifyCandidate(plan, patterns, hay, candidate, mask, hits);
+      }
+      if (!any_tracked && hits->found_count() == total_patterns) return;
+    }
+    pos += 16;
+  }
+  // Scalar tail for the final partial block.
+  TeddyScanScalar(plan, patterns, hay, pos, total_patterns, any_tracked, hits);
+}
+
+#else  // !defined(__SSSE3__)
+
+bool TeddySimdAvailable() { return false; }
+
+void TeddyScanSimd(const TeddyPlan& plan,
+                   const std::vector<std::string>& patterns,
+                   std::string_view hay, size_t total_patterns,
+                   bool any_tracked, MultiPatternHits* hits) {
+  TeddyScanScalar(plan, patterns, hay, 0, total_patterns, any_tracked, hits);
+}
+
+#endif  // defined(__SSSE3__)
+
+}  // namespace ciao::internal

@@ -11,6 +11,8 @@ constexpr double kEps = 1e-12;
 struct DfsState {
   const PushdownObjective* objective;
   double budget;
+  /// Charged once when the subset becomes non-empty (batched scan base).
+  double base_cost;
   std::vector<uint32_t> current;
   std::vector<uint32_t> best;
   double best_value = -1.0;
@@ -29,7 +31,8 @@ void Dfs(DfsState* st, size_t next, double cost_so_far) {
     st->best_cost = cost_so_far;
   }
   for (size_t i = next; i < st->objective->num_candidates(); ++i) {
-    const double cost = st->objective->candidate(i).cost_us;
+    const double cost = st->objective->candidate(i).cost_us +
+                        (st->current.empty() ? st->base_cost : 0.0);
     if (cost_so_far + cost > st->budget + kEps) continue;
     st->current.push_back(static_cast<uint32_t>(i));
     Dfs(st, i + 1, cost_so_far + cost);
@@ -49,6 +52,7 @@ Result<SelectionResult> ExhaustiveOptimal(PushdownObjective* objective,
   DfsState st;
   st.objective = objective;
   st.budget = options.budget_us;
+  st.base_cost = options.base_cost_us;
   Dfs(&st, 0, 0.0);
 
   SelectionResult result;

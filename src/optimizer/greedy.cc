@@ -27,7 +27,9 @@ SelectionResult GreedyImpl(PushdownObjective* objective,
       const uint32_t id = static_cast<uint32_t>(i);
       if (objective->IsSelected(id)) continue;
       const double cost = objective->candidate(i).cost_us;
-      if (objective->CurrentCost() + cost > options.budget_us + kEps) {
+      // A non-empty selection always carries the base cost exactly once.
+      if (options.base_cost_us + objective->CurrentCost() + cost >
+          options.budget_us + kEps) {
         continue;  // infeasible under the knapsack constraint
       }
       const double gain = objective->MarginalGain(id);
@@ -47,6 +49,7 @@ SelectionResult GreedyImpl(PushdownObjective* objective,
   result.selected = objective->SelectedIds();
   result.objective_value = objective->CurrentValue();
   result.total_cost_us = objective->CurrentCost();
+  if (!result.selected.empty()) result.total_cost_us += options.base_cost_us;
   return result;
 }
 
@@ -110,7 +113,11 @@ SelectionResult LazyGreedyByBenefit(PushdownObjective* objective,
     heap.pop();
     if (objective->IsSelected(top.id)) continue;
     const double cost = objective->candidate(top.id).cost_us;
-    if (objective->CurrentCost() + cost > options.budget_us + kEps) {
+    // The base cost applies to any non-empty selection, so including it
+    // unconditionally keeps the "remaining budget only shrinks" drop
+    // logic valid.
+    if (options.base_cost_us + objective->CurrentCost() + cost >
+        options.budget_us + kEps) {
       // Infeasible at the current budget use; it can never become feasible
       // again (cost is fixed, remaining budget only shrinks) — drop it.
       continue;
@@ -132,6 +139,7 @@ SelectionResult LazyGreedyByBenefit(PushdownObjective* objective,
   result.selected = objective->SelectedIds();
   result.objective_value = objective->CurrentValue();
   result.total_cost_us = objective->CurrentCost();
+  if (!result.selected.empty()) result.total_cost_us += options.base_cost_us;
   return result;
 }
 

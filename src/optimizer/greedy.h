@@ -32,6 +32,12 @@ struct GreedyOptions {
   /// allows even at zero marginal gain; by default we stop instead —
   /// identical f(S), strictly less client cost (DESIGN.md §5).
   bool keep_zero_gain = false;
+  /// Fixed cost charged once when the selection is non-empty (µs per
+  /// record): the batched matcher's shared scan. Candidate costs are then
+  /// marginal verify costs. Zero reproduces the purely additive
+  /// per-pattern knapsack. Selecting anything at all must leave
+  /// base + Σ marginal <= budget.
+  double base_cost_us = 0.0;
 };
 
 /// Algorithm 1: repeatedly add the feasible predicate with the highest

@@ -27,15 +27,20 @@ std::string_view SelectionAlgorithmName(SelectionAlgorithm algorithm) {
 Result<PushdownPlan> SelectPredicates(
     const Workload& workload, const std::vector<ClauseStats>& clause_stats,
     const CostModel& cost_model, double mean_record_len, double budget_us,
-    SelectionAlgorithm algorithm, const GreedyOptions& extra_options) {
+    SelectionAlgorithm algorithm, const GreedyOptions& extra_options,
+    ClientMatcherMode matcher_mode) {
   const std::vector<Clause> distinct = workload.DistinctClauses();
   if (clause_stats.size() != distinct.size()) {
     return Status::InvalidArgument(
         "SelectPredicates: clause_stats size must match DistinctClauses()");
   }
+  const bool batched = matcher_mode == ClientMatcherMode::kBatched;
 
   PushdownPlan plan;
   plan.budget_us = budget_us;
+  plan.matcher_mode = matcher_mode;
+  plan.base_cost_us =
+      batched ? cost_model.BatchedScanBaseUs(mean_record_len) : 0.0;
 
   // Build candidates: distinct clauses supported on the client, with the
   // ids of the queries containing them.
@@ -57,8 +62,10 @@ Result<PushdownPlan> SelectPredicates(
     }
     CIAO_ASSIGN_OR_RETURN(
         cand.cost_us,
-        cost_model.ClauseCostUs(clause, cand.term_selectivities,
-                                mean_record_len));
+        batched ? cost_model.BatchedClauseCostUs(
+                      clause, cand.term_selectivities, mean_record_len)
+                : cost_model.ClauseCostUs(clause, cand.term_selectivities,
+                                          mean_record_len));
     candidate_by_key.emplace(clause.CanonicalKey(),
                              static_cast<uint32_t>(candidates.size()));
     candidates.push_back(std::move(cand));
@@ -83,6 +90,7 @@ Result<PushdownPlan> SelectPredicates(
 
   GreedyOptions options = extra_options;
   options.budget_us = budget_us;
+  options.base_cost_us = plan.base_cost_us;
 
   SelectionResult result;
   switch (algorithm) {
@@ -135,10 +143,17 @@ std::vector<std::string> PushdownPlan::SelectedKeys() const {
 Result<PredicateRegistry> BuildRegistry(const PushdownPlan& plan,
                                         SearchKernel kernel) {
   PredicateRegistry registry;
+  registry.set_matcher_mode(plan.matcher_mode);
+  registry.set_base_cost_us(plan.base_cost_us);
   for (const CandidatePredicate& cand : plan.selected) {
     CIAO_RETURN_IF_ERROR(
         registry.Register(cand.clause, cand.selectivity, cand.cost_us, kernel)
             .status());
+  }
+  if (plan.matcher_mode == ClientMatcherMode::kBatched) {
+    // Compile the shared multi-pattern program once per plan; every
+    // client session/pool thread then reuses the immutable instance.
+    registry.FinalizeBatched();
   }
   return registry;
 }

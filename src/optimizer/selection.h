@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "costmodel/cost_model.h"
+#include "matcher/multi_pattern.h"
 #include "optimizer/greedy.h"
 #include "optimizer/objective.h"
 #include "predicate/predicate.h"
@@ -38,10 +39,17 @@ struct PushdownPlan {
   std::vector<CandidatePredicate> selected;
   /// f(S) of the selection.
   double objective_value = 0.0;
-  /// Σ client cost (µs/record); ≤ budget.
+  /// Total client cost (µs/record); ≤ budget. Per-pattern: Σ cost(p).
+  /// Batched: base_cost_us + Σ marginal cost(p) when non-empty.
   double total_cost_us = 0.0;
   /// Budget it was planned under.
   double budget_us = 0.0;
+  /// Matcher strategy the costs were modeled for.
+  ClientMatcherMode matcher_mode = ClientMatcherMode::kPerPattern;
+  /// Batched mode: the shared scan cost charged once per record; the
+  /// selected candidates' cost_us are then marginal verify costs. Zero in
+  /// per-pattern mode.
+  double base_cost_us = 0.0;
   /// Candidates considered (distinct supported clauses in the workload).
   size_t num_candidates = 0;
   /// Clauses skipped because they cannot run on the client (e.g. ranges).
@@ -65,11 +73,17 @@ struct PushdownPlan {
 /// chosen algorithm under `budget_us`, and reports the plan.
 /// `clause_stats[i]` corresponds to `distinct_clauses[i]` as returned by
 /// Workload::DistinctClauses().
+///
+/// `matcher_mode` picks the client cost shape: per-pattern costs each
+/// clause a full record scan (additive, the paper's model); batched
+/// charges one shared scan (GreedyOptions::base_cost_us) plus a small
+/// marginal cost per clause, so the same budget admits more predicates.
 Result<PushdownPlan> SelectPredicates(
     const Workload& workload, const std::vector<ClauseStats>& clause_stats,
     const CostModel& cost_model, double mean_record_len, double budget_us,
     SelectionAlgorithm algorithm = SelectionAlgorithm::kBestOfBoth,
-    const GreedyOptions& extra_options = {});
+    const GreedyOptions& extra_options = {},
+    ClientMatcherMode matcher_mode = ClientMatcherMode::kPerPattern);
 
 /// Materializes a plan into the predicate hashmap shared by client and
 /// server.

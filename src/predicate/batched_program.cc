@@ -1,0 +1,226 @@
+#include "predicate/batched_program.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace ciao {
+
+BatchedClauseSet BatchedClauseSet::Compile(
+    const std::vector<const RawClauseProgram*>& programs,
+    const MultiPatternMatcher::Options& matcher_options) {
+  BatchedClauseSet set;
+
+  std::vector<std::string> patterns;
+  std::vector<bool> tracked;
+  std::map<std::string, uint32_t> pattern_ids;
+  const auto intern = [&](const std::string& pattern,
+                          bool needs_positions) -> uint32_t {
+    const auto [it, inserted] =
+        pattern_ids.emplace(pattern, static_cast<uint32_t>(patterns.size()));
+    if (inserted) {
+      patterns.push_back(pattern);
+      tracked.push_back(needs_positions);
+    } else if (needs_positions) {
+      // A pattern shared between roles is tracked if any role needs it.
+      tracked[it->second] = true;
+    }
+    return it->second;
+  };
+
+  // Window-group assembly: (key uid, value length) -> group id, and each
+  // group's deduplicated value pattern list.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> group_ids;
+  std::vector<std::vector<std::string>> group_values;
+  std::vector<std::map<std::string, uint32_t>> group_value_ids;
+
+  for (const RawClauseProgram* program : programs) {
+    ClauseEntry entry;
+    entry.term_start = static_cast<uint32_t>(set.terms_.size());
+    for (size_t t = 0; t < program->num_terms(); ++t) {
+      const RawPredicateProgram& raw = program->term(t);
+      const std::vector<std::string> strings = raw.PatternStrings();
+      Term term;
+      if (raw.kind() == PredicateKind::kKeyValueMatch) {
+        const std::string& key = strings[0];
+        const std::string& value = strings[1];
+        if (value.empty()) {
+          // Empty value pattern matches inside any window: the term
+          // reduces to key presence.
+          term.eval = key.empty() ? TermEval::kAlways : TermEval::kPresence;
+          if (!key.empty()) term.primary = intern(key, false);
+        } else if (key.empty()) {
+          // An empty key pattern "occurs" at every offset, including at
+          // any value occurrence v — whose window then starts at v and
+          // ends at the first ',' no earlier than v + len(value). The
+          // check therefore succeeds iff the value occurs at all.
+          term.eval = TermEval::kPresence;
+          term.primary = intern(value, false);
+        } else {
+          term.eval = TermEval::kKeyValue;
+          term.primary = intern(key, true);  // key positions drive windows
+          term.primary_len = static_cast<uint32_t>(key.size());
+          const auto group_key = std::make_pair(
+              term.primary, static_cast<uint32_t>(value.size()));
+          const auto [git, ginserted] = group_ids.emplace(
+              group_key, static_cast<uint32_t>(group_values.size()));
+          if (ginserted) {
+            group_values.emplace_back();
+            group_value_ids.emplace_back();
+          }
+          term.window_group = git->second;
+          auto& values = group_values[term.window_group];
+          auto& value_ids = group_value_ids[term.window_group];
+          const auto [vit, vinserted] = value_ids.emplace(
+              value, static_cast<uint32_t>(values.size()));
+          if (vinserted) values.push_back(value);
+          term.value_local = vit->second;
+        }
+      } else {
+        const std::string& primary = strings[0];
+        term.eval = primary.empty() ? TermEval::kAlways : TermEval::kPresence;
+        if (!primary.empty()) term.primary = intern(primary, false);
+      }
+      set.terms_.push_back(term);
+    }
+    entry.term_end = static_cast<uint32_t>(set.terms_.size());
+    set.clauses_.push_back(entry);
+  }
+
+  // Specialize single-term clauses into the flat reduction lists.
+  for (uint32_t c = 0; c < set.clauses_.size(); ++c) {
+    const ClauseEntry& clause = set.clauses_[c];
+    if (clause.term_end - clause.term_start != 1) {
+      set.general_clauses_.push_back(c);
+      continue;
+    }
+    const Term& term = set.terms_[clause.term_start];
+    switch (term.eval) {
+      case TermEval::kAlways:
+        set.always_clauses_.push_back(c);
+        break;
+      case TermEval::kPresence:
+        set.presence_clauses_.push_back({c, term.primary});
+        break;
+      case TermEval::kKeyValue:
+        set.kv_clauses_.push_back(
+            {c, term.primary, term.window_group, term.value_local});
+        break;
+    }
+  }
+
+  set.matcher_ = MultiPatternMatcher::Build(std::move(patterns),
+                                            std::move(tracked),
+                                            matcher_options);
+  set.groups_.resize(group_values.size());
+  for (const auto& [group_key, gid] : group_ids) {
+    WindowGroup& group = set.groups_[gid];
+    group.key_uid = group_key.first;
+    group.key_len = static_cast<uint32_t>(
+        set.matcher_.pattern(group_key.first).size());
+    group.value_len = group_key.second;
+    group.values = MultiPatternMatcher::Build(std::move(group_values[gid]),
+                                              {}, matcher_options);
+  }
+  return set;
+}
+
+BatchedClauseSet::Scratch BatchedClauseSet::MakeScratch() const {
+  Scratch scratch;
+  scratch.hits = matcher_.MakeHits();
+  scratch.clause_matched.assign(clauses_.size(), 0);
+  scratch.group_computed.assign(groups_.size(), 0);
+  scratch.group_hits.reserve(groups_.size());
+  scratch.group_accum.reserve(groups_.size());
+  for (const WindowGroup& group : groups_) {
+    scratch.group_hits.push_back(group.values.MakeHits());
+    scratch.group_accum.emplace_back(
+        (group.values.num_patterns() + 63) / 64, 0);
+  }
+  return scratch;
+}
+
+void BatchedClauseSet::ComputeWindowGroup(std::string_view record,
+                                          uint32_t gid,
+                                          Scratch* scratch) const {
+  const WindowGroup& group = groups_[gid];
+  std::vector<uint64_t>& accum = scratch->group_accum[gid];
+  std::fill(accum.begin(), accum.end(), 0);
+  // One window per key occurrence: from the end of the key pattern to the
+  // next ',' at or after room for the value (so a comma inside a matched
+  // value cannot truncate it) — exactly RawPredicateProgram's windows.
+  for (const uint32_t key_pos : scratch->hits.Positions(group.key_uid)) {
+    const size_t value_start = key_pos + group.key_len;
+    const size_t scan_from =
+        std::min(record.size(), value_start + group.value_len);
+    size_t window_end = record.find(',', scan_from);
+    if (window_end == std::string_view::npos) window_end = record.size();
+    group.values.Scan(record.substr(value_start, window_end - value_start),
+                      &scratch->group_hits[gid]);
+    const std::vector<uint64_t>& words =
+        scratch->group_hits[gid].found_words();
+    for (size_t w = 0; w < words.size(); ++w) accum[w] |= words[w];
+  }
+  scratch->group_computed[gid] = 1;
+}
+
+void BatchedClauseSet::EvaluateRecord(std::string_view record,
+                                      Scratch* scratch) const {
+  matcher_.Scan(record, &scratch->hits);
+  if (!scratch->group_computed.empty()) {
+    std::fill(scratch->group_computed.begin(),
+              scratch->group_computed.end(), 0);
+  }
+  const MultiPatternHits& hits = scratch->hits;
+  uint8_t* matched_out = scratch->clause_matched.data();
+
+  for (const uint32_t c : always_clauses_) matched_out[c] = 1;
+  for (const PresenceClause& pc : presence_clauses_) {
+    matched_out[pc.clause] = hits.Contains(pc.pid) ? 1 : 0;
+  }
+  for (const KvClause& kc : kv_clauses_) {
+    if (!hits.Contains(kc.key_pid)) {
+      matched_out[kc.clause] = 0;
+      continue;
+    }
+    if (!scratch->group_computed[kc.window_group]) {
+      ComputeWindowGroup(record, kc.window_group, scratch);
+    }
+    const std::vector<uint64_t>& accum = scratch->group_accum[kc.window_group];
+    matched_out[kc.clause] =
+        (accum[kc.value_local >> 6] >> (kc.value_local & 63)) & 1;
+  }
+
+  for (const uint32_t c : general_clauses_) {
+    const ClauseEntry& clause = clauses_[c];
+    bool matched = false;
+    for (uint32_t t = clause.term_start; t < clause.term_end && !matched;
+         ++t) {
+      const Term& term = terms_[t];
+      switch (term.eval) {
+        case TermEval::kAlways:
+          matched = true;
+          break;
+        case TermEval::kPresence:
+          matched = hits.Contains(term.primary);
+          break;
+        case TermEval::kKeyValue: {
+          if (!hits.Contains(term.primary)) break;
+          if (!scratch->group_computed[term.window_group]) {
+            ComputeWindowGroup(record, term.window_group, scratch);
+          }
+          const std::vector<uint64_t>& accum =
+              scratch->group_accum[term.window_group];
+          matched = (accum[term.value_local >> 6] >>
+                     (term.value_local & 63)) &
+                    1;
+          break;
+        }
+      }
+    }
+    matched_out[c] = matched ? 1 : 0;
+  }
+}
+
+}  // namespace ciao

@@ -1,0 +1,127 @@
+#ifndef CIAO_PREDICATE_BATCHED_PROGRAM_H_
+#define CIAO_PREDICATE_BATCHED_PROGRAM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "matcher/multi_pattern.h"
+#include "predicate/pattern_compiler.h"
+
+namespace ciao {
+
+/// A set of pushed clauses compiled for batched evaluation: every term's
+/// pattern strings (deduplicated) go into one MultiPatternMatcher, so one
+/// scan of the raw record answers "which patterns occur where" for the
+/// whole pushdown set; a pattern -> (clause, term, role) table then
+/// reduces the hits back to per-clause booleans with semantics *identical*
+/// to evaluating each RawClauseProgram independently (the differential
+/// tests pin this).
+///
+/// Key-value terms keep their ordered `"key":`-then-value occurrence
+/// check, but restructured for batching: the global matcher records the
+/// *key* occurrences, and the value patterns of all terms sharing a
+/// (key, value-length) pair form a private window matcher that scans just
+/// the bytes between the key and the next delimiter — once per key
+/// occurrence per record, regardless of how many values are pushed. The
+/// short numeric value patterns therefore never pollute the global scan.
+///
+/// Immutable after Compile and self-contained (pattern bytes are copied
+/// in), so one instance is safely shared by every client thread; per-scan
+/// state lives in the caller's Scratch.
+class BatchedClauseSet {
+ public:
+  /// Per-thread evaluation buffer.
+  struct Scratch {
+    MultiPatternHits hits;
+    /// One byte per clause: 1 iff the clause matched the last record.
+    std::vector<uint8_t> clause_matched;
+    /// Lazy per-record window-group state (see WindowGroup).
+    std::vector<uint8_t> group_computed;
+    std::vector<MultiPatternHits> group_hits;
+    std::vector<std::vector<uint64_t>> group_accum;
+  };
+
+  BatchedClauseSet() = default;
+
+  /// Compiles the clause programs, in order; `clause_matched[i]`
+  /// corresponds to `programs[i]`. The programs are only read during
+  /// Compile (pattern strings and term kinds) — no pointers are retained.
+  static BatchedClauseSet Compile(
+      const std::vector<const RawClauseProgram*>& programs,
+      const MultiPatternMatcher::Options& matcher_options = {});
+
+  size_t num_clauses() const { return clauses_.size(); }
+  const MultiPatternMatcher& matcher() const { return matcher_; }
+  size_t num_window_groups() const { return groups_.size(); }
+
+  Scratch MakeScratch() const;
+
+  /// Scans `record` once and evaluates every clause into
+  /// `scratch->clause_matched`.
+  void EvaluateRecord(std::string_view record, Scratch* scratch) const;
+
+ private:
+  /// How a term reduces pattern hits to a boolean.
+  enum class TermEval : uint8_t {
+    kAlways,    // empty pattern: matches every record
+    kPresence,  // primary pattern occurs anywhere
+    kKeyValue,  // ordered key-then-value-in-window check
+  };
+  struct Term {
+    TermEval eval = TermEval::kAlways;
+    /// Global pattern id (the key pattern for kKeyValue).
+    uint32_t primary = 0;
+    uint32_t primary_len = 0;
+    /// kKeyValue: which window group and which value bit inside it.
+    uint32_t window_group = 0;
+    uint32_t value_local = 0;
+  };
+  struct ClauseEntry {
+    uint32_t term_start = 0;
+    uint32_t term_end = 0;
+  };
+  /// All value patterns pushed against one (key pattern, value length)
+  /// pair, compiled into a private matcher that scans only each key
+  /// occurrence's bounded value window. The window end depends on the
+  /// value length (the delimiter scan starts past room for the value, so
+  /// a comma inside the matched value cannot truncate it) — hence the
+  /// per-length grouping.
+  struct WindowGroup {
+    uint32_t key_uid = 0;
+    uint32_t key_len = 0;
+    uint32_t value_len = 0;
+    MultiPatternMatcher values;
+  };
+
+  void ComputeWindowGroup(std::string_view record, uint32_t gid,
+                          Scratch* scratch) const;
+
+  std::vector<Term> terms_;
+  std::vector<ClauseEntry> clauses_;
+  std::vector<WindowGroup> groups_;
+  MultiPatternMatcher matcher_;
+
+  /// Most pushed clauses are single-term; they are pre-sorted into flat
+  /// specialized lists so the per-record reduction is a tight loop of bit
+  /// tests instead of a term-range walk with a switch. Clauses with
+  /// several terms (or constant-true ones) stay on the general path.
+  struct PresenceClause {
+    uint32_t clause = 0;
+    uint32_t pid = 0;
+  };
+  struct KvClause {
+    uint32_t clause = 0;
+    uint32_t key_pid = 0;
+    uint32_t window_group = 0;
+    uint32_t value_local = 0;
+  };
+  std::vector<PresenceClause> presence_clauses_;
+  std::vector<KvClause> kv_clauses_;
+  std::vector<uint32_t> always_clauses_;
+  std::vector<uint32_t> general_clauses_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_PREDICATE_BATCHED_PROGRAM_H_

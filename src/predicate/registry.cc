@@ -22,6 +22,9 @@ Result<uint32_t> PredicateRegistry::Register(const Clause& clause,
   const uint32_t id = entry.id;
   predicates_.push_back(std::move(entry));
   by_key_.emplace(key, id);
+  // Any previously finalized batched program no longer covers this
+  // clause; drop it so stale copies cannot be handed out.
+  batched_.reset();
   return id;
 }
 
@@ -40,6 +43,16 @@ std::vector<uint32_t> PredicateRegistry::PushedDownIds(
     if (p != nullptr) ids.push_back(p->id);
   }
   return ids;
+}
+
+void PredicateRegistry::FinalizeBatched() {
+  std::vector<const RawClauseProgram*> programs;
+  programs.reserve(predicates_.size());
+  for (const RegisteredPredicate& p : predicates_) {
+    programs.push_back(&p.program);
+  }
+  batched_ = std::make_shared<const BatchedClauseSet>(
+      BatchedClauseSet::Compile(programs));
 }
 
 double PredicateRegistry::TotalCostUs() const {

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "matcher/multi_pattern.h"
+#include "predicate/batched_program.h"
 #include "predicate/pattern_compiler.h"
 #include "predicate/predicate.h"
 
@@ -67,9 +70,34 @@ class PredicateRegistry {
     return predicates_;
   }
 
+  /// How clients evaluate this registry's predicates (config knob
+  /// `client.matcher`). Set by BuildRegistry from the plan; batched by
+  /// default so directly-constructed test registries exercise the batched
+  /// path too.
+  ClientMatcherMode matcher_mode() const { return matcher_mode_; }
+  void set_matcher_mode(ClientMatcherMode mode) { matcher_mode_ = mode; }
+
+  /// Shared per-record cost (µs) of the batched matcher's single scan —
+  /// paid once per record regardless of how many predicates are pushed.
+  /// Zero for per-pattern registries, whose costs stay purely additive.
+  double base_cost_us() const { return base_cost_us_; }
+  void set_base_cost_us(double base) { base_cost_us_ = base; }
+
+  /// Compiles (and caches) the batched program over all registered
+  /// clauses. Call once after the last Register; clients then share the
+  /// immutable program instead of each compiling their own. Safe to skip
+  /// — ClientFilter compiles a private copy when absent.
+  void FinalizeBatched();
+
+  /// The shared batched program, or nullptr before FinalizeBatched.
+  std::shared_ptr<const BatchedClauseSet> batched() const { return batched_; }
+
  private:
   std::vector<RegisteredPredicate> predicates_;
   std::map<std::string, uint32_t> by_key_;
+  ClientMatcherMode matcher_mode_ = ClientMatcherMode::kBatched;
+  double base_cost_us_ = 0.0;
+  std::shared_ptr<const BatchedClauseSet> batched_;
 };
 
 }  // namespace ciao

@@ -63,6 +63,70 @@ TEST(CostModelTest, LongerRecordsCostMore) {
             model.SimplePredicateCostUs(p, 0.1, 100.0));
 }
 
+// ---------- Batched cost shape ----------
+
+TEST(CostModelTest, BatchedScanBaseFormula) {
+  CostModelCoefficients k{0.01, 0.001, 0.02, 0.002, 0.5};
+  CostModel model(k);
+  EXPECT_NEAR(model.BatchedScanBaseUs(200.0), 0.002 * 200.0 + 0.5, 1e-12);
+}
+
+TEST(CostModelTest, BatchedMarginalIndependentOfRecordLength) {
+  CostModel model = CostModel::Default();
+  const SimplePredicate p = SimplePredicate::Substring("text", "needle");
+  EXPECT_DOUBLE_EQ(model.BatchedMarginalPredicateCostUs(p, 0.1, 100.0),
+                   model.BatchedMarginalPredicateCostUs(p, 0.1, 2000.0));
+}
+
+TEST(CostModelTest, BatchedClauseCostIsSumOfMarginals) {
+  CostModel model = CostModel::Default();
+  Clause disj = Clause::Or({SimplePredicate::Exact("name", "Bob"),
+                            SimplePredicate::KeyValue("age", 10)});
+  const double t0 = model.BatchedMarginalPredicateCostUs(disj.terms[0], 0.1,
+                                                         300.0);
+  const double t1 = model.BatchedMarginalPredicateCostUs(disj.terms[1], 0.2,
+                                                         300.0);
+  auto total = model.BatchedClauseCostUs(disj, {0.1, 0.2}, 300.0);
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(*total, t0 + t1, 1e-12);
+  EXPECT_FALSE(model.BatchedClauseCostUs(disj, {0.1}, 300.0).ok());
+}
+
+TEST(CostModelTest, BatchedBeatsAdditiveOncePatternsAccumulate) {
+  // For realistic record lengths the additive model charges a full scan
+  // per predicate; batched charges it once. Four predicates over 500-byte
+  // records must already favor batching.
+  CostModel model = CostModel::Default();
+  const double len_t = 500.0;
+  std::vector<SimplePredicate> preds = {
+      SimplePredicate::Substring("a", "alpha"),
+      SimplePredicate::Exact("b", "beta"),
+      SimplePredicate::Presence("c"),
+      SimplePredicate::KeyValue("d", 7),
+  };
+  double additive = 0.0, marginal = 0.0;
+  for (const SimplePredicate& p : preds) {
+    additive += model.SimplePredicateCostUs(p, 0.3, len_t);
+    marginal += model.BatchedMarginalPredicateCostUs(p, 0.3, len_t);
+  }
+  EXPECT_LT(model.BatchedScanBaseUs(len_t) + marginal, additive);
+}
+
+TEST(RuntimeLogTest, BatchedAggregateChargesFullPerRecordCost) {
+  RuntimeObservationLog log;
+  // 1000 records, 0.002s, 4 predicates of 40 total pattern bytes.
+  log.AddBatchedPrefilterAggregate(1000, 0.002, 4, 40.0, 0.5, 300.0);
+  const auto obs = log.Snapshot();
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs[0].measured_us, 2.0);  // NOT divided by 4
+  EXPECT_DOUBLE_EQ(obs[0].len_p, 40.0);       // total pattern bytes
+  EXPECT_DOUBLE_EQ(obs[0].len_t, 300.0);
+  // Degenerate inputs are dropped, as in the per-pattern variant.
+  log.AddBatchedPrefilterAggregate(0, 0.002, 4, 40.0, 0.5, 300.0);
+  log.AddBatchedPrefilterAggregate(1000, 0.002, 0, 40.0, 0.5, 300.0);
+  EXPECT_EQ(log.size(), 1u);
+}
+
 // ---------- Regression ----------
 
 TEST(RegressionTest, RecoversExactCoefficients) {

@@ -54,6 +54,40 @@ TEST_P(KernelTest, OverlappingPatterns) {
   EXPECT_EQ(FindWith("ababab", "abab", 1), 2u);
 }
 
+// Degenerate needles across every kernel: empty, 1-byte, and needles
+// longer than the haystack must all follow find() exactly (FindSwar once
+// routed 1-byte needles through its two-byte probe setup).
+TEST_P(KernelTest, DegenerateNeedles) {
+  // 1-byte needles, including hay edges and from-offsets.
+  EXPECT_EQ(FindWith("abc", "a"), 0u);
+  EXPECT_EQ(FindWith("abc", "c"), 2u);
+  EXPECT_EQ(FindWith("abc", "b", 1), 1u);
+  EXPECT_EQ(FindWith("abc", "b", 2), std::string_view::npos);
+  EXPECT_EQ(FindWith("", "a"), std::string_view::npos);
+  EXPECT_EQ(FindWith("x", "x"), 0u);
+  // Empty needle at every from (clamped at hay.size()).
+  EXPECT_EQ(FindWith("", ""), 0u);
+  EXPECT_EQ(FindWith("ab", "", 2), 2u);
+  EXPECT_EQ(FindWith("ab", "", 3), std::string_view::npos);
+  // Needle longer than the hay (and longer than the remaining suffix).
+  EXPECT_EQ(FindWith("ab", "abc"), std::string_view::npos);
+  EXPECT_EQ(FindWith("", "abc"), std::string_view::npos);
+  EXPECT_EQ(FindWith("abcdef", "cdefgh", 2), std::string_view::npos);
+}
+
+// The degenerate routing applies to both SWAR entry points directly.
+TEST(SwarKernelTest, DegenerateNeedlesRouteToMemchr) {
+  for (auto* fn : {&FindSwar, &FindSwarFallback}) {
+    EXPECT_EQ((*fn)("hello", "l", 0), 2u);
+    EXPECT_EQ((*fn)("hello", "l", 3), 3u);
+    EXPECT_EQ((*fn)("hello", "z", 0), std::string_view::npos);
+    EXPECT_EQ((*fn)("hello", "", 0), 0u);
+    EXPECT_EQ((*fn)("hello", "", 5), 5u);
+    EXPECT_EQ((*fn)("hello", "", 6), std::string_view::npos);
+    EXPECT_EQ((*fn)("hi", "high", 0), std::string_view::npos);
+  }
+}
+
 TEST_P(KernelTest, MatchAtEnd) {
   EXPECT_EQ(FindWith("xxxyz", "yz"), 3u);
   EXPECT_EQ(FindWith("xyz", "xyz"), 0u);

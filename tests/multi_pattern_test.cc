@@ -1,0 +1,465 @@
+// Differential + fuzz suite for the batched multi-pattern matcher: every
+// engine (Teddy SIMD/scalar, Aho–Corasick) is pinned to the
+// std::string_view::find oracle, and the batched clause evaluator / client
+// filter are pinned to the per-pattern RawClauseProgram oracle on
+// winlog/yelp/ycsb-shaped records. The shared-matcher tests run under the
+// CI TSan job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client_filter.h"
+#include "client/client_session.h"
+#include "common/random.h"
+#include "matcher/multi_pattern.h"
+#include "predicate/batched_program.h"
+#include "predicate/registry.h"
+#include "workload/dataset.h"
+#include "workload/templates.h"
+
+namespace ciao {
+namespace {
+
+using Force = MultiPatternOptions::Force;
+
+bool OracleFound(std::string_view hay, std::string_view pattern) {
+  return hay.find(pattern) != std::string_view::npos;
+}
+
+std::vector<uint32_t> OraclePositions(std::string_view hay,
+                                      std::string_view pattern) {
+  std::vector<uint32_t> positions;
+  size_t pos = hay.find(pattern);
+  while (pos != std::string_view::npos) {
+    positions.push_back(static_cast<uint32_t>(pos));
+    if (pos + 1 > hay.size()) break;
+    pos = hay.find(pattern, pos + 1);
+  }
+  return positions;
+}
+
+/// Scans `hay` with every engine and checks presence (and positions, when
+/// tracked) of every pattern against the oracle.
+void ExpectMatchesOracle(const std::vector<std::string>& patterns,
+                         std::string_view hay, bool track) {
+  for (const Force force :
+       {Force::kAuto, Force::kTeddy, Force::kAhoCorasick}) {
+    MultiPatternOptions options;
+    options.force = force;
+    const MultiPatternMatcher matcher = MultiPatternMatcher::Build(
+        patterns, std::vector<bool>(patterns.size(), track), options);
+    MultiPatternHits hits = matcher.MakeHits();
+    matcher.Scan(hay, &hits);
+    for (uint32_t i = 0; i < patterns.size(); ++i) {
+      EXPECT_EQ(hits.Contains(i), OracleFound(hay, patterns[i]))
+          << "engine=" << matcher.engine_name() << " pattern=" << patterns[i]
+          << " hay=" << hay;
+      if (track) {
+        EXPECT_EQ(hits.Positions(i), OraclePositions(hay, patterns[i]))
+            << "engine=" << matcher.engine_name()
+            << " pattern=" << patterns[i] << " hay=" << hay;
+      }
+    }
+  }
+}
+
+TEST(MultiPatternTest, BasicPresence) {
+  const std::vector<std::string> patterns = {"abc", "bcd", "zz", "abcd"};
+  ExpectMatchesOracle(patterns, "xxabcdyy", /*track=*/false);
+  ExpectMatchesOracle(patterns, "xxabcdyy", /*track=*/true);
+  ExpectMatchesOracle(patterns, "", /*track=*/true);
+  ExpectMatchesOracle(patterns, "zzz", /*track=*/true);
+}
+
+TEST(MultiPatternTest, EngineSelectionHeuristic) {
+  const auto engine = [](std::vector<std::string> patterns) {
+    return MultiPatternMatcher::Build(std::move(patterns)).engine();
+  };
+  // Small set, all length >= 2: Teddy.
+  EXPECT_EQ(engine({"abc", "de"}), MultiPatternMatcher::Engine::kTeddy);
+  // A 1-byte pattern forces the DFA.
+  EXPECT_EQ(engine({"abc", "d"}), MultiPatternMatcher::Engine::kAhoCorasick);
+  // > 64 patterns overflow the Teddy buckets into Aho–Corasick.
+  std::vector<std::string> many;
+  for (int i = 0; i < 65; ++i) many.push_back("pat" + std::to_string(i));
+  EXPECT_EQ(engine(many), MultiPatternMatcher::Engine::kAhoCorasick);
+  // No non-empty patterns: nothing to scan.
+  EXPECT_EQ(engine({""}), MultiPatternMatcher::Engine::kNone);
+  // Force overrides the heuristic.
+  MultiPatternOptions force_teddy;
+  force_teddy.force = Force::kTeddy;
+  EXPECT_EQ(MultiPatternMatcher::Build({"a", "b"}, {}, force_teddy).engine(),
+            MultiPatternMatcher::Engine::kTeddy);
+}
+
+TEST(MultiPatternTest, EmptyPatternMatchesEverywhere) {
+  const std::vector<std::string> patterns = {"", "ab"};
+  MultiPatternMatcher matcher =
+      MultiPatternMatcher::Build(patterns, {true, true});
+  MultiPatternHits hits = matcher.MakeHits();
+  matcher.Scan("xaby", &hits);
+  EXPECT_TRUE(hits.Contains(0));
+  EXPECT_EQ(hits.Positions(0), (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(hits.Positions(1), (std::vector<uint32_t>{1}));
+}
+
+// Patterns covering all 256 byte values: the byte-class table has no
+// spare "unused" class, which once wrapped the 256th class id to 0 and
+// silently dropped that byte's patterns.
+TEST(MultiPatternTest, AllByteValuesUsedByPatterns) {
+  std::vector<std::string> patterns;
+  for (int b = 0; b < 256; b += 4) {
+    std::string p;
+    for (int i = 0; i < 4; ++i) p.push_back(static_cast<char>(b + i));
+    patterns.push_back(std::move(p));
+  }
+  std::string hay;
+  for (int b = 255; b >= 0; --b) hay.push_back(static_cast<char>(b));
+  for (int b = 0; b < 256; ++b) hay.push_back(static_cast<char>(b));
+  ExpectMatchesOracle(patterns, hay, /*track=*/true);
+}
+
+TEST(MultiPatternTest, BinarySafety) {
+  const std::string nul_pattern("\0c", 2);
+  const std::string hay("a\0b\0c\xFF", 6);
+  ExpectMatchesOracle({nul_pattern, std::string("\xFF"), "b"}, hay,
+                      /*track=*/true);
+}
+
+// Structured fuzz: overlapping patterns, shared prefixes, patterns that
+// are substrings of each other, 1-byte patterns, and sets past the Teddy
+// bucket capacity — every engine against the find() oracle.
+TEST(MultiPatternTest, FuzzAgainstFindOracle) {
+  Rng rng(0xC1A0);
+  for (int iter = 0; iter < 120; ++iter) {
+    // Small alphabet maximizes accidental overlap.
+    const size_t hay_len = rng.NextBounded(140);
+    std::string hay;
+    for (size_t i = 0; i < hay_len; ++i) {
+      hay.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+    }
+
+    std::vector<std::string> patterns;
+    const size_t base_count = 2 + rng.NextBounded(iter % 10 == 0 ? 70 : 12);
+    for (size_t p = 0; p < base_count; ++p) {
+      std::string pattern;
+      if (rng.NextBool(0.5) && !hay.empty()) {
+        const size_t len = 1 + rng.NextBounded(10);
+        const size_t start = rng.NextBounded(hay.size());
+        pattern = hay.substr(start, len);  // true substring
+      } else {
+        const size_t len = 1 + rng.NextBounded(8);
+        for (size_t i = 0; i < len; ++i) {
+          pattern.push_back(static_cast<char>('a' + rng.NextBounded(5)));
+        }
+      }
+      patterns.push_back(pattern);
+      // Derived patterns: shared prefix, own prefix (substring-of-each-
+      // other pairs), and the occasional 1-byte pattern.
+      if (rng.NextBool(0.3)) patterns.push_back(pattern + "a");
+      if (rng.NextBool(0.3) && pattern.size() > 1) {
+        patterns.push_back(pattern.substr(0, pattern.size() - 1));
+      }
+      if (rng.NextBool(0.15)) patterns.push_back(pattern.substr(0, 1));
+    }
+
+    ExpectMatchesOracle(patterns, hay, /*track=*/rng.NextBool(0.5));
+  }
+}
+
+// ---------- Batched clause evaluation vs the per-pattern oracle ----------
+
+/// Sampled template clauses of a dataset (every stride-th candidate keeps
+/// runtime down while covering all templates).
+std::vector<Clause> SampledClauses(workload::DatasetKind kind,
+                                   size_t stride) {
+  const std::vector<Clause> all =
+      workload::TemplatesFor(kind).AllCandidates();
+  std::vector<Clause> sampled;
+  for (size_t i = 0; i < all.size(); i += stride) sampled.push_back(all[i]);
+  return sampled;
+}
+
+TEST(BatchedClauseSetTest, DifferentialOnAllDatasets) {
+  for (const auto kind :
+       {workload::DatasetKind::kWinLog, workload::DatasetKind::kYelp,
+        workload::DatasetKind::kYcsb}) {
+    workload::GeneratorOptions gen;
+    gen.num_records = 200;
+    gen.seed = 29;
+    const workload::Dataset ds = workload::GenerateDataset(kind, gen);
+    const std::vector<Clause> clauses = SampledClauses(kind, 7);
+
+    std::vector<RawClauseProgram> programs;
+    std::vector<const RawClauseProgram*> pointers;
+    for (const Clause& clause : clauses) {
+      auto program = RawClauseProgram::Compile(clause);
+      ASSERT_TRUE(program.ok());
+      programs.push_back(std::move(*program));
+    }
+    for (const RawClauseProgram& program : programs) {
+      pointers.push_back(&program);
+    }
+
+    for (const Force force :
+         {Force::kAuto, Force::kTeddy, Force::kAhoCorasick}) {
+      MultiPatternOptions options;
+      options.force = force;
+      const BatchedClauseSet set = BatchedClauseSet::Compile(pointers, options);
+      BatchedClauseSet::Scratch scratch = set.MakeScratch();
+      for (const std::string& record : ds.records) {
+        set.EvaluateRecord(record, &scratch);
+        for (size_t c = 0; c < programs.size(); ++c) {
+          EXPECT_EQ(scratch.clause_matched[c] != 0,
+                    programs[c].Matches(record))
+              << "dataset=" << workload::DatasetKindName(kind)
+              << " engine=" << set.matcher().engine_name()
+              << " clause=" << clauses[c].ToSql() << " record=" << record;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedClauseSetTest, KeyValueOrderedCheckEdgeCases) {
+  // Hand-built records exercising the ordered key-then-value window:
+  // key patterns inside longer keys, the value string occurring before
+  // the key, values past the window's comma, and repeated keys.
+  const std::vector<Clause> clauses = {
+      Clause::Of(SimplePredicate::KeyValue("score", 5)),
+      Clause::Of(SimplePredicate::KeyValue("a", 12)),
+      Clause::Of(SimplePredicate::KeyValue("flag", true)),
+      Clause::Or({SimplePredicate::KeyValue("a", 1),
+                  SimplePredicate::Substring("text", "5")}),
+  };
+  const std::vector<std::string> records = {
+      R"({"linear_score":5,"score":7})",   // 5 belongs to the other key
+      R"({"score":5})",
+      R"({"score":75})",                   // 5 inside a longer number
+      R"({"a":12,"b":1})",
+      R"({"b":12,"a":1})",                 // value elsewhere, key miss
+      R"({"a":1,"a":12})",                 // repeated key, second matches
+      R"({"text":"12,5","a":3})",          // comma inside a string value
+      R"({"flag":true,"score":5})",
+      R"({"flag":false})",
+  };
+
+  std::vector<RawClauseProgram> programs;
+  std::vector<const RawClauseProgram*> pointers;
+  for (const Clause& clause : clauses) {
+    auto program = RawClauseProgram::Compile(clause);
+    ASSERT_TRUE(program.ok());
+    programs.push_back(std::move(*program));
+  }
+  for (const RawClauseProgram& program : programs) pointers.push_back(&program);
+
+  for (const Force force :
+       {Force::kAuto, Force::kTeddy, Force::kAhoCorasick}) {
+    MultiPatternOptions options;
+    options.force = force;
+    const BatchedClauseSet set = BatchedClauseSet::Compile(pointers, options);
+    BatchedClauseSet::Scratch scratch = set.MakeScratch();
+    for (const std::string& record : records) {
+      set.EvaluateRecord(record, &scratch);
+      for (size_t c = 0; c < programs.size(); ++c) {
+        EXPECT_EQ(scratch.clause_matched[c] != 0, programs[c].Matches(record))
+            << "engine=" << set.matcher().engine_name()
+            << " clause=" << clauses[c].ToSql() << " record=" << record;
+      }
+    }
+  }
+}
+
+// ---------- ClientFilter: batched vs per-pattern bitvectors ----------
+
+TEST(ClientFilterBatchedTest, BitvectorsIdenticalToPerPatternOracle) {
+  for (const auto kind :
+       {workload::DatasetKind::kWinLog, workload::DatasetKind::kYelp,
+        workload::DatasetKind::kYcsb}) {
+    workload::GeneratorOptions gen;
+    gen.num_records = 300;
+    gen.seed = 31;
+    const workload::Dataset ds = workload::GenerateDataset(kind, gen);
+    const std::vector<Clause> clauses = SampledClauses(kind, 9);
+
+    PredicateRegistry registry;
+    for (const Clause& clause : clauses) {
+      ASSERT_TRUE(
+          registry.Register(clause, 0.5, 1.0, SearchKernel::kSwar).ok());
+    }
+    registry.FinalizeBatched();
+
+    const json::JsonChunk chunk =
+        ClientSession::BuildChunk(ds.records, 0, ds.records.size());
+    PrefilterStats batched_stats, oracle_stats;
+    const ClientFilter batched(&registry, ClientMatcherMode::kBatched);
+    const ClientFilter oracle(&registry, ClientMatcherMode::kPerPattern);
+    EXPECT_TRUE(batched.Evaluate(chunk, &batched_stats) ==
+                oracle.Evaluate(chunk, &oracle_stats))
+        << "dataset=" << workload::DatasetKindName(kind);
+
+    // A full-size but PERMUTED ids vector must not alias the registry's
+    // shared (registry-ordered) program: vector p must hold ids[p]'s
+    // matches, not predicate p's.
+    std::vector<uint32_t> permuted;
+    for (uint32_t id = 0; id < registry.size(); ++id) permuted.push_back(id);
+    std::reverse(permuted.begin(), permuted.end());
+    PrefilterStats permuted_stats, permuted_oracle_stats;
+    const ClientFilter batched_permuted(&registry, permuted,
+                                        ClientMatcherMode::kBatched);
+    const ClientFilter oracle_permuted(&registry, permuted,
+                                       ClientMatcherMode::kPerPattern);
+    EXPECT_TRUE(batched_permuted.Evaluate(chunk, &permuted_stats) ==
+                oracle_permuted.Evaluate(chunk, &permuted_oracle_stats))
+        << "dataset=" << workload::DatasetKindName(kind);
+
+    // Subset filters (budget-limited clients) take the private-compile
+    // path; results must match the oracle's subset too.
+    std::vector<uint32_t> subset;
+    for (uint32_t id = 0; id < registry.size(); id += 2) subset.push_back(id);
+    PrefilterStats subset_stats, subset_oracle_stats;
+    const ClientFilter batched_subset(&registry, subset,
+                                      ClientMatcherMode::kBatched);
+    const ClientFilter oracle_subset(&registry, subset,
+                                     ClientMatcherMode::kPerPattern);
+    EXPECT_TRUE(batched_subset.Evaluate(chunk, &subset_stats) ==
+                oracle_subset.Evaluate(chunk, &subset_oracle_stats))
+        << "dataset=" << workload::DatasetKindName(kind);
+  }
+}
+
+TEST(ClientFilterBatchedTest, ExpectedCostReportsBatchedEstimate) {
+  PredicateRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register(Clause::Of(SimplePredicate::Substring(
+                                "info", "op_00")),
+                            0.3, /*cost_us=*/0.5)
+                  .ok());
+  ASSERT_TRUE(registry
+                  .Register(Clause::Of(SimplePredicate::Substring(
+                                "info", "op_01")),
+                            0.2, /*cost_us=*/0.7)
+                  .ok());
+  registry.set_base_cost_us(2.0);
+
+  const ClientFilter per_pattern(&registry, ClientMatcherMode::kPerPattern);
+  EXPECT_DOUBLE_EQ(per_pattern.ExpectedCostUs(), 1.2);  // additive only
+  const ClientFilter batched(&registry, ClientMatcherMode::kBatched);
+  EXPECT_DOUBLE_EQ(batched.ExpectedCostUs(), 3.2);  // base charged once
+
+  // An idle batched client (no ids) pays nothing.
+  const ClientFilter idle(&registry, std::vector<uint32_t>{},
+                          ClientMatcherMode::kBatched);
+  EXPECT_DOUBLE_EQ(idle.ExpectedCostUs(), 0.0);
+}
+
+// ---------- Concurrency (run under the CI TSan job) ----------
+
+// One immutable matcher shared by many scanning threads, each with its
+// own MultiPatternHits — the sharing contract of the batched client pool.
+TEST(MultiPatternConcurrencyTest, SharedMatcherIsThreadSafe) {
+  Rng rng(0xF00D);
+  std::vector<std::string> haystacks;
+  for (int i = 0; i < 24; ++i) {
+    std::string hay;
+    for (int w = 0; w < 30; ++w) {
+      hay += rng.NextIdentifier(static_cast<int>(rng.NextInt(2, 8)));
+      hay += ' ';
+    }
+    haystacks.push_back(std::move(hay));
+  }
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 20; ++i) {
+    const std::string& hay = haystacks[rng.NextBounded(haystacks.size())];
+    const size_t len = static_cast<size_t>(rng.NextInt(2, 10));
+    const size_t start = rng.NextBounded(hay.size() - len);
+    patterns.push_back(hay.substr(start, len));
+    patterns.push_back(rng.NextIdentifier(6));  // likely miss
+  }
+
+  for (const Force force : {Force::kTeddy, Force::kAhoCorasick}) {
+    MultiPatternOptions options;
+    options.force = force;
+    const MultiPatternMatcher matcher = MultiPatternMatcher::Build(
+        patterns, std::vector<bool>(patterns.size(), true), options);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng local(0x7777 + static_cast<uint64_t>(t));
+        MultiPatternHits hits = matcher.MakeHits();
+        for (int i = 0; i < 200; ++i) {
+          const std::string& hay =
+              haystacks[local.NextBounded(haystacks.size())];
+          matcher.Scan(hay, &hits);
+          for (uint32_t p = 0; p < patterns.size(); ++p) {
+            if (hits.Contains(p) != OracleFound(hay, patterns[p]) ||
+                hits.Positions(p) != OraclePositions(hay, patterns[p])) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+  }
+}
+
+// The registry's finalized batched program shared across ClientFilter
+// instances on concurrent threads (the ClientPool access pattern).
+TEST(MultiPatternConcurrencyTest, SharedRegistryProgramAcrossClientThreads) {
+  workload::GeneratorOptions gen;
+  gen.num_records = 256;
+  gen.seed = 37;
+  const workload::Dataset ds =
+      workload::GenerateDataset(workload::DatasetKind::kYcsb, gen);
+  const std::vector<Clause> clauses =
+      SampledClauses(workload::DatasetKind::kYcsb, 11);
+
+  PredicateRegistry registry;
+  for (const Clause& clause : clauses) {
+    ASSERT_TRUE(registry.Register(clause, 0.5, 1.0).ok());
+  }
+  registry.FinalizeBatched();
+
+  // Oracle bits, computed single-threaded.
+  const json::JsonChunk chunk =
+      ClientSession::BuildChunk(ds.records, 0, ds.records.size());
+  PrefilterStats oracle_stats;
+  const BitVectorSet expected =
+      ClientFilter(&registry, ClientMatcherMode::kPerPattern)
+          .Evaluate(chunk, &oracle_stats);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      // Each thread's filter aliases the registry's shared immutable
+      // program (exactly what ClientPool workers do).
+      const ClientFilter filter(&registry, ClientMatcherMode::kBatched);
+      for (int round = 0; round < 4; ++round) {
+        PrefilterStats stats;
+        if (!(filter.Evaluate(chunk, &stats) == expected)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace ciao

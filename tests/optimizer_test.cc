@@ -8,6 +8,10 @@
 #include "optimizer/greedy.h"
 #include "optimizer/objective.h"
 #include "optimizer/selection.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+#include "workload/selectivity.h"
+#include "workload/templates.h"
 
 namespace ciao {
 namespace {
@@ -264,6 +268,90 @@ TEST(GreedyTest, RatioBeatsBenefitOnAdversarialInstance) {
   EXPECT_NEAR(v_benefit, 0.51, 1e-9);
   EXPECT_NEAR(v_ratio, 1.0, 1e-9);
   EXPECT_NEAR(SelectBestOfBoth(&obj, opt).objective_value, 1.0, 1e-9);
+}
+
+// ---------- Batched cost shape (base + marginal knapsack) ----------
+
+TEST(GreedyTest, BaseCostChargedExactlyOnce) {
+  // Budget 10, shared base 4, marginals 3 each: two candidates fit
+  // (4 + 3 + 3 = 10), the third would need 13.
+  std::vector<CandidatePredicate> cands(3);
+  for (int i = 0; i < 3; ++i) {
+    cands[i].clause = NamedClause("a", i);
+    cands[i].selectivity = 0.5;
+    cands[i].cost_us = 3.0;
+    cands[i].query_ids = {static_cast<uint32_t>(i)};
+  }
+  PushdownObjective obj(std::move(cands), {1.0, 1.0, 1.0});
+  GreedyOptions opt;
+  opt.budget_us = 10.0;
+  opt.base_cost_us = 4.0;
+  for (auto* fn : {&GreedyByBenefit, &GreedyByRatio, &LazyGreedyByBenefit}) {
+    const SelectionResult r = (*fn)(&obj, opt);
+    EXPECT_EQ(r.selected.size(), 2u) << r.algorithm;
+    EXPECT_NEAR(r.total_cost_us, 10.0, 1e-9) << r.algorithm;
+  }
+  auto exact = ExhaustiveOptimal(&obj, opt);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->selected.size(), 2u);
+  EXPECT_NEAR(exact->total_cost_us, 10.0, 1e-9);
+}
+
+TEST(GreedyTest, BaseCostAboveBudgetSelectsNothing) {
+  Rng rng(47);
+  PushdownObjective obj = RandomInstance(&rng, 6, 3);
+  GreedyOptions opt;
+  opt.budget_us = 2.0;
+  opt.base_cost_us = 3.0;  // the shared scan alone busts the budget
+  for (auto* fn : {&GreedyByBenefit, &GreedyByRatio, &LazyGreedyByBenefit}) {
+    const SelectionResult r = (*fn)(&obj, opt);
+    EXPECT_TRUE(r.selected.empty()) << r.algorithm;
+    EXPECT_DOUBLE_EQ(r.total_cost_us, 0.0) << r.algorithm;
+  }
+}
+
+// The headline economic change: batching makes per-predicate cost nearly
+// free once the shared scan is paid, so the same CPU budget admits a
+// superset of the per-pattern selection on the fig5 YCSB workload C.
+TEST(SelectPredicatesTest, BatchedAdmitsSupersetOnYcsbWorkloadC) {
+  workload::GeneratorOptions gen;
+  gen.num_records = 1500;
+  gen.seed = 42;
+  const workload::Dataset ds =
+      workload::GenerateDataset(workload::DatasetKind::kYcsb, gen);
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYcsb).AllCandidates();
+  Workload wl = workload::WorkloadC(pool);
+  wl.queries.resize(std::min<size_t>(wl.queries.size(), 60));
+
+  auto estimate = workload::EstimateClauseStats(
+      ds.records, wl.DistinctClauses(), /*sample_size=*/800, /*seed=*/42);
+  ASSERT_TRUE(estimate.ok());
+
+  for (const double budget : {25.0, 50.0}) {
+    auto per_pattern = SelectPredicates(
+        wl, estimate->clause_stats, CostModel::Default(),
+        estimate->mean_record_len, budget, SelectionAlgorithm::kBestOfBoth,
+        {}, ClientMatcherMode::kPerPattern);
+    auto batched = SelectPredicates(
+        wl, estimate->clause_stats, CostModel::Default(),
+        estimate->mean_record_len, budget, SelectionAlgorithm::kBestOfBoth,
+        {}, ClientMatcherMode::kBatched);
+    ASSERT_TRUE(per_pattern.ok());
+    ASSERT_TRUE(batched.ok());
+
+    const std::vector<std::string> before = per_pattern->SelectedKeys();
+    const std::vector<std::string> after = batched->SelectedKeys();
+    EXPECT_GE(after.size(), before.size()) << "budget=" << budget;
+    EXPECT_TRUE(std::includes(after.begin(), after.end(), before.begin(),
+                              before.end()))
+        << "budget=" << budget
+        << ": batched selection is not a superset of per-pattern";
+    EXPECT_GE(batched->objective_value, per_pattern->objective_value - 1e-9);
+    EXPECT_LE(batched->total_cost_us, budget + 1e-9);
+    EXPECT_DOUBLE_EQ(per_pattern->base_cost_us, 0.0);
+    EXPECT_GT(batched->base_cost_us, 0.0);
+  }
 }
 
 // ---------- Exhaustive + approximation guarantee ----------
