@@ -1,0 +1,220 @@
+// E2E bench: heterogeneous 4-client fleets over one WinLog stream —
+// balanced, one 10x straggler (static round-robin vs work stealing), and
+// a flaky fleet with failure injection + budget mix. Reports the
+// client-phase ingest wall-clock (the queue is sized so the fleet never
+// blocks on the loader; straggler absorption is what's being measured),
+// verifies every scenario's loaded rows and query counts against the
+// sequential single-client oracle, and exits non-zero — a CI canary —
+// unless work stealing beats the static partition by >= 1.5x on the
+// straggler fleet with results intact.
+//
+//   ./build/bench/bench_multiclient_fleet
+//   CIAO_BENCH_SCALE=0.5 ./build/bench/bench_multiclient_fleet
+
+#include <limits>
+
+#include "bench_common.h"
+#include "client/fleet.h"
+#include "common/timer.h"
+#include "engine/executor.h"
+#include "storage/partial_loader.h"
+#include "workload/selectivity.h"
+
+namespace ciao::bench {
+namespace {
+
+constexpr size_t kChunkSize = 500;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ScenarioResult {
+  double fleet_wall_seconds = 0.0;
+  uint64_t loaded_rows = 0;
+  uint64_t steals = 0;
+  uint64_t completed = 0;
+  std::vector<uint64_t> query_counts;
+  bool ok = false;
+};
+
+ScenarioResult RunScenario(const workload::Dataset& ds,
+                           const PredicateRegistry& registry,
+                           const std::vector<Query>& queries,
+                           std::vector<FleetClientSpec> specs,
+                           bool work_stealing) {
+  ScenarioResult out;
+  const size_t num_chunks =
+      (ds.records.size() + kChunkSize - 1) / kChunkSize;
+
+  // Queue sized for the whole stream: senders never block on the loader,
+  // so the measured wall isolates the fleet's chunk scheduling.
+  BoundedTransport transport(num_chunks + 4);
+  transport.AddProducers(1);
+
+  FleetOptions options;
+  options.chunk_size = kChunkSize;
+  options.work_stealing = work_stealing;
+  FleetScheduler fleet(&registry, &transport, std::move(specs), options);
+
+  Stopwatch watch;
+  if (!fleet.SendRecords(ds.records).ok()) return out;
+  out.fleet_wall_seconds = watch.ElapsedSeconds();
+  transport.ProducerDone();
+  out.steals = fleet.steals();
+
+  // Server side, untimed: drain with per-chunk mask completion.
+  TableCatalog catalog(ds.schema);
+  PartialLoader loader(ds.schema, registry, /*annotation_epoch=*/0,
+                       /*server_completion=*/true);
+  LoadStats stats;
+  while (true) {
+    auto payload = transport.Receive();
+    if (!payload.ok()) return out;
+    if (!payload->has_value()) break;
+    auto msg = ChunkMessage::Deserialize(**payload);
+    if (!msg.ok()) return out;
+    if (!loader.IngestMessage(*msg, /*partial_loading_enabled=*/true,
+                              &catalog, &stats)
+             .ok()) {
+      return out;
+    }
+  }
+  out.loaded_rows = stats.records_loaded;
+  out.completed = stats.predicates_completed;
+
+  QueryExecutor executor(&catalog, &registry);
+  for (const Query& q : queries) {
+    auto result = executor.Execute(q);
+    if (!result.ok()) return out;
+    out.query_counts.push_back(result->count);
+  }
+  out.ok = true;
+  return out;
+}
+
+int Run() {
+  WarmUp();
+  workload::GeneratorOptions gen;
+  gen.num_records = Scaled(40000);
+  gen.seed = 42;
+  const workload::Dataset ds =
+      workload::GenerateDataset(workload::DatasetKind::kWinLog, gen);
+
+  // Pushdown set with data-driven selectivities and costs.
+  auto pool = workload::TemplatesFor(workload::DatasetKind::kWinLog)
+                  .AllCandidates();
+  pool.resize(std::min<size_t>(pool.size(), 6));
+  auto est = workload::EstimateClauseStats(ds.records, pool, 2000, 1);
+  if (!est.ok()) return 1;
+  PredicateRegistry registry;
+  const CostModel cost_model = CostModel::Default();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    auto cost = cost_model.ClauseCostUs(
+        pool[i], est->clause_stats[i].term_selectivities,
+        est->mean_record_len);
+    if (!cost.ok() ||
+        !registry
+             .Register(pool[i], est->clause_stats[i].selectivity, *cost)
+             .ok()) {
+      return 1;
+    }
+  }
+  registry.FinalizeBatched();
+
+  std::vector<Query> queries;
+  for (const Clause& c : pool) {
+    Query q;
+    q.clauses = {c};
+    queries.push_back(q);
+  }
+  Query conj;
+  conj.clauses = {pool[0], pool[1]};
+  queries.push_back(conj);
+
+  std::printf("=== multiclient fleet: dataset=%s, records=%zu, chunk=%zu, "
+              "predicates=%zu ===\n"
+              "(fleet -> bounded transport; loader drained untimed; wall "
+              "= client scheduling phase)\n\n",
+              ds.name.c_str(), ds.records.size(), kChunkSize,
+              registry.size());
+
+  // The sequential single-client oracle pins correctness.
+  const ScenarioResult oracle = RunScenario(
+      ds, registry, queries, {{"oracle"}}, /*work_stealing=*/false);
+  if (!oracle.ok) {
+    std::fprintf(stderr, "oracle scenario failed\n");
+    return 1;
+  }
+
+  struct Scenario {
+    const char* name;
+    std::vector<FleetClientSpec> specs;
+    bool work_stealing;
+  };
+  const uint64_t never = std::numeric_limits<uint64_t>::max();
+  const std::vector<Scenario> scenarios = {
+      {"balanced_ws",
+       {{"c0"}, {"c1"}, {"c2"}, {"c3"}},
+       true},
+      {"straggler_static",
+       {{"c0"}, {"c1"}, {"c2"}, {"slow", kInf, 0.1}},
+       false},
+      {"straggler_ws",
+       {{"c0"}, {"c1"}, {"c2"}, {"slow", kInf, 0.1}},
+       true},
+      {"flaky_ws",
+       {{"full", kInf, 1.0, never},
+        {"mid", 3.0, 1.0, never},
+        {"tiny", 0.5, 1.0, never},
+        {"flaky", kInf, 1.0, /*fail_after_chunks=*/2}},
+       true},
+  };
+
+  TablePrinter table({"scenario", "ws", "wall_s", "krecords_s", "steals",
+                      "completed", "loaded_rows", "consistent"});
+  std::map<std::string, BenchMetrics> entries;
+  std::map<std::string, ScenarioResult> results;
+  bool all_consistent = true;
+  for (const Scenario& scenario : scenarios) {
+    const ScenarioResult r = RunScenario(ds, registry, queries,
+                                         scenario.specs,
+                                         scenario.work_stealing);
+    const bool consistent = r.ok && r.loaded_rows == oracle.loaded_rows &&
+                            r.query_counts == oracle.query_counts;
+    all_consistent = all_consistent && consistent;
+    results[scenario.name] = r;
+    const double krecords =
+        r.fleet_wall_seconds > 0.0
+            ? ds.records.size() / r.fleet_wall_seconds / 1000.0
+            : 0.0;
+    table.AddRow({
+        scenario.name,
+        scenario.work_stealing ? "on" : "off",
+        FormatDouble(r.fleet_wall_seconds, 3),
+        FormatDouble(krecords, 1),
+        StrFormat("%llu", (unsigned long long)r.steals),
+        StrFormat("%llu", (unsigned long long)r.completed),
+        StrFormat("%llu", (unsigned long long)r.loaded_rows),
+        consistent ? "yes" : "NO",
+    });
+    entries["bench_multiclient_fleet/" + std::string(scenario.name)] = {
+        {"items_per_second", krecords * 1000.0}};
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double static_wall = results["straggler_static"].fleet_wall_seconds;
+  const double ws_wall = results["straggler_ws"].fleet_wall_seconds;
+  const double speedup = ws_wall > 0.0 ? static_wall / ws_wall : 0.0;
+  std::printf("straggler ws_vs_static speedup: %.2fx (target >= 1.5x)\n",
+              speedup);
+  std::printf("fleet results vs sequential oracle: %s\n",
+              all_consistent ? "identical" : "MISMATCH");
+  entries["bench_multiclient_fleet/straggler_speedup"] = {
+      {"speedup", speedup}};
+  MergeIntoReportFile(entries);
+
+  return (all_consistent && speedup >= 1.5) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ciao::bench
+
+int main() { return ciao::bench::Run(); }

@@ -87,7 +87,7 @@ def main():
     print(f"\ncompared {compared} entries, tolerance {args.tolerance:.0%}")
     if regressions:
         print(f"FAIL: {len(regressions)} entries regressed more than "
-              f"{args.tolerance:.0%} on {METRIC}:", file=sys.stderr)
+              f"{args.tolerance:.0%}:", file=sys.stderr)
         for key, base, cur, delta in regressions:
             print(f"  {key}: {base:.4g} -> {cur:.4g} ({delta:+.1%})",
                   file=sys.stderr)

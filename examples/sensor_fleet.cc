@@ -2,14 +2,17 @@
 // "CIAO will address the trade-off between client cost and server
 // savings by setting different budgets for different clients"). A beefy
 // gateway can afford the full predicate set; a battery-powered sensor
-// only the cheapest predicate; a legacy device none. The server remains
-// correct regardless, treating unevaluated predicates conservatively.
+// only the cheapest predicate; a legacy device none — and the sensor is
+// also 10x slower than the gateway. The fleet scheduler assigns each
+// client the best predicate subset its budget affords, work stealing
+// keeps the straggler from gating ingest, and the server completes the
+// predicates a chunk's client skipped, so loading stays exact.
 //
 // Build & run:  ./build/examples/sensor_fleet
 
 #include <cstdio>
 
-#include "client/coordinator.h"
+#include "client/fleet.h"
 #include "engine/executor.h"
 #include "storage/partial_loader.h"
 #include "storage/transport.h"
@@ -51,52 +54,52 @@ int main() {
     }
   }
 
-  InMemoryTransport transport;
-  MultiClientCoordinator coordinator(&registry, &transport, 500);
-  const size_t gateway = coordinator.AddClient({"gateway", 50.0});
-  const size_t sensor = coordinator.AddClient({"battery-sensor", 1.0});
-  const size_t legacy = coordinator.AddClient({"legacy-device", 0.0});
+  BoundedTransport transport(/*capacity=*/16);
+  transport.AddProducers(1);
 
-  for (size_t c = 0; c < coordinator.num_clients(); ++c) {
-    std::printf("client %-15s budget %5.1fus -> evaluates %zu/%zu "
-                "predicates\n",
-                coordinator.spec(c).name.c_str(),
-                coordinator.spec(c).budget_us,
-                coordinator.assigned_ids(c).size(), registry.size());
-  }
-
-  // Each client uploads a third of the stream.
-  const size_t third = ds.records.size() / 3;
-  const std::vector<std::string> parts[3] = {
-      {ds.records.begin(), ds.records.begin() + third},
-      {ds.records.begin() + third, ds.records.begin() + 2 * third},
-      {ds.records.begin() + 2 * third, ds.records.end()},
-  };
-  if (!coordinator.session(gateway)->SendRecords(parts[0]).ok()) return 1;
-  if (!coordinator.session(sensor)->SendRecords(parts[1]).ok()) return 1;
-  if (!coordinator.session(legacy)->SendRecords(parts[2]).ok()) return 1;
-
-  // Server: drain and partially load.
+  // Server side first, so loading overlaps the fleet's prefiltering.
   TableCatalog catalog(ds.schema);
-  PartialLoader loader(ds.schema, registry.size());
-  LoadStats stats;
-  while (true) {
-    auto payload = transport.Receive();
-    if (!payload.ok() || !payload->has_value()) break;
-    auto msg = ChunkMessage::Deserialize(**payload);
-    if (!msg.ok()) return 1;
-    auto annotations = msg->ExpandAnnotations(registry.size());
-    if (!annotations.ok()) return 1;
-    if (!loader
-             .IngestChunk(msg->chunk, *annotations,
-                          /*partial_loading_enabled=*/true, &catalog, &stats)
-             .ok()) {
-      return 1;
-    }
+  PartialLoader loader(ds.schema, registry, /*annotation_epoch=*/0,
+                       /*server_completion=*/true);
+  LoaderPool loaders(&loader, &transport, &catalog, {});
+  loaders.Start();
+
+  // The heterogeneous fleet: budget-aware allocation + work stealing.
+  FleetScheduler fleet(&registry, &transport,
+                       {
+                           {"gateway", 50.0},
+                           {"battery-sensor", 1.0, /*speed_factor=*/0.1},
+                           {"legacy-device", 0.0},
+                       },
+                       FleetOptions{/*chunk_size=*/500});
+  for (size_t c = 0; c < fleet.num_clients(); ++c) {
+    std::printf("client %-15s budget %5.1fus speed %.1fx -> evaluates "
+                "%zu/%zu predicates (%.2fus/record)\n",
+                fleet.spec(c).name.c_str(), fleet.spec(c).budget_us,
+                fleet.spec(c).speed_factor, fleet.assigned_ids(c).size(),
+                registry.size(), fleet.allocation(c).cost_us);
   }
-  std::printf("\nserver: loaded %llu / %llu records (ratio %.2f) — the "
-              "legacy client's records all load (no bitvectors = maybe), "
-              "the gateway's load partially\n\n",
+
+  if (!fleet.SendRecords(ds.records).ok()) return 1;
+  transport.ProducerDone();
+  if (!loaders.Join().ok()) return 1;
+
+  const LoadStats& stats = loaders.stats();
+  std::printf("\nfleet: %llu chunks stolen from stragglers; server "
+              "completed %llu (chunk, predicate) pairs in %.3fs\n",
+              static_cast<unsigned long long>(fleet.steals()),
+              static_cast<unsigned long long>(stats.predicates_completed),
+              stats.completion_seconds);
+  for (size_t c = 0; c < fleet.num_clients(); ++c) {
+    const FleetClientStats& cs = fleet.client_stats(c);
+    std::printf("client %-15s chunks=%-4llu stolen=%-4llu prefilter=%.3fs\n",
+                fleet.spec(c).name.c_str(),
+                static_cast<unsigned long long>(cs.chunks_processed),
+                static_cast<unsigned long long>(cs.chunks_stolen),
+                cs.prefilter.seconds);
+  }
+  std::printf("\nserver: loaded %llu / %llu records (ratio %.2f) — exact "
+              "bits per chunk, no matter which client shipped it\n\n",
               static_cast<unsigned long long>(stats.records_loaded),
               static_cast<unsigned long long>(stats.records_in),
               stats.LoadingRatio());

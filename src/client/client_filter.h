@@ -76,6 +76,8 @@ class ClientFilter {
   const std::vector<uint32_t>& evaluated_ids() const { return ids_; }
   size_t num_predicates() const { return ids_.size(); }
   ClientMatcherMode matcher_mode() const { return mode_; }
+  /// The registry the evaluated ids index into (never null).
+  const PredicateRegistry* registry() const { return registry_; }
 
   /// Expected per-record cost (µs) — what the optimizer budgeted for
   /// this client. Per-pattern: Σ cost_us of the evaluated predicates.

@@ -25,6 +25,9 @@ Status ClientSession::SendRecords(const std::vector<std::string>& records) {
 Status ClientSession::SendChunk(json::JsonChunk chunk) {
   ChunkMessage msg;
   msg.predicate_ids = filter_.evaluated_ids();
+  // The chunk's evaluated-predicate mask: which of the registry's
+  // predicates the ids cover (budget-limited clients evaluate a subset).
+  msg.total_predicates = static_cast<uint32_t>(filter_.registry()->size());
   msg.annotations = filter_.Evaluate(chunk, &stats_);
   msg.chunk = std::move(chunk);
   std::string payload;

@@ -31,8 +31,8 @@ class ClientSession {
   Status SendChunk(json::JsonChunk chunk);
 
   /// Assembles records [start, end) into a chunk with an exact buffer
-  /// reservation; shared by SendRecords and the ClientPool partitioner so
-  /// their chunk contents stay byte-identical.
+  /// reservation; shared by SendRecords and the fleet's chunk scheduler
+  /// so their chunk contents stay byte-identical.
   static json::JsonChunk BuildChunk(const std::vector<std::string>& records,
                                     size_t start, size_t end);
 

@@ -2,6 +2,9 @@
 #define CIAO_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "matcher/kernels.h"
 #include "matcher/multi_pattern.h"
@@ -9,13 +12,41 @@
 
 namespace ciao {
 
+/// One client of a heterogeneous ingest fleet: its prefilter budget (the
+/// paper's per-client B — "setting different budgets for different
+/// clients", abstract + §I) plus simulation knobs for benchmarking and
+/// fault-injection testing of the fleet scheduler.
+struct FleetClientSpec {
+  std::string name;
+
+  /// µs of prefilter compute per record this client affords. The fleet
+  /// allocator assigns it the best predicate subset that fits (batched
+  /// decomposition: shared scan base + marginal verify costs). Infinity
+  /// (default) = evaluate the full registry.
+  double budget_us = std::numeric_limits<double>::infinity();
+
+  /// Relative processing speed, simulated: 1.0 = full speed, 0.1 = a 10x
+  /// straggler (each chunk is padded with sleep to 1/speed_factor of the
+  /// client's measured prefilter compute for it; time blocked on
+  /// transport backpressure is not multiplied). Values >= 1 or <= 0 add
+  /// no delay.
+  double speed_factor = 1.0;
+
+  /// Failure injection: the client dies after prefiltering this many
+  /// chunks, handing its in-flight chunk back to the fleet queue.
+  /// UINT64_MAX (default) = never fails.
+  uint64_t fail_after_chunks = std::numeric_limits<uint64_t>::max();
+};
+
 /// Concurrency knobs of the ingest pipeline. Defaults reproduce the
 /// paper's sequential pipeline (one client, one loader, unbounded
-/// in-memory queue); anything above 1/1 switches IngestRecords to the
-/// overlapped pipeline: a ClientPool prefilters and ships chunks while a
-/// LoaderPool drains a BoundedTransport into the sharded catalog.
+/// in-memory queue); anything above 1/1 — or a non-empty heterogeneous
+/// fleet — switches IngestRecords to the overlapped pipeline: a
+/// FleetScheduler prefilters and ships chunks while a LoaderPool drains
+/// a BoundedTransport into the sharded catalog.
 struct IngestOptions {
-  /// Concurrent client prefilter workers (paper Step 1).
+  /// Concurrent client prefilter workers (paper Step 1). Ignored when
+  /// `fleet` is non-empty.
   size_t num_clients = 1;
   /// Concurrent partial-loader workers (paper Step 2).
   size_t num_loaders = 1;
@@ -23,7 +54,27 @@ struct IngestOptions {
   /// in flight and applies backpressure to fast clients.
   size_t queue_capacity = 64;
 
-  bool concurrent() const { return num_clients > 1 || num_loaders > 1; }
+  /// Heterogeneous fleet description. Empty (default) = `num_clients`
+  /// identical full-budget clients.
+  std::vector<FleetClientSpec> fleet;
+
+  /// Chunk scheduling across the fleet: true = shared work queue with
+  /// work stealing (fast clients absorb stragglers); false = the static
+  /// round-robin partition (kept as the ablation baseline; failed
+  /// clients' chunks are still failed over either way).
+  bool work_stealing = true;
+
+  /// Server-side annotation completion: predicates a chunk's client did
+  /// not evaluate are evaluated by the loader (exact bits per chunk)
+  /// instead of being treated as conservative all-ones. Keeps the loaded
+  /// row set identical to a full-budget client's regardless of fleet
+  /// composition, at bounded server CPU cost. No effect when every
+  /// client affords the whole registry.
+  bool server_completion = true;
+
+  bool concurrent() const {
+    return num_clients > 1 || num_loaders > 1 || !fleet.empty();
+  }
 };
 
 /// Knobs of the adaptive re-optimization runtime (epoch-versioned plans).

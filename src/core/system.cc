@@ -1,6 +1,6 @@
 #include "core/system.h"
 
-#include "client/coordinator.h"
+#include "client/fleet.h"
 #include "common/timer.h"
 #include "engine/planner.h"
 
@@ -76,11 +76,14 @@ Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
     st = IngestRecordsSequential(records, *epoch);
   } else {
     // The paper's sequential pipeline, untouched: the bootstrap session
-    // prefilters and ships, then the transport is drained.
+    // prefilters and ships, then the transport is drained. The bootstrap
+    // client evaluates the full registry, so server completion has
+    // nothing to do here.
     st = client_->SendRecords(records);
     if (st.ok()) {
-      const PartialLoader loader(schema_, bootstrap_epoch_->registry().size(),
-                                 bootstrap_epoch_->id);
+      const PartialLoader loader(schema_, bootstrap_epoch_->registry(),
+                                 bootstrap_epoch_->id,
+                                 config_.ingest.server_completion);
       st = DrainTransport(loader, *bootstrap_epoch_);
     }
   }
@@ -96,7 +99,8 @@ Status CiaoSystem::IngestRecordsSequential(
                         config_.chunk_size);
   Status st = session.SendRecords(records);
   if (st.ok()) {
-    const PartialLoader loader(schema_, epoch.registry().size(), epoch.id);
+    const PartialLoader loader(schema_, epoch.registry(), epoch.id,
+                               config_.ingest.server_completion);
     st = DrainTransport(loader, epoch);
   }
   pool_prefilter_stats_.MergeFrom(session.stats());
@@ -110,31 +114,52 @@ Status CiaoSystem::IngestRecordsSequential(
 Status CiaoSystem::IngestRecordsConcurrent(
     const std::vector<std::string>& records, const PlanEpoch& epoch) {
   BoundedTransport transport(config_.ingest.queue_capacity);
-  // The pool counts as one producer: its workers all finish inside
+  // The fleet counts as one producer: its workers all finish inside
   // SendRecords, after which the queue can be closed for draining.
   transport.AddProducers(1);
 
-  const PartialLoader loader(schema_, epoch.registry().size(), epoch.id);
+  const PartialLoader loader(schema_, epoch.registry(), epoch.id,
+                             config_.ingest.server_completion);
   LoaderPoolOptions loader_options;
   loader_options.num_loaders = config_.ingest.num_loaders;
   loader_options.partial_loading_enabled = epoch.partial_loading_enabled();
   LoaderPool loaders(&loader, &transport, catalog_.get(), loader_options);
   loaders.Start();  // loaders come up before any chunk is shipped
 
-  ClientPoolOptions client_options;
-  client_options.num_clients = config_.ingest.num_clients;
-  client_options.chunk_size = config_.chunk_size;
-  ClientPool clients(&epoch.registry(), &transport, client_options);
-  Status send_status = clients.SendRecords(records);
+  // Heterogeneous fleet when configured; otherwise num_clients identical
+  // full-budget clients (the homogeneous pool of the old pipeline).
+  std::vector<FleetClientSpec> specs = config_.ingest.fleet;
+  if (specs.empty()) {
+    specs.resize(std::max<size_t>(1, config_.ingest.num_clients));
+    for (size_t i = 0; i < specs.size(); ++i) {
+      specs[i].name = "client-" + std::to_string(i);
+    }
+  }
+  FleetOptions fleet_options;
+  fleet_options.chunk_size = config_.chunk_size;
+  fleet_options.work_stealing = config_.ingest.work_stealing;
+  FleetScheduler fleet(&epoch.registry(), &transport, std::move(specs),
+                       fleet_options);
+  Status send_status = fleet.SendRecords(records);
 
   transport.ProducerDone();
   Status load_status = loaders.Join();
 
-  pool_prefilter_stats_.MergeFrom(clients.stats());
+  pool_prefilter_stats_.MergeFrom(fleet.stats());
   load_stats_.MergeFrom(loaders.stats());
   if (replan_ != nullptr) {
-    replan_->RecordIngest(clients.stats().records_filtered,
-                          clients.stats().seconds, epoch);
+    // Cost recalibration models a full-registry scan per record, so only
+    // full-assignment clients produce comparable observations; a
+    // budget-limited client's records would be logged as full scans at
+    // partial cost and skew the refit.
+    PrefilterStats full_registry;
+    for (size_t c = 0; c < fleet.num_clients(); ++c) {
+      if (fleet.assigned_ids(c).size() == epoch.registry().size()) {
+        full_registry.MergeFrom(fleet.client_stats(c).prefilter);
+      }
+    }
+    replan_->RecordIngest(full_registry.records_filtered,
+                          full_registry.seconds, epoch);
   }
   if (!send_status.ok()) return send_status;
   return load_status;
@@ -148,11 +173,8 @@ Status CiaoSystem::DrainTransport(const PartialLoader& loader,
     if (!payload.has_value()) break;
     CIAO_ASSIGN_OR_RETURN(ChunkMessage msg,
                           ChunkMessage::Deserialize(*payload));
-    CIAO_ASSIGN_OR_RETURN(BitVectorSet annotations,
-                          msg.ExpandAnnotations(epoch.registry().size()));
-    CIAO_RETURN_IF_ERROR(loader.IngestChunk(
-        msg.chunk, annotations, epoch.partial_loading_enabled(),
-        catalog_.get(), &load_stats_));
+    CIAO_RETURN_IF_ERROR(loader.IngestMessage(
+        msg, epoch.partial_loading_enabled(), catalog_.get(), &load_stats_));
   }
   return Status::OK();
 }

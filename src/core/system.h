@@ -73,7 +73,7 @@ class CiaoSystem {
   /// prefilter + ship `records` (chunked), then drain the transport into
   /// the partial loader. With `config.ingest` above 1/1 the phases
   /// overlap: a LoaderPool starts draining a BoundedTransport before the
-  /// ClientPool finishes prefiltering. In adaptive mode the whole call
+  /// FleetScheduler finishes prefiltering. In adaptive mode the whole call
   /// runs against a snapshot of the current plan epoch, so a concurrent
   /// re-plan never mixes predicate-id spaces mid-stream.
   Status IngestRecords(const std::vector<std::string>& records);
@@ -149,7 +149,7 @@ class CiaoSystem {
                                  const PlanEpoch& epoch);
 
   /// Overlapped pipeline: loader pool drains a bounded queue while the
-  /// client pool fills it.
+  /// client fleet fills it.
   Status IngestRecordsConcurrent(const std::vector<std::string>& records,
                                  const PlanEpoch& epoch);
 

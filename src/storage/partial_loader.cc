@@ -79,6 +79,46 @@ Status PartialLoader::IngestChunk(const json::JsonChunk& chunk,
   return Status::OK();
 }
 
+std::shared_ptr<const ClientFilter> PartialLoader::CompletionFilter(
+    const std::vector<uint32_t>& missing_ids) const {
+  std::lock_guard<std::mutex> lock(completion_mu_);
+  auto it = completion_filters_.find(missing_ids);
+  if (it != completion_filters_.end()) return it->second;
+  auto filter =
+      std::make_shared<const ClientFilter>(registry_, missing_ids);
+  completion_filters_.emplace(missing_ids, filter);
+  return filter;
+}
+
+Status PartialLoader::IngestMessage(const ChunkMessage& msg,
+                                    bool partial_loading_enabled,
+                                    TableCatalog* catalog,
+                                    LoadStats* stats) const {
+  CIAO_ASSIGN_OR_RETURN(BitVectorSet annotations,
+                        msg.ExpandAnnotations(num_predicates_));
+  if (server_completion()) {
+    const std::vector<uint32_t> missing = msg.MissingIds(num_predicates_);
+    if (!missing.empty()) {
+      // Evaluate the mask's complement on the raw bytes the client
+      // already shipped — the same no-false-negative prefilter the
+      // client runs — replacing the conservative all-ones vectors with
+      // exact bits. The chunk's whole annotation set is then as precise
+      // as a full-budget client's.
+      const std::shared_ptr<const ClientFilter> filter =
+          CompletionFilter(missing);
+      PrefilterStats completion;
+      const BitVectorSet exact = filter->Evaluate(msg.chunk, &completion);
+      for (size_t i = 0; i < missing.size(); ++i) {
+        *annotations.mutable_vector(missing[i]) = exact.vector(i);
+      }
+      stats->predicates_completed += missing.size();
+      stats->completion_seconds += completion.seconds;
+    }
+  }
+  return IngestChunk(msg.chunk, annotations, partial_loading_enabled, catalog,
+                     stats);
+}
+
 LoaderPool::LoaderPool(const PartialLoader* loader, Transport* transport,
                        TableCatalog* catalog, LoaderPoolOptions options)
     : loader_(loader),
@@ -112,11 +152,8 @@ Status LoaderPool::Join() {
 
 Status LoaderPool::LoadOne(std::string_view payload, LoadStats* stats) const {
   CIAO_ASSIGN_OR_RETURN(ChunkMessage msg, ChunkMessage::Deserialize(payload));
-  CIAO_ASSIGN_OR_RETURN(BitVectorSet annotations,
-                        msg.ExpandAnnotations(loader_->num_predicates()));
-  return loader_->IngestChunk(msg.chunk, annotations,
-                              options_.partial_loading_enabled, catalog_,
-                              stats);
+  return loader_->IngestMessage(msg, options_.partial_loading_enabled,
+                                catalog_, stats);
 }
 
 void LoaderPool::WorkerLoop() {

@@ -1,14 +1,18 @@
 #ifndef CIAO_STORAGE_PARTIAL_LOADER_H_
 #define CIAO_STORAGE_PARTIAL_LOADER_H_
 
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bitvec/bitvector_set.h"
+#include "client/client_filter.h"
 #include "columnar/schema.h"
 #include "common/status.h"
 #include "json/chunk.h"
+#include "predicate/registry.h"
 #include "storage/catalog.h"
 #include "storage/transport.h"
 
@@ -27,6 +31,11 @@ struct LoadStats {
   double total_seconds = 0.0;
   uint64_t parse_errors = 0;
   uint64_t coercion_errors = 0;
+  /// Server-side annotation completion (heterogeneous fleets): how many
+  /// (chunk, predicate) pairs the loader evaluated itself because the
+  /// sending client's budget did not cover them, and the CPU it cost.
+  uint64_t predicates_completed = 0;
+  double completion_seconds = 0.0;
 
   double LoadingRatio() const {
     return records_in == 0 ? 1.0
@@ -46,6 +55,8 @@ struct LoadStats {
     total_seconds += other.total_seconds;
     parse_errors += other.parse_errors;
     coercion_errors += other.coercion_errors;
+    predicates_completed += other.predicates_completed;
+    completion_seconds += other.completion_seconds;
   }
 };
 
@@ -60,12 +71,28 @@ class PartialLoader {
   /// (0 for the baseline pipeline). `annotation_epoch` tags every segment
   /// this loader publishes with the plan epoch whose id-space the
   /// annotations use (0 = bootstrap plan, the only epoch outside the
-  /// adaptive runtime).
+  /// adaptive runtime). This form never completes annotations: chunks
+  /// with unevaluated predicates expand to conservative all-ones.
   PartialLoader(columnar::Schema schema, size_t num_predicates,
                 uint64_t annotation_epoch = 0)
       : schema_(std::move(schema)),
         num_predicates_(num_predicates),
         annotation_epoch_(annotation_epoch) {}
+
+  /// Registry-aware form (heterogeneous fleets). With `server_completion`
+  /// the loader evaluates, per chunk, exactly the predicates the sending
+  /// client's mask does not cover — the same prefilter kernel the client
+  /// runs, on the raw bytes it already shipped — so every chunk's bits
+  /// are exact and the loaded row set is identical to a full-budget
+  /// client's, regardless of fleet composition. `registry` must outlive
+  /// the loader.
+  PartialLoader(columnar::Schema schema, const PredicateRegistry& registry,
+                uint64_t annotation_epoch = 0, bool server_completion = true)
+      : schema_(std::move(schema)),
+        num_predicates_(registry.size()),
+        annotation_epoch_(annotation_epoch),
+        registry_(&registry),
+        server_completion_(server_completion) {}
 
   /// Ingests one chunk. `annotations` must have `num_predicates` vectors
   /// of chunk.size() bits (or zero vectors when num_predicates is 0).
@@ -74,13 +101,38 @@ class PartialLoader {
                      bool partial_loading_enabled, TableCatalog* catalog,
                      LoadStats* stats) const;
 
+  /// Ingests one decoded chunk message: resolves the message's
+  /// evaluated-predicate mask against this loader's registry — exact bits
+  /// for evaluated predicates, server-completed bits (registry-aware
+  /// loader with completion on) or conservative all-ones for the rest —
+  /// then loads as IngestChunk. Thread-safe (LoaderPool workers share
+  /// one loader).
+  Status IngestMessage(const ChunkMessage& msg, bool partial_loading_enabled,
+                       TableCatalog* catalog, LoadStats* stats) const;
+
   size_t num_predicates() const { return num_predicates_; }
   uint64_t annotation_epoch() const { return annotation_epoch_; }
+  bool server_completion() const {
+    return server_completion_ && registry_ != nullptr;
+  }
 
  private:
+  /// Cached completion filter for one missing-id set (one per distinct
+  /// client budget class in practice, so the memo stays tiny). The
+  /// compiled programs are immutable after construction and shared
+  /// across loader threads.
+  std::shared_ptr<const ClientFilter> CompletionFilter(
+      const std::vector<uint32_t>& missing_ids) const;
+
   columnar::Schema schema_;
   size_t num_predicates_;
   uint64_t annotation_epoch_ = 0;
+  const PredicateRegistry* registry_ = nullptr;
+  bool server_completion_ = false;
+  mutable std::mutex completion_mu_;
+  mutable std::map<std::vector<uint32_t>,
+                   std::shared_ptr<const ClientFilter>>
+      completion_filters_;
 };
 
 /// Concurrency knobs of a LoaderPool.

@@ -9,7 +9,8 @@ namespace ciao {
 
 namespace {
 
-constexpr std::string_view kMessageMagic = "CMSG";
+constexpr std::string_view kMessageMagicV1 = "CMSG";  // legacy: no mask field
+constexpr std::string_view kMessageMagicV2 = "CMG2";  // + u32 total_predicates
 
 void PutU32(uint32_t v, std::string* out) {
   char buf[4];
@@ -44,12 +45,13 @@ Status ReadU64(std::string_view buffer, size_t* offset, uint64_t* v) {
 }  // namespace
 
 void ChunkMessage::SerializeTo(std::string* out) const {
-  // Header + ids + NDJSON payload; the BitVectorSet adds its own length
-  // fields plus one word-aligned buffer per predicate.
-  out->reserve(out->size() + kMessageMagic.size() + 4 +
+  // Header + mask + ids + NDJSON payload; the BitVectorSet adds its own
+  // length fields plus one word-aligned buffer per predicate.
+  out->reserve(out->size() + kMessageMagicV2.size() + 8 +
                4 * predicate_ids.size() + 8 + chunk.data().size() +
                annotations.num_predicates() * (annotations.num_records() / 8 + 16));
-  out->append(kMessageMagic);
+  out->append(kMessageMagicV2);
+  PutU32(total_predicates, out);
   PutU32(static_cast<uint32_t>(predicate_ids.size()), out);
   for (const uint32_t id : predicate_ids) PutU32(id, out);
   PutU64(chunk.data().size(), out);
@@ -59,12 +61,20 @@ void ChunkMessage::SerializeTo(std::string* out) const {
 
 Result<ChunkMessage> ChunkMessage::Deserialize(std::string_view buffer) {
   size_t offset = 0;
-  if (buffer.size() < kMessageMagic.size() ||
-      buffer.substr(0, kMessageMagic.size()) != kMessageMagic) {
+  const bool v2 = buffer.size() >= kMessageMagicV2.size() &&
+                  buffer.substr(0, kMessageMagicV2.size()) == kMessageMagicV2;
+  // Backward compat: v1 "CMSG" messages carry no evaluated-predicate
+  // mask; total_predicates stays 0 ("unknown") and receivers fall back
+  // to their registry width, exactly the pre-mask behaviour.
+  if (!v2 && (buffer.size() < kMessageMagicV1.size() ||
+              buffer.substr(0, kMessageMagicV1.size()) != kMessageMagicV1)) {
     return Status::Corruption("chunk message: bad magic");
   }
-  offset = kMessageMagic.size();
+  offset = v2 ? kMessageMagicV2.size() : kMessageMagicV1.size();
   ChunkMessage msg;
+  if (v2) {
+    CIAO_RETURN_IF_ERROR(ReadU32(buffer, &offset, &msg.total_predicates));
+  }
   uint32_t n_ids = 0;
   CIAO_RETURN_IF_ERROR(ReadU32(buffer, &offset, &n_ids));
   msg.predicate_ids.resize(n_ids);
@@ -89,7 +99,27 @@ Result<ChunkMessage> ChunkMessage::Deserialize(std::string_view buffer) {
       msg.annotations.num_records() != msg.chunk.size()) {
     return Status::Corruption("chunk message: vector length != record count");
   }
+  if (msg.total_predicates > 0) {
+    for (const uint32_t id : msg.predicate_ids) {
+      if (id >= msg.total_predicates) {
+        return Status::Corruption(
+            "chunk message: evaluated id outside the declared mask");
+      }
+    }
+  }
   return msg;
+}
+
+std::vector<uint32_t> ChunkMessage::MissingIds(size_t total) const {
+  std::vector<bool> evaluated(total, false);
+  for (const uint32_t id : predicate_ids) {
+    if (id < total) evaluated[id] = true;
+  }
+  std::vector<uint32_t> missing;
+  for (uint32_t id = 0; id < total; ++id) {
+    if (!evaluated[id]) missing.push_back(id);
+  }
+  return missing;
 }
 
 Result<BitVectorSet> ChunkMessage::ExpandAnnotations(

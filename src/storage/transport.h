@@ -17,17 +17,29 @@
 namespace ciao {
 
 /// What a client ships per chunk (paper Fig 1, Step 1→2): the raw NDJSON
-/// payload, the evaluated predicate ids, and one bitvector per id.
+/// payload, the evaluated-predicate mask (which registry ids this chunk
+/// actually evaluated, out of how many), and one bitvector per evaluated
+/// id. The per-chunk mask is what lets a heterogeneous fleet stay
+/// precisely tracked: the server knows, chunk by chunk, which bits are
+/// exact and which predicates it must treat as "maybe" — or complete
+/// itself.
 struct ChunkMessage {
   json::JsonChunk chunk;
-  /// Registry ids, aligned with `annotations` vectors. A client with a
-  /// small budget may evaluate only a subset of the registry; the server
-  /// conservatively treats missing predicates as all-ones (maybe).
+  /// Registry ids evaluated for this chunk, aligned with `annotations`
+  /// vectors. A client with a small budget may evaluate only a subset of
+  /// the registry.
   std::vector<uint32_t> predicate_ids;
   BitVectorSet annotations;
+  /// Size of the sender's predicate registry — the mask's universe. The
+  /// unevaluated ids of the chunk are exactly [0, total_predicates) minus
+  /// `predicate_ids`. 0 = unknown (legacy maskless message): the receiver
+  /// falls back to its own registry size, as it always did.
+  uint32_t total_predicates = 0;
 
-  /// Wire format: "CMSG" | u32 n_ids | ids | u64 ndjson_len | ndjson |
-  /// BitVectorSet.
+  /// Wire format v2: "CMG2" | u32 total_predicates | u32 n_ids | ids |
+  /// u64 ndjson_len | ndjson | BitVectorSet. Deserialize also accepts the
+  /// legacy maskless v1 framing ("CMSG", no total_predicates field),
+  /// yielding total_predicates == 0.
   void SerializeTo(std::string* out) const;
   static Result<ChunkMessage> Deserialize(std::string_view buffer);
 
@@ -36,6 +48,11 @@ struct ChunkMessage {
   /// all-ones (no false negatives — "maybe satisfies"). Fails if an id is
   /// out of range or annotations misalign.
   Result<BitVectorSet> ExpandAnnotations(size_t total_predicates) const;
+
+  /// The chunk's unevaluated ids out of a universe of `total` predicates,
+  /// ascending: the complement of `predicate_ids`. Ignores the message's
+  /// own total_predicates so a receiver can ask against its registry.
+  std::vector<uint32_t> MissingIds(size_t total) const;
 };
 
 /// Client→server byte channel. The paper simulates communication through

@@ -416,7 +416,7 @@ TEST(MultiPatternConcurrencyTest, SharedMatcherIsThreadSafe) {
 }
 
 // The registry's finalized batched program shared across ClientFilter
-// instances on concurrent threads (the ClientPool access pattern).
+// instances on concurrent threads (the fleet-worker access pattern).
 TEST(MultiPatternConcurrencyTest, SharedRegistryProgramAcrossClientThreads) {
   workload::GeneratorOptions gen;
   gen.num_records = 256;
@@ -447,7 +447,7 @@ TEST(MultiPatternConcurrencyTest, SharedRegistryProgramAcrossClientThreads) {
   for (int t = 0; t < kThreads; ++t) {
     pool.emplace_back([&] {
       // Each thread's filter aliases the registry's shared immutable
-      // program (exactly what ClientPool workers do).
+      // program (exactly what fleet workers do).
       const ClientFilter filter(&registry, ClientMatcherMode::kBatched);
       for (int round = 0; round < 4; ++round) {
         PrefilterStats stats;

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "client/coordinator.h"
+#include "client/fleet.h"
 #include "core/system.h"
 #include "json/parser.h"
 #include "predicate/semantic_eval.h"
@@ -181,10 +181,10 @@ TEST(ParallelIngestTest, ClientAndLoaderPoolsComposeDirectly) {
   LoaderPool loaders(&loader, &transport, &catalog, loader_options);
   loaders.Start();
 
-  ClientPoolOptions client_options;
-  client_options.num_clients = 3;
+  FleetOptions client_options;
   client_options.chunk_size = 50;
-  ClientPool clients(&registry, &transport, client_options);
+  FleetScheduler clients(&registry, &transport,
+                         {{"c0"}, {"c1"}, {"c2"}}, client_options);
   ASSERT_TRUE(clients.SendRecords(fx.ds.records).ok());
   transport.ProducerDone();
   ASSERT_TRUE(loaders.Join().ok());

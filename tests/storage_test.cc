@@ -94,6 +94,101 @@ TEST(ChunkMessageTest, ExpandAnnotationsConservative) {
   EXPECT_TRUE(msg.ExpandAnnotations(1).status().IsOutOfRange());
 }
 
+// ---------- ChunkMessage: evaluated-predicate mask (wire format v2) ----
+
+TEST(ChunkMessageTest, MaskRoundTripsWithTotalPredicates) {
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})", R"({"a":2})", R"({"a":3})"});
+  msg.total_predicates = 5;
+  msg.predicate_ids = {1, 3};
+  msg.annotations = BitVectorSet(2, 3);
+  msg.annotations.mutable_vector(0)->Set(0, true);
+  msg.annotations.mutable_vector(1)->Set(2, true);
+
+  std::string payload;
+  msg.SerializeTo(&payload);
+  EXPECT_EQ(payload.substr(0, 4), "CMG2");
+  auto decoded = ChunkMessage::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->total_predicates, 5u);
+  EXPECT_EQ(decoded->predicate_ids, msg.predicate_ids);
+  EXPECT_TRUE(decoded->annotations == msg.annotations);
+  EXPECT_EQ(decoded->MissingIds(5), (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_TRUE(decoded->MissingIds(0).empty());
+}
+
+TEST(ChunkMessageTest, LegacyMasklessMessageStillDecodes) {
+  // Hand-build a v1 "CMSG" frame (no total_predicates field) the way the
+  // pre-mask serializer did: old spools must keep decoding.
+  const std::string ndjson = "{\"a\":1}\n{\"a\":2}\n";
+  std::string payload = "CMSG";
+  const auto put_u32 = [&payload](uint32_t v) {
+    payload.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put_u32(1);  // n_ids
+  put_u32(2);  // the single evaluated id
+  const uint64_t len = ndjson.size();
+  payload.append(reinterpret_cast<const char*>(&len), 8);
+  payload.append(ndjson);
+  BitVectorSet annotations(1, 2);
+  annotations.mutable_vector(0)->Set(1, true);
+  annotations.SerializeTo(&payload);
+
+  auto decoded = ChunkMessage::Deserialize(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->total_predicates, 0u);  // unknown: legacy maskless
+  EXPECT_EQ(decoded->predicate_ids, (std::vector<uint32_t>{2}));
+  EXPECT_EQ(decoded->chunk.size(), 2u);
+  EXPECT_TRUE(decoded->annotations.vector(0).Get(1));
+  // Receivers expand against their own registry width, as before.
+  auto expanded = decoded->ExpandAnnotations(4);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_TRUE(expanded->vector(0).All());
+  EXPECT_FALSE(expanded->vector(2).Get(0));
+}
+
+TEST(ChunkMessageTest, EveryTruncationOfMaskedMessageIsRejected) {
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})", R"({"a":2})"});
+  msg.total_predicates = 3;
+  msg.predicate_ids = {0, 2};
+  msg.annotations = BitVectorSet(2, 2);
+  msg.annotations.mutable_vector(0)->Set(0, true);
+  std::string payload;
+  msg.SerializeTo(&payload);
+
+  // Every strict prefix must fail cleanly — never crash, never
+  // half-decode (the frame ends with the annotation set, so any cut
+  // lands inside a required field).
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded = ChunkMessage::Deserialize(payload.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ChunkMessageTest, EvaluatedIdOutsideMaskIsCorruption) {
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})"});
+  msg.total_predicates = 2;
+  msg.predicate_ids = {5};  // outside [0, 2)
+  msg.annotations = BitVectorSet(1, 1);
+  std::string payload;
+  msg.SerializeTo(&payload);
+  EXPECT_TRUE(ChunkMessage::Deserialize(payload).status().IsCorruption());
+}
+
+TEST(ChunkMessageTest, FlippedMagicIsCorruption) {
+  ChunkMessage msg;
+  msg.chunk = MakeChunk({R"({"a":1})"});
+  msg.total_predicates = 1;
+  msg.predicate_ids = {0};
+  msg.annotations = BitVectorSet(1, 1);
+  std::string payload;
+  msg.SerializeTo(&payload);
+  payload[3] = 'X';  // neither CMSG nor CMG2
+  EXPECT_TRUE(ChunkMessage::Deserialize(payload).status().IsCorruption());
+}
+
 // ---------- Transports ----------
 
 TEST(TransportTest, InMemoryFifo) {
@@ -260,6 +355,53 @@ TEST(PartialLoaderTest, AnnotationMismatchRejected) {
                   .IngestChunk(fx.Chunk(4), BitVectorSet(2, 5), true,
                                &fx.catalog, &fx.stats)
                   .IsInvalidArgument());
+}
+
+TEST(PartialLoaderTest, IngestMessageCompletesMissingPredicates) {
+  // Registry: p0 = (s = "v1"), p1 = (s = "v2"). The chunk's client only
+  // evaluated p0; a completion-enabled loader evaluates p1 itself, so
+  // the load decision uses exact bits for both — the all-ones fallback
+  // would have loaded every record.
+  LoaderFixture fx;
+  PredicateRegistry registry;
+  ASSERT_TRUE(
+      registry.Register(Clause::Of(SimplePredicate::Exact("s", "v1")), 0.33, 1.0)
+          .ok());
+  ASSERT_TRUE(
+      registry.Register(Clause::Of(SimplePredicate::Exact("s", "v2")), 0.33, 1.0)
+          .ok());
+
+  ChunkMessage msg;
+  msg.chunk = fx.Chunk(9);  // s cycles v0,v1,v2 -> p0: rows 1,4,7; p1: 2,5,8
+  msg.total_predicates = 2;
+  msg.predicate_ids = {0};
+  msg.annotations = BitVectorSet(1, 9);
+  for (const size_t row : {1, 4, 7}) {
+    msg.annotations.mutable_vector(0)->Set(row, true);
+  }
+
+  PartialLoader completing(fx.schema, registry, /*annotation_epoch=*/0,
+                           /*server_completion=*/true);
+  ASSERT_TRUE(completing
+                  .IngestMessage(msg, /*partial_loading_enabled=*/true,
+                                 &fx.catalog, &fx.stats)
+                  .ok());
+  EXPECT_EQ(fx.stats.records_loaded, 6u);  // rows 1,2,4,5,7,8
+  EXPECT_EQ(fx.stats.records_sidelined, 3u);
+  EXPECT_EQ(fx.stats.predicates_completed, 1u);
+  EXPECT_GE(fx.stats.completion_seconds, 0.0);
+
+  // Same message through a completion-disabled loader: p1 is all-ones
+  // ("maybe"), so everything loads — sound but imprecise.
+  LoaderFixture conservative;
+  PartialLoader plain(conservative.schema, registry, /*annotation_epoch=*/0,
+                      /*server_completion=*/false);
+  ASSERT_TRUE(plain
+                  .IngestMessage(msg, /*partial_loading_enabled=*/true,
+                                 &conservative.catalog, &conservative.stats)
+                  .ok());
+  EXPECT_EQ(conservative.stats.records_loaded, 9u);
+  EXPECT_EQ(conservative.stats.predicates_completed, 0u);
 }
 
 // ---------- JIT loader ----------
