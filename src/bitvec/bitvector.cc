@@ -52,6 +52,18 @@ Status BitVector::AndWith(const BitVector& other) {
   return Status::OK();
 }
 
+Result<bool> BitVector::AndWithAny(const BitVector& other) {
+  if (size_ != other.size_) {
+    return Status::InvalidArgument("BitVector::AndWithAny: size mismatch");
+  }
+  uint64_t any = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+    any |= words_[i];
+  }
+  return any != 0;
+}
+
 Status BitVector::OrWith(const BitVector& other) {
   if (size_ != other.size_) {
     return Status::InvalidArgument("BitVector::OrWith: size mismatch");

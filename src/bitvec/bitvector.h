@@ -59,6 +59,11 @@ class BitVector {
   Status AndWith(const BitVector& other);
   Status OrWith(const BitVector& other);
 
+  /// In-place AND that also reports whether any bit survives — the
+  /// vectorized executor's clause-tree combiner (one word pass, no second
+  /// scan to decide early exit). Sizes must match.
+  Result<bool> AndWithAny(const BitVector& other);
+
   /// Flips every bit.
   void Negate();
 

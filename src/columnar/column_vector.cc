@@ -4,7 +4,22 @@ namespace ciao::columnar {
 
 ColumnVector::ColumnVector(ColumnType type) : type_(type) {}
 
+void ColumnVector::DropDictionary() {
+  if (!dict_values_.empty()) {
+    dict_codes_.clear();
+    dict_values_.clear();
+  }
+}
+
+void ColumnVector::SetDictionary(std::vector<uint32_t> codes,
+                                 std::vector<std::string> values) {
+  if (codes.size() != size_) return;  // misaligned view is worse than none
+  dict_codes_ = std::move(codes);
+  dict_values_ = std::move(values);
+}
+
 void ColumnVector::AppendNull() {
+  DropDictionary();
   validity_.PushBack(false);
   switch (type_) {
     case ColumnType::kInt64:
@@ -24,24 +39,28 @@ void ColumnVector::AppendNull() {
 }
 
 void ColumnVector::AppendInt64(int64_t v) {
+  DropDictionary();
   validity_.PushBack(true);
   ints_.push_back(v);
   ++size_;
 }
 
 void ColumnVector::AppendDouble(double v) {
+  DropDictionary();
   validity_.PushBack(true);
   doubles_.push_back(v);
   ++size_;
 }
 
 void ColumnVector::AppendBool(bool v) {
+  DropDictionary();
   validity_.PushBack(true);
   bools_.PushBack(v);
   ++size_;
 }
 
 void ColumnVector::AppendString(std::string_view v) {
+  DropDictionary();
   validity_.PushBack(true);
   buffer_.append(v);
   offsets_.push_back(static_cast<uint32_t>(buffer_.size()));

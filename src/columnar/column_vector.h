@@ -52,6 +52,36 @@ class ColumnVector {
 
   const BitVector& validity() const { return validity_; }
 
+  // ---- Batch-kernel accessors (engine/vectorized_eval) ----
+  // Contiguous typed spans so kernels read raw arrays instead of per-row
+  // virtual access, plus validity/bool payloads one 64-row word at a
+  // time. NULL slots hold the typed placeholder (0 / 0.0 / false / empty),
+  // so a kernel may compare them freely and mask with ValidityWord after.
+
+  /// Raw int64 span; size() entries when type() == kInt64.
+  const int64_t* int_data() const { return ints_.data(); }
+  /// Raw double span; size() entries when type() == kDouble.
+  const double* double_data() const { return doubles_.data(); }
+  /// 64 validity bits starting at row wi*64; padding past size() is zero.
+  uint64_t ValidityWord(size_t wi) const { return validity_.word(wi); }
+  /// 64 bool payload bits starting at row wi*64 (kBool only); padding
+  /// past size() is zero, NULL slots are false.
+  uint64_t BoolWord(size_t wi) const { return bools_.word(wi); }
+
+  // ---- Dictionary view (kString columns decoded from dictionary
+  // encoding; see columnar/encoding.h) ----
+  // When present, dict_codes()[i] indexes dict_values() for every row
+  // (NULL rows carry code 0; validity masks them), letting equality
+  // kernels compare small integers instead of bytes. Any append drops the
+  // view — it is a decode-time acceleration structure, not state the
+  // writer maintains.
+  bool has_dictionary() const { return !dict_values_.empty(); }
+  const std::vector<uint32_t>& dict_codes() const { return dict_codes_; }
+  const std::vector<std::string>& dict_values() const { return dict_values_; }
+  /// Installs the dictionary view; codes.size() must equal size().
+  void SetDictionary(std::vector<uint32_t> codes,
+                     std::vector<std::string> values);
+
   /// Deep equality (type, validity, and valid values).
   bool Equals(const ColumnVector& other) const;
 
@@ -71,6 +101,10 @@ class ColumnVector {
   BitVector bools_;
   std::vector<uint32_t> offsets_{0};
   std::string buffer_;
+  std::vector<uint32_t> dict_codes_;
+  std::vector<std::string> dict_values_;
+
+  void DropDictionary();
 };
 
 }  // namespace ciao::columnar

@@ -79,6 +79,7 @@ Result<ColumnVector> DecodeStringDictionary(wire::Cursor* cursor, size_t rows,
     return Status::Corruption("dictionary column: bad code width");
   }
   ColumnVector col(ColumnType::kString);
+  std::vector<uint32_t> codes(rows, 0);
   for (size_t i = 0; i < rows; ++i) {
     uint32_t code = 0;
     uint8_t b0 = 0;
@@ -90,13 +91,21 @@ Result<ColumnVector> DecodeStringDictionary(wire::Cursor* cursor, size_t rows,
       code |= static_cast<uint32_t>(b1) << 8;
     }
     if (!validity.Get(i)) {
-      col.AppendNull();
+      col.AppendNull();  // code stays 0; validity masks it
       continue;
     }
     if (code >= dict_size) {
       return Status::Corruption("dictionary column: code out of range");
     }
+    codes[i] = code;
     col.AppendString(entries[code]);
+  }
+  // Keep the dictionary view alongside the materialized strings so
+  // equality kernels can compare codes instead of bytes
+  // (engine/vectorized_eval); empty dictionaries carry no view.
+  if (dict_size > 0) {
+    std::vector<std::string> values(entries.begin(), entries.end());
+    col.SetDictionary(std::move(codes), std::move(values));
   }
   return col;
 }

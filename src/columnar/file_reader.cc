@@ -13,6 +13,21 @@ constexpr std::string_view kEndMagic = "CIAOEND1";
 constexpr uint32_t kGroupMarker = 0x50555247;   // "GRUP"
 constexpr uint32_t kFooterMarker = 0x544F4F46;  // "FOOT"
 
+Status ParseZoneMaps(wire::Cursor* cursor, std::vector<ZoneMap>* out) {
+  uint32_t zm_count = 0;
+  CIAO_RETURN_IF_ERROR(cursor->ReadU32(&zm_count));
+  out->resize(zm_count);
+  for (ZoneMap& zm : *out) {
+    uint8_t has = 0;
+    CIAO_RETURN_IF_ERROR(cursor->ReadU8(&has));
+    zm.has_minmax = has != 0;
+    CIAO_RETURN_IF_ERROR(cursor->ReadF64(&zm.min));
+    CIAO_RETURN_IF_ERROR(cursor->ReadF64(&zm.max));
+    CIAO_RETURN_IF_ERROR(cursor->ReadU64(&zm.null_count));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<TableReader> TableReader::Open(std::string file_bytes) {
@@ -21,9 +36,11 @@ Result<TableReader> TableReader::Open(std::string file_bytes) {
   return OpenImpl(std::move(reader));
 }
 
-Result<TableReader> TableReader::OpenBorrowed(std::string_view file_bytes) {
+Result<TableReader> TableReader::OpenBorrowed(std::string_view file_bytes,
+                                              ChecksumMode checksum) {
   TableReader reader;
   reader.borrowed_ = file_bytes;
+  reader.checksum_ = checksum;
   return OpenImpl(std::move(reader));
 }
 
@@ -85,17 +102,29 @@ Result<RowGroupMeta> TableReader::ReadMeta(size_t i) const {
   CIAO_ASSIGN_OR_RETURN(meta.annotations,
                         BitVectorSet::Deserialize(header, &pos));
   cursor = wire::Cursor(header, pos);
-  uint32_t zm_count = 0;
-  CIAO_RETURN_IF_ERROR(cursor.ReadU32(&zm_count));
-  meta.zone_maps.resize(zm_count);
-  for (ZoneMap& zm : meta.zone_maps) {
-    uint8_t has = 0;
-    CIAO_RETURN_IF_ERROR(cursor.ReadU8(&has));
-    zm.has_minmax = has != 0;
-    CIAO_RETURN_IF_ERROR(cursor.ReadF64(&zm.min));
-    CIAO_RETURN_IF_ERROR(cursor.ReadF64(&zm.max));
-    CIAO_RETURN_IF_ERROR(cursor.ReadU64(&zm.null_count));
+  CIAO_RETURN_IF_ERROR(ParseZoneMaps(&cursor, &meta.zone_maps));
+  if (meta.annotations.num_predicates() > 0 &&
+      meta.annotations.num_records() != meta.num_rows) {
+    return Status::Corruption("row group: annotation length mismatch");
   }
+  return meta;
+}
+
+Result<RowGroupMetaLite> TableReader::ReadMetaLite(size_t i) const {
+  if (i >= groups_.size()) {
+    return Status::OutOfRange("ReadMeta: group index out of range");
+  }
+  const GroupIndex& g = groups_[i];
+  const std::string_view header =
+      data().substr(g.header_offset, g.header_len);
+  wire::Cursor cursor(header);
+  RowGroupMetaLite meta;
+  CIAO_RETURN_IF_ERROR(cursor.ReadU64(&meta.num_rows));
+  size_t pos = cursor.position();
+  CIAO_ASSIGN_OR_RETURN(meta.annotations,
+                        BitVectorSetView::Parse(header, &pos));
+  cursor = wire::Cursor(header, pos);
+  CIAO_RETURN_IF_ERROR(ParseZoneMaps(&cursor, &meta.zone_maps));
   if (meta.annotations.num_predicates() > 0 &&
       meta.annotations.num_records() != meta.num_rows) {
     return Status::Corruption("row group: annotation length mismatch");
@@ -124,10 +153,12 @@ Result<RecordBatch> TableReader::ReadBatchProjected(
   const std::string_view data = this->data();
   const std::string_view header = data.substr(g.header_offset, g.header_len);
   const std::string_view body = data.substr(g.body_offset, g.body_len);
-  uint32_t crc = Crc32(header);
-  crc = Crc32(body.data(), body.size(), crc);
-  if (crc != g.crc) {
-    return Status::Corruption("row group: CRC mismatch");
+  if (checksum_ == ChecksumMode::kVerify) {
+    uint32_t crc = Crc32(header);
+    crc = Crc32(body.data(), body.size(), crc);
+    if (crc != g.crc) {
+      return Status::Corruption("row group: CRC mismatch");
+    }
   }
 
   wire::Cursor cursor(body);

@@ -21,9 +21,32 @@ struct RowGroupMeta {
   std::vector<ZoneMap> zone_maps;
 };
 
+/// RowGroupMeta for the per-query hot path: annotations stay a borrowed
+/// zero-decode view (the skipping scan intersects 1-3 of potentially
+/// hundreds of pushed predicates, and full scans never read them at all),
+/// while num_rows and zone maps — always consulted — are decoded eagerly.
+/// Borrows the reader's bytes; do not outlive it.
+struct RowGroupMetaLite {
+  uint64_t num_rows = 0;
+  BitVectorSetView annotations;
+  std::vector<ZoneMap> zone_maps;
+};
+
+/// Whether row-group reads re-verify the body CRC before decoding.
+/// `kVerify` (default) guards bytes of unknown provenance — files read
+/// back from storage, anything that crossed a process boundary. `kTrust`
+/// skips the check for bytes produced by the in-process TableWriter and
+/// held in memory ever since (catalog segments): the writer computed the
+/// CRC over these exact bytes, so re-hashing the whole group body on
+/// every query would cost more than the projected decode it guards.
+enum class ChecksumMode {
+  kVerify,
+  kTrust,
+};
+
 /// Reads files produced by TableWriter. Opening validates magic/footer/
 /// group framing; column payloads are decoded lazily per row group, with
-/// CRC verification.
+/// CRC verification per ChecksumMode.
 class TableReader {
  public:
   /// Parses framing and builds the group index, taking ownership.
@@ -31,13 +54,18 @@ class TableReader {
 
   /// Borrowing variant: `file_bytes` must outlive the reader. The query
   /// executor uses this so per-query scans never copy segment bytes.
-  static Result<TableReader> OpenBorrowed(std::string_view file_bytes);
+  static Result<TableReader> OpenBorrowed(
+      std::string_view file_bytes, ChecksumMode checksum = ChecksumMode::kVerify);
 
   const Schema& schema() const { return schema_; }
   size_t num_row_groups() const { return groups_.size(); }
 
   /// Decodes only the header (annotations + zone maps) of group `i`.
   Result<RowGroupMeta> ReadMeta(size_t i) const;
+
+  /// Hot-path variant: annotation bitvectors are returned as a lazy view
+  /// instead of being materialized (see RowGroupMetaLite).
+  Result<RowGroupMetaLite> ReadMetaLite(size_t i) const;
 
   /// Decodes the columns of group `i` (CRC-verified).
   Result<RecordBatch> ReadBatch(size_t i) const;
@@ -77,6 +105,7 @@ class TableReader {
   std::string_view borrowed_;
   Schema schema_;
   std::vector<GroupIndex> groups_;
+  ChecksumMode checksum_ = ChecksumMode::kVerify;
 };
 
 }  // namespace ciao::columnar

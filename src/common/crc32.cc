@@ -1,31 +1,57 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
 
 namespace ciao {
 
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+/// Slicing-by-8 table set: table[0] is the classic byte-at-a-time table,
+/// table[t][b] is the CRC of byte b followed by t zero bytes. Eight bytes
+/// are then folded per step with eight independent lookups instead of an
+/// 8-long dependency chain — ~6-8x over the byte loop, which matters
+/// because every row-group read verifies its body before decoding.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
+  static const auto kTables = BuildTables();
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xFFFFFFFFU;
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^
+        kTables[5][(lo >> 16) & 0xFF] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+        kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
   for (size_t i = 0; i < len; ++i) {
-    c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    c = kTables[0][(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFU;
 }

@@ -4,9 +4,12 @@
 #include <functional>
 #include <thread>
 
+#include <optional>
+
 #include "columnar/file_reader.h"
 #include "common/timer.h"
 #include "engine/typed_eval.h"
+#include "engine/vectorized_eval.h"
 #include "engine/zone_map_filter.h"
 #include "json/parser.h"
 #include "predicate/pattern_compiler.h"
@@ -16,6 +19,60 @@
 namespace ciao {
 
 namespace {
+
+/// The query compiled for whichever evaluation mode the executor runs:
+/// exactly one of the two evaluators is populated. Counts are identical
+/// either way (pinned by tests/vectorized_eval_test.cc); `wanted` is the
+/// column-pruning mask both share.
+struct GroupEvaluator {
+  std::optional<CompiledTypedQuery> rowwise;
+  std::optional<VectorizedQuery> vectorized;
+  std::vector<bool> wanted;
+
+  static Result<GroupEvaluator> Make(const Query& query,
+                                     const columnar::Schema& schema,
+                                     QueryEvalMode mode) {
+    GroupEvaluator ev;
+    if (mode == QueryEvalMode::kVectorized) {
+      CIAO_ASSIGN_OR_RETURN(VectorizedQuery vq,
+                            VectorizedQuery::Compile(query, schema));
+      ev.wanted = vq.ReferencedColumns(schema.num_fields());
+      ev.vectorized.emplace(std::move(vq));
+    } else {
+      CIAO_ASSIGN_OR_RETURN(CompiledTypedQuery cq,
+                            CompiledTypedQuery::Compile(query, schema));
+      ev.wanted = cq.ReferencedColumns(schema.num_fields());
+      ev.rowwise.emplace(std::move(cq));
+    }
+    return ev;
+  }
+
+  /// Verifies `batch` rows against the full typed predicate, restricted
+  /// to `selection` when non-null, and returns the match count. Stats are
+  /// the caller's job (one add per batch, not per row).
+  Result<uint64_t> CountMatches(const columnar::RecordBatch& batch,
+                                uint64_t num_rows,
+                                const BitVector* selection) const {
+    if (vectorized.has_value()) {
+      CIAO_ASSIGN_OR_RETURN(
+          BitVector hits,
+          vectorized->Evaluate(batch, static_cast<size_t>(num_rows),
+                               selection));
+      return static_cast<uint64_t>(hits.CountOnes());
+    }
+    uint64_t matched = 0;
+    if (selection != nullptr) {
+      for (const uint32_t r : selection->SetBits()) {
+        if (rowwise->Matches(batch, r)) ++matched;
+      }
+    } else {
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (rowwise->Matches(batch, r)) ++matched;
+      }
+    }
+    return matched;
+  }
+};
 
 /// Runs `scan_one` over every snapshotted segment, fanning out across
 /// worker threads when requested. Partial counts/stats accumulate per
@@ -70,15 +127,15 @@ Status ScanSegments(
 /// Typed verify of every row of one group (zone maps already consulted):
 /// the path for full scans and for groups whose annotations are stale.
 Status ScanGroupAllRows(const columnar::TableReader& reader, size_t group,
-                        uint64_t num_rows, const CompiledTypedQuery& compiled,
-                        const std::vector<bool>& wanted, QueryResult* out) {
+                        uint64_t num_rows, const GroupEvaluator& eval,
+                        QueryResult* out) {
   CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
-                        reader.ReadBatchProjected(group, wanted));
+                        reader.ReadBatchProjected(group, eval.wanted));
   ++out->stats.groups_scanned;
-  for (size_t r = 0; r < num_rows; ++r) {
-    ++out->stats.rows_evaluated;
-    if (compiled.Matches(batch, r)) ++out->count;
-  }
+  out->stats.rows_evaluated += num_rows;  // one add per batch, not per row
+  CIAO_ASSIGN_OR_RETURN(const uint64_t matched,
+                        eval.CountMatches(batch, num_rows, nullptr));
+  out->count += matched;
   return Status::OK();
 }
 
@@ -110,18 +167,21 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
   const CatalogSnapshot snapshot = catalog_->Snapshot();
 
   CIAO_ASSIGN_OR_RETURN(
-      CompiledTypedQuery compiled,
-      CompiledTypedQuery::Compile(query, catalog_->schema()));
+      GroupEvaluator eval,
+      GroupEvaluator::Make(query, catalog_->schema(), options_.query_eval));
 
-  const std::vector<bool> wanted =
-      compiled.ReferencedColumns(catalog_->schema().num_fields());
   const auto scan_one = [&](const ColumnarSegment& segment,
                             QueryResult* out) -> Status {
+    // kTrust: segment bytes come from the in-process TableWriter and have
+    // lived in memory since; re-hashing every group body per query would
+    // dwarf the projected decode itself.
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(segment.file_bytes));
+        columnar::TableReader::OpenBorrowed(segment.file_bytes,
+                                            columnar::ChecksumMode::kTrust));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
-      CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
+      CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMetaLite meta,
+                            reader.ReadMetaLite(g));
       if (options_.use_zone_maps &&
           !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
                               meta.num_rows)) {
@@ -130,7 +190,7 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
         continue;
       }
       CIAO_RETURN_IF_ERROR(
-          ScanGroupAllRows(reader, g, meta.num_rows, compiled, wanted, out));
+          ScanGroupAllRows(reader, g, meta.num_rows, eval, out));
     }
     return Status::OK();
   };
@@ -154,6 +214,8 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
       }
     }
     JitStats jit;
+    uint64_t screened_out = 0;
+    uint64_t matched = 0;
     for (size_t i = 0; i < raw->size(); ++i) {
       const std::string_view record = raw->Record(i);
       bool maybe = true;
@@ -164,7 +226,7 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
         }
       }
       if (!maybe) {
-        ++result.stats.raw_records_screened_out;
+        ++screened_out;
         continue;
       }
       Result<json::Value> parsed = json::Parse(record);
@@ -173,8 +235,10 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
         continue;
       }
       ++jit.records_parsed;
-      if (EvaluateQuery(query, *parsed)) ++result.count;
+      if (EvaluateQuery(query, *parsed)) ++matched;
     }
+    result.count += matched;
+    result.stats.raw_records_screened_out = screened_out;
     result.stats.raw_records_scanned = jit.records_parsed;
     result.stats.raw_parse_errors = jit.parse_errors;
   }
@@ -195,10 +259,8 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
   }
 
   CIAO_ASSIGN_OR_RETURN(
-      CompiledTypedQuery compiled,
-      CompiledTypedQuery::Compile(query, catalog_->schema()));
-  const std::vector<bool> wanted =
-      compiled.ReferencedColumns(catalog_->schema().num_fields());
+      GroupEvaluator eval,
+      GroupEvaluator::Make(query, catalog_->schema(), options_.query_eval));
 
   const auto scan_one = [&](const ColumnarSegment& segment,
                             QueryResult* out) -> Status {
@@ -209,9 +271,11 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
     const bool annotations_fresh = segment.annotation_epoch == epoch_id;
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(segment.file_bytes));
+        columnar::TableReader::OpenBorrowed(segment.file_bytes,
+                                            columnar::ChecksumMode::kTrust));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
-      CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));
+      CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMetaLite meta,
+                            reader.ReadMetaLite(g));
       if (!annotations_fresh) {
         ++out->stats.groups_stale_annotations;
         if (options_.use_zone_maps &&
@@ -222,7 +286,7 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
           continue;
         }
         CIAO_RETURN_IF_ERROR(
-            ScanGroupAllRows(reader, g, meta.num_rows, compiled, wanted, out));
+            ScanGroupAllRows(reader, g, meta.num_rows, eval, out));
         continue;
       }
       // AND the bitvectors of the query's pushed-down clauses (§VI-B).
@@ -243,15 +307,16 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
         continue;
       }
       CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
-                            reader.ReadBatchProjected(g, wanted));
+                            reader.ReadBatchProjected(g, eval.wanted));
       ++out->stats.groups_scanned;
       out->stats.rows_skipped += meta.num_rows - candidates;
+      out->stats.rows_evaluated += candidates;
       // Verify candidates with the full typed predicate: bitvectors may
       // contain false positives and the query may have non-pushed clauses.
-      for (const uint32_t r : mask.SetBits()) {
-        ++out->stats.rows_evaluated;
-        if (compiled.Matches(batch, r)) ++out->count;
-      }
+      // The candidate mask is the vectorized path's selection vector.
+      CIAO_ASSIGN_OR_RETURN(const uint64_t matched,
+                            eval.CountMatches(batch, meta.num_rows, &mask));
+      out->count += matched;
     }
     return Status::OK();
   };
