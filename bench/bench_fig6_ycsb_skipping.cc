@@ -50,11 +50,14 @@ int main() {
   const std::vector<QueryResult> baseline = run(0.0);
 
   TablePrinter table({"budget_us", "faster_queries", "skipping_queries",
-                      "total_queries", "fraction_benefiting"});
+                      "total_queries", "fraction_benefiting",
+                      "groups_considered", "groups_skipped", "rows_decoded"});
   for (const double budget : {25.0, 50.0, 75.0, 100.0, 125.0}) {
     const std::vector<QueryResult> results = run(budget);
     size_t faster = 0, skipping = 0;
+    ScanStats scan;
     for (size_t i = 0; i < results.size(); ++i) {
+      scan.MergeFrom(results[i].stats);
       if (results[i].plan == PlanKind::kSkippingScan) {
         ++skipping;
         if (results[i].seconds < baseline[i].seconds) ++faster;
@@ -65,7 +68,12 @@ int main() {
                   StrFormat("%zu", results.size()),
                   FormatDouble(static_cast<double>(faster) /
                                    static_cast<double>(results.size()),
-                               3)});
+                               3),
+                  StrFormat("%llu", (unsigned long long)scan.groups_considered),
+                  StrFormat("%llu",
+                            (unsigned long long)(scan.groups_skipped +
+                                                 scan.groups_skipped_zonemap)),
+                  StrFormat("%llu", (unsigned long long)scan.rows_decoded)});
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(

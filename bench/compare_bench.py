@@ -29,6 +29,9 @@ METRICS = {
     "items_per_second": (True, 0.0),
     "prefilter_seconds": (False, 1e-3),
     "query_seconds": (False, 1e-3),
+    # Row groups pruned before decode (relayout skew cell): a drop means
+    # clustering or the density/zone-map skip path stopped firing.
+    "groups_skipped": (True, 0.0),
 }
 
 

@@ -28,6 +28,25 @@ Status ParseZoneMaps(wire::Cursor* cursor, std::vector<ZoneMap>* out) {
   return Status::OK();
 }
 
+/// Parses the optional match-density summary trailing the zone maps.
+/// Files written before the summary existed end right after the zone
+/// maps; an exhausted cursor therefore means "absent", not corruption.
+Status ParseMatchCounts(wire::Cursor* cursor, size_t num_predicates,
+                        std::vector<uint32_t>* out) {
+  out->clear();
+  if (cursor->AtEnd()) return Status::OK();
+  uint32_t count = 0;
+  CIAO_RETURN_IF_ERROR(cursor->ReadU32(&count));
+  if (count != num_predicates) {
+    return Status::Corruption("row group: match-density count mismatch");
+  }
+  out->resize(count);
+  for (uint32_t& c : *out) {
+    CIAO_RETURN_IF_ERROR(cursor->ReadU32(&c));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<TableReader> TableReader::Open(std::string file_bytes) {
@@ -103,6 +122,8 @@ Result<RowGroupMeta> TableReader::ReadMeta(size_t i) const {
                         BitVectorSet::Deserialize(header, &pos));
   cursor = wire::Cursor(header, pos);
   CIAO_RETURN_IF_ERROR(ParseZoneMaps(&cursor, &meta.zone_maps));
+  CIAO_RETURN_IF_ERROR(ParseMatchCounts(
+      &cursor, meta.annotations.num_predicates(), &meta.match_counts));
   if (meta.annotations.num_predicates() > 0 &&
       meta.annotations.num_records() != meta.num_rows) {
     return Status::Corruption("row group: annotation length mismatch");
@@ -125,6 +146,8 @@ Result<RowGroupMetaLite> TableReader::ReadMetaLite(size_t i) const {
                         BitVectorSetView::Parse(header, &pos));
   cursor = wire::Cursor(header, pos);
   CIAO_RETURN_IF_ERROR(ParseZoneMaps(&cursor, &meta.zone_maps));
+  CIAO_RETURN_IF_ERROR(ParseMatchCounts(
+      &cursor, meta.annotations.num_predicates(), &meta.match_counts));
   if (meta.annotations.num_predicates() > 0 &&
       meta.annotations.num_records() != meta.num_rows) {
     return Status::Corruption("row group: annotation length mismatch");

@@ -19,6 +19,9 @@ struct RowGroupMeta {
   uint64_t num_rows = 0;
   BitVectorSet annotations;
   std::vector<ZoneMap> zone_maps;
+  /// Per-predicate match popcounts (one per annotation slot); empty when
+  /// the file predates the density summary. See file_writer.h.
+  std::vector<uint32_t> match_counts;
 };
 
 /// RowGroupMeta for the per-query hot path: annotations stay a borrowed
@@ -30,6 +33,9 @@ struct RowGroupMetaLite {
   uint64_t num_rows = 0;
   BitVectorSetView annotations;
   std::vector<ZoneMap> zone_maps;
+  /// Per-predicate match popcounts (one per annotation slot); empty when
+  /// the file predates the density summary. See file_writer.h.
+  std::vector<uint32_t> match_counts;
 };
 
 /// Whether row-group reads re-verify the body CRC before decoding.

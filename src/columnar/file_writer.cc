@@ -1,5 +1,7 @@
 #include "columnar/file_writer.h"
 
+#include <cmath>
+
 #include "columnar/encoding.h"
 #include "columnar/wire.h"
 #include "common/crc32.h"
@@ -28,6 +30,12 @@ std::vector<ZoneMap> ComputeZoneMaps(const RecordBatch& batch) {
     for (size_t i = 0; i < col.size(); ++i) {
       if (!col.IsValid(i)) continue;
       const double v = col.GetNumeric(i);
+      if (std::isnan(v)) {
+        // NaN is unordered: any min/max covering it proves nothing, so
+        // publish no range at all and readers treat the group as "maybe".
+        zm.has_minmax = false;
+        break;
+      }
       if (!zm.has_minmax) {
         zm.has_minmax = true;
         zm.min = v;
@@ -68,6 +76,16 @@ Status TableWriter::AppendRowGroup(const RecordBatch& batch,
     wire::PutF64(zm.min, &header);
     wire::PutF64(zm.max, &header);
     wire::PutU64(zm.null_count, &header);
+  }
+  // Match-density summary: popcount of each annotation vector, one u32
+  // per predicate slot. Lets the skipping scan rule a group in or out
+  // (density 0 → skip, density == num_rows → every row is a candidate)
+  // without decoding bitvector words. Readers of pre-summary files see
+  // the header end here and treat the summary as absent.
+  wire::PutU32(static_cast<uint32_t>(annotations.num_predicates()), &header);
+  for (size_t p = 0; p < annotations.num_predicates(); ++p) {
+    wire::PutU32(static_cast<uint32_t>(annotations.vector(p).CountOnes()),
+                 &header);
   }
 
   std::string body;

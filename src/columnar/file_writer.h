@@ -28,6 +28,10 @@ std::vector<ZoneMap> ComputeZoneMaps(const RecordBatch& batch);
 ///   "CIAOCOL1" | schema | group* | footer("FOOT", count, "CIAOEND1")
 ///   group: "GRUP" | u32 header_len | header | u32 body_len | body | crc32
 ///   header: u64 num_rows | annotations (BitVectorSet) | zone maps
+///           | match densities (u32 count, then one u32 popcount per
+///             predicate slot; absent in files written before the summary
+///             existed — readers treat a header ending at the zone maps
+///             as having no densities)
 ///   body:   u32 ncols | encoded column*
 ///
 /// The header is separable from the body so readers can inspect

@@ -78,6 +78,53 @@ struct IngestOptions {
   }
 };
 
+/// Knobs of the online segment re-layout pass (adaptive *physical*
+/// layout). When the adaptive runtime detects that queries keep decoding
+/// rows they then discard — hot-predicate matches smeared across every
+/// row group, so neither bitvector skipping nor zone maps prune — it can
+/// rewrite sealed segments, clustering rows by which hot predicates they
+/// satisfy and ordering each cluster by the hottest numeric column, so
+/// whole groups become skippable. The rewrite is charged against realized
+/// query waste and only fires when accumulated waste exceeds the rewrite
+/// cost by `cost_multiplier` — the classic online-reorganization regret
+/// bound: cumulative reorganization cost <= (1/cost_multiplier) x the
+/// decode waste queries actually paid.
+struct RelayoutOptions {
+  /// Master switch. Requires `adaptive.enabled`; off = plans adapt but
+  /// data never moves (the PR 3 behavior).
+  bool enabled = false;
+
+  /// A re-layout may fire only when total accumulated query waste covers
+  /// (total rewrite seconds already spent + the estimated cost of the
+  /// prospective pass) x this factor. 2.0 = never spend more than half
+  /// of what queries already wasted. The gate is on the global ledger,
+  /// so a pass that overshoots its estimate leaves a debt the next pass
+  /// must first cover with additional realized waste.
+  double cost_multiplier = 2.0;
+
+  /// Seconds of estimated decode waste that must accumulate before the
+  /// trigger is even evaluated (avoids reorganizing a cold or tiny
+  /// catalog on noise).
+  double min_waste_seconds = 0.005;
+
+  /// Hot predicates considered for clustering, hottest first by decayed
+  /// workload share. Each contributes one bit of the per-row cluster
+  /// signature, so keep this small; 16 bits covers any realistic skew.
+  size_t max_cluster_predicates = 16;
+
+  /// Rows per rewritten row group. Smaller groups give finer skipping at
+  /// more header overhead. 0 = keep the backfill default (4096).
+  size_t rows_per_group = 0;
+
+  /// Assumed rewrite throughput (rows/second) used to estimate the cost
+  /// of a prospective re-layout before any has run; after the first run
+  /// the measured throughput replaces it. Deliberately conservative
+  /// (unoptimized builds rewrite at well under 1M rows/s): a low seed
+  /// only delays the first pass, while an optimistic one would let that
+  /// pass overshoot the regret budget before measurement exists.
+  double seed_rewrite_rows_per_second = 2.5e5;
+};
+
 /// Knobs of the adaptive re-optimization runtime (epoch-versioned plans).
 /// Disabled by default: the sequential paper pipeline plans once, offline,
 /// and never revisits the decision. With `enabled` the system records
@@ -124,6 +171,9 @@ struct AdaptiveOptions {
   /// rule out (parsed once, annotated for the current epoch) and screen
   /// out the rest without parsing.
   bool jit_promotion = true;
+
+  /// Online segment re-layout (adaptive physical layout). Off by default.
+  RelayoutOptions relayout;
 };
 
 /// Tuning knobs of a CIAO deployment. The one the administrator actually

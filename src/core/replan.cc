@@ -1,5 +1,6 @@
 #include "core/replan.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/pipeline.h"
@@ -14,6 +15,14 @@ void MergeBackfill(BackfillStats* into, const BackfillStats& from) {
   into->rows_reannotated += from.rows_reannotated;
   into->raw_promoted += from.raw_promoted;
   into->raw_kept += from.raw_kept;
+  into->seconds += from.seconds;
+}
+
+void MergeRelayout(RelayoutStats* into, const RelayoutStats& from) {
+  into->segments_read += from.segments_read;
+  into->segments_written += from.segments_written;
+  into->groups_written += from.groups_written;
+  into->rows_moved += from.rows_moved;
   into->seconds += from.seconds;
 }
 
@@ -65,53 +74,184 @@ bool ReplanController::ShouldReplanLocked() {
   return true;
 }
 
+void ReplanController::AccrueWasteLocked(const QueryResult& result) {
+  const double decoded = static_cast<double>(result.stats.rows_decoded);
+  if (decoded <= 0.0 || result.seconds <= 0.0) return;
+  // Decode waste: the fraction of decoded rows the query then discarded,
+  // charged at the query's wall-clock rate. A selective query that
+  // decodes everything wastes nearly its whole runtime; once re-layout
+  // lets skipping drop non-matching groups before decode, decoded ≈
+  // matched and the accrual self-limits.
+  const double useful =
+      std::min(static_cast<double>(result.count), decoded);
+  const double waste = result.seconds * (decoded - useful) / decoded;
+  waste_credit_ += waste;
+  waste_total_ += waste;
+}
+
 bool ReplanController::OnQueryExecuted(const Query& query,
                                        const QueryResult& result) {
-  (void)result;
+  bool check_replan = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     log_.Record(query);
     ++queries_since_check_;
-    if (!ShouldReplanLocked()) return false;
+    if (config_.adaptive.relayout.enabled) AccrueWasteLocked(result);
+    check_replan = ShouldReplanLocked();
   }
 
-  // Divergence gate, outside mu_ (the epoch snapshot and the distribution
-  // diff don't need the log lock).
-  const std::shared_ptr<const PlanEpoch> epoch = epochs_->current();
-  Workload derived;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    derived = log_.DeriveWorkload(config_.adaptive.min_query_share);
-  }
-  const double divergence =
-      workload::WorkloadDivergence(derived, epoch->planned_workload());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_divergence_ = divergence;
-  }
-  if (config_.adaptive.divergence_threshold > 0.0 &&
-      divergence < config_.adaptive.divergence_threshold) {
-    return false;
+  bool installed = false;
+  if (check_replan) {
+    // Divergence gate, outside mu_ (the epoch snapshot and the
+    // distribution diff don't need the log lock).
+    const std::shared_ptr<const PlanEpoch> epoch = epochs_->current();
+    Workload derived;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      derived = log_.DeriveWorkload(config_.adaptive.min_query_share);
+    }
+    const double divergence =
+        workload::WorkloadDivergence(derived, epoch->planned_workload());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_divergence_ = divergence;
+    }
+    const bool diverged = config_.adaptive.divergence_threshold <= 0.0 ||
+                          divergence >= config_.adaptive.divergence_threshold;
+    // Single-flight: if another query's thread is already re-planning,
+    // this one just keeps executing under its snapshot.
+    if (diverged && replan_mu_.try_lock()) {
+      std::lock_guard<std::mutex> flight(replan_mu_, std::adopt_lock);
+      // Re-planning is best-effort: a failure keeps the previous epoch
+      // serving and must not turn the (successful) query into an error.
+      Result<bool> outcome = ReplanNow();
+      if (!outcome.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_replan_error_ = outcome.status();
+      } else {
+        installed = *outcome;
+      }
+    }
   }
 
-  // Single-flight: if another query's thread is already re-planning,
-  // this one just keeps executing under its snapshot.
-  if (!replan_mu_.try_lock()) return false;
+  // Physical layout rides the same control loop: whenever accumulated
+  // decode waste has paid for a rewrite cost_multiplier times over,
+  // re-cluster the catalog around the hot predicates.
+  MaybeRelayout();
+  return installed;
+}
+
+void ReplanController::MaybeRelayout() {
+  const RelayoutOptions& opt = config_.adaptive.relayout;
+  if (!opt.enabled) return;
+  double credit = 0.0;
+  double waste_total = 0.0;
+  double spent = 0.0;
+  double measured_rps = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    credit = waste_credit_;
+    waste_total = waste_total_;
+    spent = spent_seconds_;
+    measured_rps = measured_rewrite_rps_;
+  }
+  // Fresh waste must exist since the last pass — a just-clustered
+  // catalog shouldn't immediately re-cluster on surplus from before.
+  if (credit < opt.min_waste_seconds) return;
+  // The benefit side is realized waste; the cost side is the prospective
+  // rewrite, estimated from catalog size and the last measured (or
+  // seeded) rewrite throughput. The gate is on the *global* ledger:
+  //
+  //   waste_total >= (spent + estimated_cost) * cost_multiplier
+  //
+  // so cumulative spend stays within ~1/multiplier of the waste queries
+  // actually paid (the worst-case regret guarantee), and a pass that
+  // overshot its estimate leaves a debt the next pass must first cover
+  // with additional realized waste — estimation error self-corrects
+  // instead of compounding.
+  const double rps = measured_rps > 0.0
+                         ? measured_rps
+                         : std::max(opt.seed_rewrite_rows_per_second, 1.0);
+  const double estimated_cost =
+      static_cast<double>(catalog_->loaded_rows()) / rps;
+  const double required = (spent + estimated_cost) * opt.cost_multiplier;
+  if (waste_total < required) return;
+  if (!replan_mu_.try_lock()) return;
   std::lock_guard<std::mutex> flight(replan_mu_, std::adopt_lock);
-  // Re-planning is best-effort: a failure keeps the previous epoch
-  // serving and must not turn the (successful) query into an error.
-  Result<bool> outcome = ReplanNow();
+  {
+    // Re-check under the flight lock: a pass that published between the
+    // gate check and here already consumed this budget.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (waste_credit_ < opt.min_waste_seconds ||
+        waste_total_ < (spent_seconds_ + estimated_cost) *
+                           opt.cost_multiplier) {
+      return;
+    }
+  }
+  Result<bool> outcome = RelayoutNow();
   if (!outcome.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
-    last_replan_error_ = outcome.status();
-    return false;
+    last_relayout_error_ = outcome.status();
   }
-  return *outcome;
 }
 
 Result<bool> ReplanController::ForceReplan() {
   std::lock_guard<std::mutex> flight(replan_mu_);
   return ReplanNow();
+}
+
+Result<bool> ReplanController::ForceRelayout() {
+  std::lock_guard<std::mutex> flight(replan_mu_);
+  return RelayoutNow();
+}
+
+Result<bool> ReplanController::RelayoutNow() {
+  const RelayoutOptions& opt = config_.adaptive.relayout;
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_->current();
+  const PredicateRegistry& registry = epoch->registry();
+  if (registry.empty()) return false;
+  Workload derived;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    derived = log_.DeriveWorkload(config_.adaptive.min_query_share);
+  }
+  if (derived.queries.empty()) return false;
+  const std::vector<HotPredicate> hot =
+      RankHotPredicates(derived, registry, opt.max_cluster_predicates);
+  if (hot.empty()) return false;
+
+  // Exclude in-flight ingest for the duration: appends racing the pass
+  // would only produce extra non-participating segments (correct but
+  // immediately-stale work), and holding the gate keeps re-layout and
+  // re-planning from interleaving with sideline restructuring. The
+  // all-or-nothing publish inside RelayoutSegments is the correctness
+  // backstop either way. Queries never hold the gate.
+  std::unique_lock<std::shared_mutex> gate;
+  if (ingest_gate_ != nullptr) {
+    gate = std::unique_lock<std::shared_mutex>(*ingest_gate_);
+  }
+  RelayoutStats pass;
+  bool relaid = false;
+  const Status status = RelayoutSegments(catalog_, registry, hot, epoch->id,
+                                         opt, &pass, &relaid);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Every second of rewrite work counts against the regret ledger,
+    // including failed or aborted passes — the bound is on cost paid,
+    // not on cost that happened to pay off.
+    spent_seconds_ += pass.seconds;
+    MergeRelayout(&relayout_total_, pass);
+    if (relaid) {
+      ++relayouts_;
+      waste_credit_ = 0.0;
+      if (pass.rows_moved > 0 && pass.seconds > 0.0) {
+        measured_rewrite_rps_ =
+            static_cast<double>(pass.rows_moved) / pass.seconds;
+      }
+    }
+  }
+  CIAO_RETURN_IF_ERROR(status);
+  return relaid;
 }
 
 CostModel ReplanController::ModelForReplan(const PlanEpoch& epoch) {
@@ -222,6 +362,31 @@ BackfillStats ReplanController::backfill_stats() const {
 Status ReplanController::last_replan_error() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_replan_error_;
+}
+
+uint64_t ReplanController::relayouts_performed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return relayouts_;
+}
+
+RelayoutStats ReplanController::relayout_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return relayout_total_;
+}
+
+double ReplanController::relayout_waste_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waste_total_;
+}
+
+double ReplanController::relayout_spent_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_seconds_;
+}
+
+Status ReplanController::last_relayout_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_relayout_error_;
 }
 
 }  // namespace ciao

@@ -16,6 +16,7 @@
 #include "engine/plan.h"
 #include "storage/backfill.h"
 #include "storage/catalog.h"
+#include "storage/relayout.h"
 #include "workload/history.h"
 
 namespace ciao {
@@ -68,6 +69,13 @@ class ReplanController {
   /// when the log is empty or the selection matches the current epoch's.
   Result<bool> ForceReplan();
 
+  /// Unconditional segment re-layout against the current epoch's hot
+  /// predicates (test/ops hook; bypasses the cost/benefit gate but still
+  /// charges the spent-time ledger and stays single-flight with
+  /// re-planning). Returns whether a re-clustered layout was published —
+  /// false when the log or registry is empty, or a concurrent rewrite won.
+  Result<bool> ForceRelayout();
+
   // --- Introspection (thread-safe) ---
   uint64_t replans_installed() const;
   uint64_t queries_recorded() const;
@@ -79,12 +87,44 @@ class ReplanController {
   /// failed). Failures leave the previous epoch serving.
   Status last_replan_error() const;
 
+  // --- Re-layout introspection (thread-safe) ---
+  /// Published re-layout passes.
+  uint64_t relayouts_performed() const;
+  /// Counters accumulated across all re-layout passes (including aborted
+  /// publishes, whose seconds still count as spent).
+  RelayoutStats relayout_stats() const;
+  /// Estimated decode waste accumulated from executed queries (seconds,
+  /// monotonic): wall-clock charged to rows that were decoded but did not
+  /// match. The benefit side of the regret ledger.
+  double relayout_waste_seconds() const;
+  /// Wall-clock spent rewriting segments (monotonic). The trigger only
+  /// fires when accumulated waste since the last pass covers the
+  /// estimated rewrite cost `relayout.cost_multiplier` times over, so
+  /// spent stays within ~waste / cost_multiplier — reorganization can
+  /// never cost more than a constant fraction of what queries already
+  /// wasted (the online-reorganization regret bound).
+  double relayout_spent_seconds() const;
+  /// Status of the most recent failed re-layout attempt (OK when none
+  /// failed). Failures leave the existing layout serving.
+  Status last_relayout_error() const;
+
  private:
   /// Interval/min-queries part of the trigger; requires mu_ held.
   bool ShouldReplanLocked();
 
   /// The re-plan pipeline; assumes the single-flight lock is held.
   Result<bool> ReplanNow();
+
+  /// Accrues one query's estimated decode waste; requires mu_ held.
+  void AccrueWasteLocked(const QueryResult& result);
+
+  /// Evaluates the cost/benefit gate and re-lays-out when accumulated
+  /// waste covers the estimated rewrite cost cost_multiplier times over.
+  /// Own try-lock single flight; never surfaces errors to the query.
+  void MaybeRelayout();
+
+  /// The re-layout pipeline; assumes the single-flight lock is held.
+  Result<bool> RelayoutNow();
 
   /// Picks the cost model for re-selection: recalibrated from runtime
   /// observations (augmented with a replan-time sweep of the current
@@ -109,7 +149,21 @@ class ReplanController {
   BackfillStats backfill_total_;
   Status last_replan_error_;
 
-  std::mutex replan_mu_;  // single-flight re-planning
+  // Re-layout regret ledger (guarded by mu_). waste_credit_ is the waste
+  // accumulated since the last published pass (the trigger's budget;
+  // reset on publish); waste_total_ and spent_seconds_ are the monotonic
+  // sides of the bound.
+  double waste_credit_ = 0.0;
+  double waste_total_ = 0.0;
+  double spent_seconds_ = 0.0;
+  /// Rewrite throughput measured on the last published pass (rows/s);
+  /// 0 until one ran (the config seed is used instead).
+  double measured_rewrite_rps_ = 0.0;
+  uint64_t relayouts_ = 0;
+  RelayoutStats relayout_total_;
+  Status last_relayout_error_;
+
+  std::mutex replan_mu_;  // single-flight re-planning and re-layout
 };
 
 }  // namespace ciao

@@ -110,8 +110,16 @@ class CiaoSystem {
   uint64_t replans_installed() const {
     return replan_ != nullptr ? replan_->replans_installed() : 0;
   }
-  /// The adaptive controller (nullptr when adaptive mode is off).
+  /// Segment re-layout passes published so far (0 when adaptive mode or
+  /// adaptive.relayout is off).
+  uint64_t relayouts_performed() const {
+    return replan_ != nullptr ? replan_->relayouts_performed() : 0;
+  }
+  /// The adaptive controller (nullptr when adaptive mode is off). The
+  /// mutable overload exposes the ops/test hooks (ForceReplan,
+  /// ForceRelayout).
   const ReplanController* replan_controller() const { return replan_.get(); }
+  ReplanController* replan_controller() { return replan_.get(); }
   /// Query-driven JIT promotion counters (all zero when adaptive mode or
   /// jit_promotion is off).
   QueryPromotionStats promotion_stats() const {

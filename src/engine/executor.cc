@@ -132,6 +132,7 @@ Status ScanGroupAllRows(const columnar::TableReader& reader, size_t group,
   CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
                         reader.ReadBatchProjected(group, eval.wanted));
   ++out->stats.groups_scanned;
+  out->stats.rows_decoded += num_rows;
   out->stats.rows_evaluated += num_rows;  // one add per batch, not per row
   CIAO_ASSIGN_OR_RETURN(const uint64_t matched,
                         eval.CountMatches(batch, num_rows, nullptr));
@@ -182,6 +183,7 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMetaLite meta,
                             reader.ReadMetaLite(g));
+      ++out->stats.groups_considered;
       if (options_.use_zone_maps &&
           !ZoneMapsMaySatisfy(query, catalog_->schema(), meta.zone_maps,
                               meta.num_rows)) {
@@ -262,6 +264,14 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
       GroupEvaluator eval,
       GroupEvaluator::Make(query, catalog_->schema(), options_.query_eval));
 
+  // When every clause of the query was pushed down, the intersected
+  // annotation bits decide the whole query — and if a segment's bits
+  // additionally carry exact (typed-eval) provenance, the candidate
+  // count IS the group's count: no column decode, no re-verification.
+  // Backfilled and re-clustered segments qualify; ingest segments carry
+  // client-prefilter superset bits and always re-verify.
+  const bool full_cover = predicate_ids.size() == query.clauses.size();
+
   const auto scan_one = [&](const ColumnarSegment& segment,
                             QueryResult* out) -> Status {
     // Bits written under another epoch index a different predicate set:
@@ -269,6 +279,8 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
     // Only happens in the adaptive transition window, before/while
     // backfill rewrites the segment for the new epoch.
     const bool annotations_fresh = segment.annotation_epoch == epoch_id;
+    const bool count_from_bits =
+        annotations_fresh && segment.annotations_exact && full_cover;
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
         columnar::TableReader::OpenBorrowed(segment.file_bytes,
@@ -276,6 +288,7 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMetaLite meta,
                             reader.ReadMetaLite(g));
+      ++out->stats.groups_considered;
       if (!annotations_fresh) {
         ++out->stats.groups_stale_annotations;
         if (options_.use_zone_maps &&
@@ -290,13 +303,55 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
         continue;
       }
       // AND the bitvectors of the query's pushed-down clauses (§VI-B).
-      CIAO_ASSIGN_OR_RETURN(BitVector mask,
-                            meta.annotations.Intersect(predicate_ids));
-      const size_t candidates = mask.CountOnes();
+      // The header's match-density summary often answers without touching
+      // bitvector words: a pushed predicate with zero matches rules the
+      // whole group out, and all-full densities make every row a
+      // candidate — the common cases once re-layout has clustered rows so
+      // only cluster-boundary groups carry a mixed population.
+      uint64_t candidates = 0;
+      BitVector mask;
+      const BitVector* selection = nullptr;
+      bool density_decided = false;
+      if (!meta.match_counts.empty()) {
+        bool in_range = true;
+        bool any_zero = false;
+        bool all_full = true;
+        for (const uint32_t id : predicate_ids) {
+          if (id >= meta.match_counts.size()) {
+            in_range = false;
+            break;
+          }
+          if (meta.match_counts[id] == 0) any_zero = true;
+          if (meta.match_counts[id] != meta.num_rows) all_full = false;
+        }
+        if (in_range && any_zero) {
+          density_decided = true;  // candidates stays 0 → skip below
+        } else if (in_range && all_full) {
+          candidates = meta.num_rows;
+          density_decided = true;  // selection stays null: full batch
+        }
+      }
+      if (!density_decided) {
+        CIAO_ASSIGN_OR_RETURN(mask,
+                              meta.annotations.Intersect(predicate_ids));
+        candidates = mask.CountOnes();
+        // A saturated mask restricts nothing; dropping it lets the
+        // vectorized kernels run full-batch instead of per-selection.
+        if (candidates != meta.num_rows) selection = &mask;
+      }
       if (candidates == 0) {
         // Whole group skipped; columns never decoded.
         ++out->stats.groups_skipped;
         out->stats.rows_skipped += meta.num_rows;
+        continue;
+      }
+      if (count_from_bits) {
+        // Exact bits + fully-pushed query: the candidates are the
+        // matches. Zone maps can't contradict exact bits, so they are
+        // not consulted either.
+        ++out->stats.groups_counted_exact;
+        out->stats.rows_skipped += meta.num_rows - candidates;
+        out->count += candidates;
         continue;
       }
       if (options_.use_zone_maps &&
@@ -309,13 +364,15 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
       CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
                             reader.ReadBatchProjected(g, eval.wanted));
       ++out->stats.groups_scanned;
+      out->stats.rows_decoded += meta.num_rows;
       out->stats.rows_skipped += meta.num_rows - candidates;
       out->stats.rows_evaluated += candidates;
       // Verify candidates with the full typed predicate: bitvectors may
       // contain false positives and the query may have non-pushed clauses.
       // The candidate mask is the vectorized path's selection vector.
-      CIAO_ASSIGN_OR_RETURN(const uint64_t matched,
-                            eval.CountMatches(batch, meta.num_rows, &mask));
+      CIAO_ASSIGN_OR_RETURN(
+          const uint64_t matched,
+          eval.CountMatches(batch, meta.num_rows, selection));
       out->count += matched;
     }
     return Status::OK();

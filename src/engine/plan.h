@@ -33,6 +33,13 @@ std::string_view QueryEvalModeName(QueryEvalMode mode);
 
 /// Counters accumulated while executing one query.
 struct ScanStats {
+  /// Row groups the scan looked at (header read), whether or not they
+  /// were subsequently skipped. Denominator for skipping effectiveness:
+  /// groups_skipped* / groups_considered.
+  uint64_t groups_considered = 0;
+  /// Rows whose column bytes were actually decoded (body read). After
+  /// re-layout this should drop far below total rows on skewed workloads.
+  uint64_t rows_decoded = 0;
   /// Rows on which the (typed) predicate was actually evaluated.
   uint64_t rows_evaluated = 0;
   /// Rows skipped because their intersected bit was 0.
@@ -42,6 +49,11 @@ struct ScanStats {
   uint64_t groups_skipped = 0;
   /// Row groups proved empty by zone maps (numeric min/max statistics).
   uint64_t groups_skipped_zonemap = 0;
+  /// Row groups answered straight from exact annotation bits: the
+  /// segment's bits carry typed-eval provenance and every query clause
+  /// is pushed, so the candidate count IS the group's result — columns
+  /// never decoded, predicate never re-evaluated.
+  uint64_t groups_counted_exact = 0;
   uint64_t groups_scanned = 0;
   /// Row groups whose annotations were written under a different plan
   /// epoch than the one this query planned against — their bits live in
@@ -57,10 +69,13 @@ struct ScanStats {
 
   /// Accumulates another worker's counters (parallel segment scan).
   void MergeFrom(const ScanStats& other) {
+    groups_considered += other.groups_considered;
+    rows_decoded += other.rows_decoded;
     rows_evaluated += other.rows_evaluated;
     rows_skipped += other.rows_skipped;
     groups_skipped += other.groups_skipped;
     groups_skipped_zonemap += other.groups_skipped_zonemap;
+    groups_counted_exact += other.groups_counted_exact;
     groups_scanned += other.groups_scanned;
     groups_stale_annotations += other.groups_stale_annotations;
     raw_records_scanned += other.raw_records_scanned;

@@ -1,5 +1,7 @@
 #include "engine/zone_map_filter.h"
 
+#include <cmath>
+
 namespace ciao {
 
 namespace {
@@ -14,21 +16,28 @@ bool TermProvablyEmpty(const SimplePredicate& term,
   const columnar::ZoneMap& zm = zone_maps[static_cast<size_t>(idx)];
   const columnar::ColumnType type = schema.field(static_cast<size_t>(idx)).type;
 
-  // An all-null column satisfies no predicate of any kind.
-  if (zm.null_count >= num_rows) return true;
-
+  // All-null columns report "maybe". With zero valid values there is no
+  // min/max evidence (has_minmax stays false below), and null-vs-missing
+  // semantics belong to the evaluator, not block statistics.
   const bool numeric = type == columnar::ColumnType::kInt64 ||
                        type == columnar::ColumnType::kDouble;
   if (!numeric || !zm.has_minmax) return false;
+  // A NaN-poisoned range proves nothing (legacy bytes written before the
+  // writer learned to withhold minmax from NaN-containing columns). The
+  // comparisons below would already evaluate false for NaN, but be
+  // explicit: never prune on a range we cannot order.
+  if (std::isnan(zm.min) || std::isnan(zm.max)) return false;
 
   switch (term.kind) {
     case PredicateKind::kKeyValueMatch: {
       if (!term.operand.is_number()) return false;
       const double v = term.operand.AsNumber();
+      if (std::isnan(v)) return false;
       return v < zm.min || v > zm.max;
     }
     case PredicateKind::kRangeLess: {
       if (!term.operand.is_number()) return false;
+      if (std::isnan(term.operand.AsNumber())) return false;
       // Needs some row with value < bound; impossible if min >= bound.
       return zm.min >= term.operand.AsNumber();
     }

@@ -247,6 +247,9 @@ Status BackfillEpochAnnotations(TableCatalog* catalog,
     replacement.file_bytes = std::move(rebuilt);
     replacement.num_rows = segment->num_rows;
     replacement.annotation_epoch = annotation_epoch;
+    // RebuildSegment evaluated the typed predicates row by row, so the
+    // rewritten bits are exact, not a client-prefilter superset.
+    replacement.annotations_exact = true;
     if (catalog->ReplaceSegment(segment, std::move(replacement))) {
       ++stats->segments_rebuilt;
     }

@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace ciao {
@@ -37,7 +38,70 @@ bool TableCatalog::ReplaceSegment(const SegmentRef& old_segment,
   return false;
 }
 
+bool TableCatalog::ReplaceSegments(
+    const std::vector<SegmentRef>& old_segments,
+    std::vector<ColumnarSegment> replacements) {
+  if (old_segments.empty()) return false;
+  std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+  // Every shard stays locked for the whole swap so no path that reads
+  // shards directly (ReplaceSegment, num_segments) can observe a partial
+  // state either.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (Shard& shard : shards_) shard_locks.emplace_back(shard.mu);
+
+  const auto is_old = [&](const SegmentRef& slot) {
+    for (const SegmentRef& old_segment : old_segments) {
+      if (slot.get() == old_segment.get()) return true;
+    }
+    return false;
+  };
+  // All-or-nothing: locate every old segment before touching anything. A
+  // miss means a concurrent rewrite (backfill, another re-layout) already
+  // replaced one of them — the caller's rewritten bytes are stale.
+  size_t found = 0;
+  for (const Shard& shard : shards_) {
+    for (const SegmentRef& slot : shard.segments) {
+      if (is_old(slot)) ++found;
+    }
+  }
+  if (found != old_segments.size()) return false;
+
+  for (Shard& shard : shards_) {
+    auto it = std::remove_if(shard.segments.begin(), shard.segments.end(),
+                             [&](const SegmentRef& slot) {
+                               if (!is_old(slot)) return false;
+                               columnar_bytes_.fetch_sub(
+                                   slot->file_bytes.size(),
+                                   std::memory_order_relaxed);
+                               loaded_rows_.fetch_sub(
+                                   slot->num_rows, std::memory_order_relaxed);
+                               return true;
+                             });
+    shard.segments.erase(it, shard.segments.end());
+  }
+  for (ColumnarSegment& replacement : replacements) {
+    loaded_rows_.fetch_add(replacement.num_rows, std::memory_order_relaxed);
+    columnar_bytes_.fetch_add(replacement.file_bytes.size(),
+                              std::memory_order_relaxed);
+    auto segment =
+        std::make_shared<const ColumnarSegment>(std::move(replacement));
+    // Round-robin placement as in AddSegment; the shard lock is already
+    // held above, so push directly.
+    Shard& shard =
+        shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                shards_.size()];
+    shard.segments.push_back(std::move(segment));
+  }
+  return true;
+}
+
 std::vector<SegmentRef> TableCatalog::SnapshotSegments() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return SnapshotSegmentsLocked();
+}
+
+std::vector<SegmentRef> TableCatalog::SnapshotSegmentsLocked() const {
   std::vector<SegmentRef> snapshot;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -50,7 +114,7 @@ std::vector<SegmentRef> TableCatalog::SnapshotSegments() const {
 CatalogSnapshot TableCatalog::Snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   CatalogSnapshot snapshot;
-  snapshot.segments = SnapshotSegments();
+  snapshot.segments = SnapshotSegmentsLocked();
   snapshot.raw = SnapshotRaw();
   return snapshot;
 }

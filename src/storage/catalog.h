@@ -30,6 +30,14 @@ struct ColumnarSegment {
   /// always sound). 0 = the bootstrap plan — the only epoch in the
   /// non-adaptive pipeline, so defaults keep the legacy behaviour.
   uint64_t annotation_epoch = 0;
+  /// Annotation provenance. Client-prefilter bits (ingest, JIT
+  /// promotion) are a superset — no false negatives, but raw substring
+  /// matching admits false positives, so candidates must be re-verified
+  /// with the typed predicate. Bits recomputed by exact typed evaluation
+  /// (backfill, re-layout) carry no false positives either: a query
+  /// fully covered by pushed clauses can then be COUNTed directly from
+  /// the candidate bits without decoding a column.
+  bool annotations_exact = false;
 };
 
 /// Refcounted handle to an immutable published segment.
@@ -91,8 +99,23 @@ class TableCatalog {
   /// segment is no longer in the catalog (already replaced).
   bool ReplaceSegment(const SegmentRef& old_segment, ColumnarSegment replacement);
 
+  /// Atomically replaces a *set* of published segments (matched by
+  /// identity) with a freshly written set — the publish step of a
+  /// cross-segment re-layout, which redistributes the same rows across
+  /// different file boundaries. All-or-nothing: when any of
+  /// `old_segments` is no longer published (a concurrent rewrite won the
+  /// race), nothing is touched and false is returned. The snapshot lock
+  /// is held for the whole swap, so a concurrent SnapshotSegments sees
+  /// either all old or all new segments — never a mix that would
+  /// double-count or drop rows. Unlike ReplaceSegment, row counts may be
+  /// redistributed arbitrarily across the replacements; only the total
+  /// must be conserved (checked by the caller, not here).
+  bool ReplaceSegments(const std::vector<SegmentRef>& old_segments,
+                       std::vector<ColumnarSegment> replacements);
+
   /// Consistent point-in-time view of every published segment, shard-major
-  /// order. Safe against concurrent appends/replacements.
+  /// order. Safe against concurrent appends/replacements, including a
+  /// concurrent multi-segment ReplaceSegments (see snapshot_mu_).
   std::vector<SegmentRef> SnapshotSegments() const;
 
   /// Atomic combined snapshot of segments + sideline: sees either the
@@ -177,10 +200,16 @@ class TableCatalog {
   std::atomic<size_t> next_shard_{0};
   mutable std::mutex raw_mu_;
   mutable std::mutex restructure_mu_;
-  /// Held (briefly) by combined Snapshot() and by the publish step of a
-  /// promotion, making the segment-append + sideline-swap pair atomic
-  /// from any combined reader's point of view.
+  /// Held (briefly) by SnapshotSegments / combined Snapshot(), by the
+  /// publish step of a promotion (segment-append + sideline-swap), and
+  /// across the whole multi-segment swap of ReplaceSegments. Readers
+  /// therefore see any multi-step publish either fully applied or not at
+  /// all; per-shard locks alone cannot give that (a shard-at-a-time
+  /// snapshot could catch a cross-segment swap halfway).
   mutable std::mutex snapshot_mu_;
+
+  /// SnapshotSegments body; requires snapshot_mu_ held.
+  std::vector<SegmentRef> SnapshotSegmentsLocked() const;
   std::shared_ptr<RawStore> raw_;
   std::atomic<uint64_t> loaded_rows_{0};
   std::atomic<uint64_t> columnar_bytes_{0};

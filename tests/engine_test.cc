@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "columnar/file_writer.h"
 #include "common/random.h"
 #include "engine/executor.h"
 #include "engine/planner.h"
@@ -330,15 +333,132 @@ TEST(ZoneMapFilterTest, NumericPruning) {
   str.clauses = {Clause::Of(SimplePredicate::Exact("tag", "zzz"))};
   EXPECT_TRUE(ZoneMapsMaySatisfy(str, schema, zms, 100));
 
-  // All-null column satisfies nothing.
+  // All-null columns report "maybe": block statistics carry no min/max
+  // evidence for them, and null-vs-missing semantics belong to the
+  // evaluator, never to the pruning filter.
   std::vector<columnar::ZoneMap> all_null = zms;
   all_null[1].null_count = 100;
   Query presence;
   presence.clauses = {Clause::Of(SimplePredicate::Presence("tag"))};
-  EXPECT_FALSE(ZoneMapsMaySatisfy(presence, schema, all_null, 100));
+  EXPECT_TRUE(ZoneMapsMaySatisfy(presence, schema, all_null, 100));
 
   // Empty group satisfies nothing.
   EXPECT_FALSE(ZoneMapsMaySatisfy(inside, schema, zms, 0));
+}
+
+TEST(ZoneMapFilterTest, AllNullAndNanColumnsReportMaybe) {
+  columnar::Schema schema({{"score", columnar::ColumnType::kDouble}});
+
+  // All-null numeric column: no minmax is ever computed, so every
+  // predicate kind must come back "maybe".
+  std::vector<columnar::ZoneMap> all_null(1);
+  all_null[0].null_count = 64;
+  Query value;
+  value.clauses = {Clause::Of(SimplePredicate::KeyValue("score", 3))};
+  Query range;
+  range.clauses = {Clause::Of(SimplePredicate::RangeLess("score", 3))};
+  Query presence;
+  presence.clauses = {Clause::Of(SimplePredicate::Presence("score"))};
+  EXPECT_TRUE(ZoneMapsMaySatisfy(value, schema, all_null, 64));
+  EXPECT_TRUE(ZoneMapsMaySatisfy(range, schema, all_null, 64));
+  EXPECT_TRUE(ZoneMapsMaySatisfy(presence, schema, all_null, 64));
+
+  // NaN-poisoned minmax (legacy bytes written before the writer withheld
+  // ranges from NaN-containing columns): unordered bounds prove nothing.
+  std::vector<columnar::ZoneMap> nan_range(1);
+  nan_range[0].has_minmax = true;
+  nan_range[0].min = std::numeric_limits<double>::quiet_NaN();
+  nan_range[0].max = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ZoneMapsMaySatisfy(value, schema, nan_range, 64));
+  EXPECT_TRUE(ZoneMapsMaySatisfy(range, schema, nan_range, 64));
+}
+
+TEST(ZoneMapFilterTest, ComputeZoneMapsWithholdsRangeFromNanColumns) {
+  columnar::Schema schema({{"score", columnar::ColumnType::kDouble}});
+  columnar::RecordBatch batch(schema);
+  columnar::ColumnVector* col = batch.mutable_column(0);
+  // NaN first would poison a naive running min/max; NaN in the middle
+  // used to be silently skipped. Both must now disable the range.
+  col->AppendDouble(std::numeric_limits<double>::quiet_NaN());
+  col->AppendDouble(5.0);
+  col->AppendDouble(100.0);
+  const std::vector<columnar::ZoneMap> maps = columnar::ComputeZoneMaps(batch);
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_FALSE(maps[0].has_minmax);
+
+  columnar::RecordBatch middle(schema);
+  columnar::ColumnVector* col2 = middle.mutable_column(0);
+  col2->AppendDouble(5.0);
+  col2->AppendDouble(std::numeric_limits<double>::quiet_NaN());
+  col2->AppendDouble(100.0);
+  const std::vector<columnar::ZoneMap> maps2 =
+      columnar::ComputeZoneMaps(middle);
+  EXPECT_FALSE(maps2[0].has_minmax);
+
+  // NaN-free columns keep their range.
+  columnar::RecordBatch clean(schema);
+  columnar::ColumnVector* col3 = clean.mutable_column(0);
+  col3->AppendDouble(5.0);
+  col3->AppendNull();
+  col3->AppendDouble(100.0);
+  const std::vector<columnar::ZoneMap> maps3 =
+      columnar::ComputeZoneMaps(clean);
+  ASSERT_TRUE(maps3[0].has_minmax);
+  EXPECT_EQ(maps3[0].min, 5.0);
+  EXPECT_EQ(maps3[0].max, 100.0);
+  EXPECT_EQ(maps3[0].null_count, 1u);
+}
+
+TEST(ExecutorTest, NanAndNullColumnsAgreeWithOracleUnderZoneMaps) {
+  // End-to-end pin of the NaN/null semantics: a table whose double
+  // column holds NaN, nulls, and ordinary values must produce identical
+  // counts with zone maps on and off, under both evaluation modes.
+  columnar::Schema schema({{"id", columnar::ColumnType::kInt64},
+                           {"score", columnar::ColumnType::kDouble}});
+  PredicateRegistry registry;
+  TableCatalog catalog(schema);
+  columnar::TableWriter writer(schema);
+  columnar::RecordBatch batch(schema);
+  uint64_t rows = 0;
+  for (int g = 0; g < 3; ++g) {
+    columnar::RecordBatch group(schema);
+    for (int r = 0; r < 50; ++r) {
+      group.mutable_column(0)->AppendInt64(g * 50 + r);
+      if (r % 7 == 0) {
+        group.mutable_column(1)->AppendNull();
+      } else if (r % 11 == 0) {
+        group.mutable_column(1)->AppendDouble(
+            std::numeric_limits<double>::quiet_NaN());
+      } else {
+        group.mutable_column(1)->AppendDouble(r * 1.5);
+      }
+      ++rows;
+    }
+    ASSERT_TRUE(writer.AppendRowGroup(group, BitVectorSet()).ok());
+  }
+  catalog.AddSegment(std::move(writer).Finish(), rows);
+
+  std::vector<Query> queries(3);
+  queries[0].clauses = {Clause::Of(SimplePredicate::KeyValue("score", 6))};
+  queries[1].clauses = {Clause::Of(SimplePredicate::RangeLess("score", 10))};
+  queries[2].clauses = {Clause::Of(SimplePredicate::Presence("score"))};
+  for (const QueryEvalMode mode :
+       {QueryEvalMode::kVectorized, QueryEvalMode::kRowwise}) {
+    ExecutorOptions with_zm;
+    with_zm.use_zone_maps = true;
+    with_zm.query_eval = mode;
+    ExecutorOptions without_zm = with_zm;
+    without_zm.use_zone_maps = false;
+    QueryExecutor exec_zm(&catalog, &registry, with_zm);
+    QueryExecutor exec_plain(&catalog, &registry, without_zm);
+    for (const Query& q : queries) {
+      auto a = exec_zm.Execute(q);
+      auto b = exec_plain.Execute(q);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->count, b->count) << q.ToSql();
+    }
+  }
 }
 
 TEST(ExecutorTest, ZoneMapSkippingOnClusteredDataPreservesCounts) {
