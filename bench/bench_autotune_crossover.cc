@@ -1,0 +1,187 @@
+// Dispatch-crossover benchmark: does the calibrated kAuto dispatch beat
+// every single static kernel on a mixed pattern-shape workload?
+//
+// The workload mixes the shapes the two engines are each built for:
+// small pattern sets of length >= 2 (Teddy's shuffle-bucket prefilter
+// territory) and large sets whose fingerprint buckets overflow into long
+// verify chains (Aho–Corasick territory). A policy that commits to ONE
+// engine is necessarily bad on the other half; the measured crossover
+// lets kAuto pick per shape.
+//
+// Self-gating acceptance target (exit non-zero on violation):
+//   auto aggregate throughput >= 1.2x the best single static engine
+//   (always-Teddy or always-AC) over the whole mix.
+//
+// Runs with or without a calibrated profile: CIAO_PROFILE=<path> (the CI
+// release-bench job points it at ciao_calibrate --quick output) installs
+// the measured crossover; without it the default thresholds dispatch.
+// Results merge into BENCH_hotpath.json under un-gated keys.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/report.h"
+#include "costmodel/autotune.h"
+#include "costmodel/hardware_profile.h"
+#include "matcher/multi_pattern.h"
+
+namespace {
+
+using namespace ciao;
+
+struct Shape {
+  uint32_t num_patterns;
+  uint32_t pattern_len;
+  /// Relative volume of this shape in the mix (scan passes per round).
+  uint32_t weight;
+};
+
+std::vector<std::string> MakeCorpus(size_t n, Rng* rng) {
+  std::vector<std::string> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload;
+    for (int w = 0; w < 12; ++w) {
+      payload += rng->NextIdentifier(3 + static_cast<int>(rng->NextBounded(8)));
+      payload.push_back(' ');
+    }
+    records.push_back(StrFormat(
+        "{\"id\":%llu,\"name\":\"%s\",\"score\":%.3f,\"payload\":\"%s\"}",
+        static_cast<unsigned long long>(i), rng->NextIdentifier(8).c_str(),
+        rng->NextDouble() * 100.0, payload.c_str()));
+  }
+  return records;
+}
+
+std::vector<std::string> MakePatterns(const std::vector<std::string>& corpus,
+                                      uint32_t count, uint32_t len, Rng* rng) {
+  std::vector<std::string> patterns;
+  patterns.reserve(count);
+  for (uint32_t p = 0; p < count; ++p) {
+    if (p % 2 == 0) {
+      const std::string& rec = corpus[rng->NextBounded(corpus.size())];
+      const size_t max_start = rec.size() > len ? rec.size() - len : 0;
+      patterns.push_back(rec.substr(rng->NextBounded(max_start + 1), len));
+    } else {
+      patterns.push_back(rng->NextIdentifier(static_cast<int>(len)));
+    }
+  }
+  return patterns;
+}
+
+/// Seconds to scan the whole corpus `weight` times with `matcher`
+/// (median of three timed repetitions, after one warmup pass).
+double ScanSeconds(const MultiPatternMatcher& matcher,
+                   const std::vector<std::string>& corpus, uint32_t weight) {
+  MultiPatternHits hits = matcher.MakeHits();
+  for (const std::string& rec : corpus) matcher.Scan(rec, &hits);
+  double runs[3];
+  for (double& run : runs) {
+    Stopwatch watch;
+    for (uint32_t w = 0; w < weight; ++w) {
+      for (const std::string& rec : corpus) matcher.Scan(rec, &hits);
+    }
+    run = watch.ElapsedSeconds();
+  }
+  std::sort(runs, runs + 3);
+  return runs[1];
+}
+
+}  // namespace
+
+int main() {
+  const std::shared_ptr<const HardwareProfile> profile =
+      ActiveHardwareProfile();
+  const KernelCrossover cx = ActiveKernelCrossover();
+  std::printf(
+      "bench_autotune_crossover: %s crossover "
+      "(teddy <= %u patterns, len >= %u)\n",
+      profile != nullptr && profile->calibrated ? "calibrated" : "default",
+      cx.teddy_max_patterns, cx.teddy_min_len);
+
+  Rng rng(7);
+  const std::vector<std::string> corpus = MakeCorpus(2000, &rng);
+  size_t corpus_bytes = 0;
+  for (const std::string& r : corpus) corpus_bytes += r.size();
+
+  // Small shapes carry most of the volume (the common case CIAO pushes:
+  // a handful of predicates per plan); the large shapes are the tail
+  // that wrecks a commit-to-Teddy policy.
+  const std::vector<Shape> shapes = {
+      {4, 8, 4}, {8, 4, 4}, {16, 8, 2}, {96, 4, 1}, {192, 8, 1}};
+
+  double total_auto = 0.0, total_teddy = 0.0, total_ac = 0.0;
+  double total_bytes = 0.0;
+  TablePrinter table({"patterns", "len", "weight", "auto s", "teddy s",
+                      "aho s", "auto="});
+  std::map<std::string, ciao::bench::BenchMetrics> entries;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const Shape& shape = shapes[i];
+    Rng cell_rng(7 ^ (0x9E37ULL * (i + 1)));
+    const std::vector<std::string> patterns =
+        MakePatterns(corpus, shape.num_patterns, shape.pattern_len, &cell_rng);
+
+    MultiPatternOptions opt;
+    const MultiPatternMatcher autom = MultiPatternMatcher::Build(patterns);
+    opt.force = MultiPatternOptions::Force::kTeddy;
+    const MultiPatternMatcher teddy =
+        MultiPatternMatcher::Build(patterns, {}, opt);
+    opt.force = MultiPatternOptions::Force::kAhoCorasick;
+    const MultiPatternMatcher ac =
+        MultiPatternMatcher::Build(patterns, {}, opt);
+
+    const double s_auto = ScanSeconds(autom, corpus, shape.weight);
+    const double s_teddy = ScanSeconds(teddy, corpus, shape.weight);
+    const double s_ac = ScanSeconds(ac, corpus, shape.weight);
+    total_auto += s_auto;
+    total_teddy += s_teddy;
+    total_ac += s_ac;
+    total_bytes += static_cast<double>(corpus_bytes) * shape.weight;
+
+    table.AddRow({StrFormat("%u", shape.num_patterns),
+                  StrFormat("%u", shape.pattern_len),
+                  StrFormat("%u", shape.weight), StrFormat("%.4f", s_auto),
+                  StrFormat("%.4f", s_teddy), StrFormat("%.4f", s_ac),
+                  std::string(autom.engine_name())});
+    ciao::bench::BenchMetrics m;
+    m["auto_seconds"] = s_auto;
+    m["teddy_seconds"] = s_teddy;
+    m["aho_seconds"] = s_ac;
+    entries[StrFormat("bench_autotune_crossover/p%u_l%u",
+                      shape.num_patterns, shape.pattern_len)] = m;
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const double best_static = std::min(total_teddy, total_ac);
+  const double auto_mbps = total_bytes / total_auto / 1e6;
+  const double static_mbps = total_bytes / best_static / 1e6;
+  const double ratio = best_static / total_auto;
+  std::printf(
+      "\nmix totals: auto %.4fs (%.0f MB/s) | always-teddy %.4fs | "
+      "always-aho %.4fs | best static %.0f MB/s\n",
+      total_auto, auto_mbps, total_teddy, total_ac, static_mbps);
+  std::printf("auto vs best static: %.2fx (gate: >= 1.20x)\n", ratio);
+
+  entries["bench_autotune_crossover/mix"] = {
+      {"auto_mbps", auto_mbps},
+      {"best_static_mbps", static_mbps},
+      {"auto_vs_static_ratio", ratio}};
+  ciao::bench::MergeIntoReportFile(entries);
+
+  if (ratio < 1.2) {
+    std::fprintf(stderr,
+                 "FAIL: auto dispatch only %.2fx the best static engine "
+                 "(need >= 1.2x) — the crossover picked dominated kernels\n",
+                 ratio);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

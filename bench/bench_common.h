@@ -18,6 +18,7 @@
 #include "common/string_util.h"
 #include "core/report.h"
 #include "core/system.h"
+#include "costmodel/autotune.h"
 #include "costmodel/cost_model.h"
 #include "workload/dataset.h"
 #include "workload/query_gen.h"
@@ -68,7 +69,7 @@ inline void WarmUp() {
     config.budget_us = budget;
     config.sample_size = 500;
     auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
-                                        CostModel::Default());
+                                        ProfiledCostModel(CostModel::Default()));
     if (!system.ok()) return;
     (void)(*system)->IngestRecords(ds.records);
     (void)(*system)->ExecuteWorkload();
@@ -85,7 +86,7 @@ inline EndToEndReport RunE2ECell(const workload::Dataset& ds,
   config.chunk_size = 1000;
   config.sample_size = 2000;
   auto system = CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
-                                      CostModel::Default());
+                                      ProfiledCostModel(CostModel::Default()));
   if (!system.ok()) {
     std::fprintf(stderr, "bootstrap failed: %s\n",
                  system.status().ToString().c_str());

@@ -7,11 +7,14 @@
 
 #include <cstdio>
 
+#include <cmath>
+
 #include "client/client_filter.h"
 #include "client/client_session.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/report.h"
+#include "costmodel/autotune.h"
 #include "costmodel/calibration.h"
 #include "costmodel/regression.h"
 #include "predicate/registry.h"
@@ -108,6 +111,16 @@ int main() {
   TablePrinter batched_table({"Dataset", "n_pred", "additive model",
                               "batched model", "meas per-pat", "meas batched",
                               "batched refit"});
+  // Profile gate accumulators: prediction error of the hand-seeded
+  // default constants vs the host-calibrated surface (CIAO_PROFILE),
+  // against the measured batched µs/record.
+  const std::shared_ptr<const HardwareProfile> host_profile =
+      ActiveHardwareProfile();
+  const bool profile_active =
+      host_profile != nullptr && host_profile->calibrated;
+  const CostModel profiled_model = ProfiledCostModel(CostModel::Default());
+  double default_err_sum = 0.0, profile_err_sum = 0.0;
+  int gated_datasets = 0;
   for (const auto kind :
        {DatasetKind::kYelp, DatasetKind::kWinLog, DatasetKind::kYcsb}) {
     workload::GeneratorOptions gen;
@@ -190,6 +203,25 @@ int main() {
          FormatDouble(batched_model, 3),
          FormatDouble(per_pattern_stats.MicrosPerRecord(), 3),
          FormatDouble(batched_stats.MicrosPerRecord(), 3), refit_text});
+
+    // Accumulate the profile-vs-default prediction-error comparison on
+    // the same measured cell.
+    if (profile_active) {
+      double profiled_marginal = 0.0;
+      for (size_t i = 0; i < clauses.size(); ++i) {
+        auto b = profiled_model.BatchedClauseCostUs(
+            clauses[i], estimate->clause_stats[i].term_selectivities, len_t);
+        if (b.ok()) profiled_marginal += *b;
+      }
+      const double measured = batched_stats.MicrosPerRecord();
+      if (measured > 0.0) {
+        const double profiled_pred =
+            profiled_model.BatchedScanBaseUs(len_t) + profiled_marginal;
+        default_err_sum += std::abs(batched_model - measured) / measured;
+        profile_err_sum += std::abs(profiled_pred - measured) / measured;
+        ++gated_datasets;
+      }
+    }
   }
   std::printf("%s", batched_table.ToString().c_str());
   std::printf(
@@ -197,5 +229,30 @@ int main() {
       "one shared scan plus per-predicate verify margins — the optimizer "
       "now budgets with the batched decomposition when client.matcher = "
       "batched)\n");
+
+  // Self-gate (active only under a calibrated CIAO_PROFILE, as the
+  // release-bench CI job runs it): the profile-seeded model's mean
+  // relative prediction error on the measured batched cells must be no
+  // worse than the hand-seeded default constants', within slack for
+  // timer noise. Exit non-zero on regression — a profile that predicts
+  // worse than the constants it replaces is a calibration bug.
+  if (profile_active && gated_datasets > 0) {
+    const double n = static_cast<double>(gated_datasets);
+    const double default_err = default_err_sum / n;
+    const double profile_err = profile_err_sum / n;
+    std::printf(
+        "\nprofile gate ('%s'): mean relative prediction error — "
+        "hand-seeded %.3f vs profile-seeded %.3f (gate: profile <= "
+        "1.15x hand-seeded + 0.05)\n",
+        host_profile->name.c_str(), default_err, profile_err);
+    if (profile_err > default_err * 1.15 + 0.05) {
+      std::fprintf(stderr,
+                   "FAIL: profile-seeded cost model predicts worse than the "
+                   "hand-seeded constants (%.3f > %.3f allowed)\n",
+                   profile_err, default_err * 1.15 + 0.05);
+      return 1;
+    }
+    std::printf("PASS\n");
+  }
   return 0;
 }

@@ -85,8 +85,23 @@ def main():
             if delta < -args.tolerance:
                 regressions.append((f"{key}/{metric}", base, cur, delta))
 
-    for key in sorted(set(entries) - set(baseline)):
-        print(f"  [new      ] {key}")
+    # Cells present only in the new run: gated metrics the baseline lacks
+    # are printed per cell with their value; keys carrying only un-gated
+    # metrics still get a whole-key line. Reported (never gated) so a
+    # fresh bench's numbers are visible in the CI log before the baseline
+    # is next regenerated — not silently dropped.
+    for key, metrics in sorted(entries.items()):
+        base_metrics = baseline.get(key)
+        printed_cell = False
+        for metric in sorted(metrics):
+            if metric not in METRICS:
+                continue
+            if base_metrics is None or metric not in base_metrics:
+                print(f"  [NEW      ] {key}/{metric}: "
+                      f"{metrics[metric]:.4g} (no baseline)")
+                printed_cell = True
+        if base_metrics is None and not printed_cell:
+            print(f"  [NEW      ] {key} (no baseline)")
 
     print(f"\ncompared {compared} entries, tolerance {args.tolerance:.0%}")
     if regressions:

@@ -6,11 +6,14 @@
 #include <thread>
 
 #include "client/chunk_scheduler.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/hardware_profile.h"
 
 namespace ciao {
 
 BudgetAllocation AllocateForBudget(const PredicateRegistry& registry,
-                                   double budget_us) {
+                                   double budget_us,
+                                   const HardwareProfile* profile) {
   // Unlike the optimizer's selection greedy (which stops at zero marginal
   // gain — not pushing a predicate costs nothing there), every registry
   // predicate here is already part of the plan: an affordable predicate
@@ -21,6 +24,35 @@ BudgetAllocation AllocateForBudget(const PredicateRegistry& registry,
   const size_t n = registry.size();
   if (n == 0) return out;
 
+  const bool batched =
+      registry.matcher_mode() == ClientMatcherMode::kBatched;
+
+  // Prices: the plan's estimated costs by default; the client's measured
+  // cost surface when it brought a calibrated profile. Re-pricing uses
+  // the clause-level selectivity for every term (per-term estimates are
+  // not retained in the registry) — the ranking cares about relative
+  // magnitudes, which the client's k-coefficients dominate. Unpriceable
+  // clauses keep their planned cost.
+  double base = batched ? registry.base_cost_us() : 0.0;
+  std::vector<double> price(n);
+  for (size_t i = 0; i < n; ++i) price[i] = registry.Get(i).cost_us;
+  if (profile != nullptr && profile->calibrated) {
+    const CostModel client_model(profile->true_coeffs,
+                                 profile->fit_r_squared);
+    const double len_t = registry.mean_record_len();
+    if (batched) base = client_model.BatchedScanBaseUs(len_t);
+    for (size_t i = 0; i < n; ++i) {
+      const RegisteredPredicate& p = registry.Get(static_cast<uint32_t>(i));
+      const std::vector<double> term_sels(p.clause.terms.size(),
+                                          p.selectivity);
+      const Result<double> repriced =
+          batched ? client_model.BatchedClauseCostUs(p.clause, term_sels,
+                                                     len_t)
+                  : client_model.ClauseCostUs(p.clause, term_sels, len_t);
+      if (repriced.ok()) price[i] = *repriced;
+    }
+  }
+
   // Rank candidates by marginal gain per marginal µs. The shared batched
   // scan base is the same for every candidate (charged once, below), so
   // it does not affect the ordering — only feasibility.
@@ -30,19 +62,15 @@ BudgetAllocation AllocateForBudget(const PredicateRegistry& registry,
     return std::max(0.0, 1.0 - registry.Get(id).selectivity);
   };
   const auto ratio = [&](uint32_t id) {
-    const double cost = registry.Get(id).cost_us;
     // Free predicates sort first among equals; tiny floor avoids 0/0.
-    return gain(id) / std::max(cost, 1e-9);
+    return gain(id) / std::max(price[id], 1e-9);
   };
   std::stable_sort(order.begin(), order.end(),
                    [&](uint32_t a, uint32_t b) { return ratio(a) > ratio(b); });
 
-  const double base = registry.matcher_mode() == ClientMatcherMode::kBatched
-                          ? registry.base_cost_us()
-                          : 0.0;
   double cost = 0.0;
   for (const uint32_t id : order) {
-    const double marginal = registry.Get(id).cost_us;
+    const double marginal = price[id];
     // First pick also pays the shared scan base (batched decomposition).
     const double next = (out.ids.empty() ? base : 0.0) + cost + marginal;
     if (next > budget_us + 1e-12) continue;  // skip; later ones may fit
@@ -63,13 +91,18 @@ FleetScheduler::FleetScheduler(const PredicateRegistry* registry,
       transport_(transport),
       options_(options),
       specs_(std::move(specs)) {
-  if (specs_.empty()) specs_.push_back(FleetClientSpec{"client-0"});
+  if (specs_.empty()) {
+    FleetClientSpec fallback;
+    fallback.name = "client-0";
+    specs_.push_back(std::move(fallback));
+  }
   if (options_.chunk_size == 0) options_.chunk_size = 1;
   allocations_.reserve(specs_.size());
   filters_.reserve(specs_.size());
   std::vector<bool> covered(registry_->size(), false);
   for (const FleetClientSpec& spec : specs_) {
-    allocations_.push_back(AllocateForBudget(*registry_, spec.budget_us));
+    allocations_.push_back(
+        AllocateForBudget(*registry_, spec.budget_us, spec.profile.get()));
     for (const uint32_t id : allocations_.back().ids) covered[id] = true;
     // Compiled once here; SendRecords workers copy (programs and batched
     // sub-programs are shared immutably), so repeated ingest calls never

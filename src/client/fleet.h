@@ -35,8 +35,17 @@ struct BudgetAllocation {
 /// predicates are skipped, later cheaper ones still taken, so two budgets
 /// can end up with disjoint (non-prefix) sets. Per-pattern registries
 /// have base 0 and purely additive costs — the paper's model.
+///
+/// `profile` (optional): the client's calibrated hardware profile. When
+/// present every predicate — and the shared scan base — is re-priced
+/// with the client's *measured* cost surface (term selectivities are
+/// approximated by the clause-level estimate) before fitting the budget,
+/// so heterogeneous hardware yields genuinely different subsets for the
+/// same budget_us. Null or uncalibrated profiles price with the
+/// registry's planned costs, byte-identical to the pre-profile behavior.
 BudgetAllocation AllocateForBudget(const PredicateRegistry& registry,
-                                   double budget_us);
+                                   double budget_us,
+                                   const HardwareProfile* profile = nullptr);
 
 /// Per-client fleet counters (stable after SendRecords returns).
 struct FleetClientStats {

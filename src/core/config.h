@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "optimizer/selection.h"
 
 namespace ciao {
+
+struct HardwareProfile;
 
 /// One client of a heterogeneous ingest fleet: its prefilter budget (the
 /// paper's per-client B — "setting different budgets for different
@@ -37,6 +40,13 @@ struct FleetClientSpec {
   /// chunks, handing its in-flight chunk back to the fleet queue.
   /// UINT64_MAX (default) = never fails.
   uint64_t fail_after_chunks = std::numeric_limits<uint64_t>::max();
+
+  /// This client's calibrated hardware profile (costmodel/autotune), or
+  /// null. When set, AllocateForBudget re-prices every predicate with the
+  /// client's *measured* cost surface before fitting its budget — a slow
+  /// phone and a fast desktop with the same budget_us get genuinely
+  /// different predicate subsets.
+  std::shared_ptr<const HardwareProfile> profile;
 };
 
 /// Concurrency knobs of the ingest pipeline. Defaults reproduce the

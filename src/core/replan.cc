@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/pipeline.h"
+#include "costmodel/autotune.h"
 
 namespace ciao {
 
@@ -169,9 +170,14 @@ void ReplanController::MaybeRelayout() {
   // overshot its estimate leaves a debt the next pass must first cover
   // with additional realized waste — estimation error self-corrects
   // instead of compounding.
-  const double rps = measured_rps > 0.0
-                         ? measured_rps
-                         : std::max(opt.seed_rewrite_rows_per_second, 1.0);
+  // Pre-measurement seed priority: the host profile's measured rewrite
+  // throughput (calibration pass) beats the hand-guessed config constant;
+  // a real measured pass on THIS catalog beats both.
+  const double rps =
+      measured_rps > 0.0
+          ? measured_rps
+          : ResolveRewriteSeedRps(opt.seed_rewrite_rows_per_second,
+                                  ActiveHardwareProfile().get());
   const double estimated_cost =
       static_cast<double>(catalog_->loaded_rows()) / rps;
   const double required = (spent + estimated_cost) * opt.cost_multiplier;
@@ -280,7 +286,9 @@ CostModel ReplanController::ModelForReplan(const PlanEpoch& epoch) {
     Result<CalibrationResult> fitted = CalibrateFromRuntime(observations);
     if (fitted.ok()) return fitted->model;
   }
-  return initial_model_;
+  // Too few runtime observations to refit: the host-calibrated surface
+  // (when a profile is installed) still beats the bootstrap constants.
+  return ProfiledCostModel(initial_model_);
 }
 
 Result<bool> ReplanController::ReplanNow() {

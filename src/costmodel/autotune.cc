@@ -1,0 +1,628 @@
+#include "costmodel/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "bitvec/bitvector.h"
+#include "columnar/json_converter.h"
+#include "columnar/schema.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "costmodel/calibration.h"
+#include "costmodel/regression.h"
+#include "json/parser.h"
+#include "json/tape_parser.h"
+#include "json/writer.h"
+
+namespace ciao {
+
+namespace {
+
+double ClampScale(double scale) {
+  return std::min(10.0, std::max(0.01, scale));
+}
+
+/// Scaled item count with a floor (a corpus of 3 records measures noise).
+size_t Scaled(size_t n, double scale, size_t floor_n) {
+  return std::max(floor_n, static_cast<size_t>(
+                               static_cast<double>(n) * ClampScale(scale)));
+}
+
+/// Synthetic JSON corpus with the canonical 4-column shape the loader
+/// benchmarks use. `payload_words` controls the mean record length
+/// (~7 bytes/word); content is random lowercase so substring probes have
+/// a realistic found/miss spread.
+std::vector<std::string> MakeJsonRecords(size_t n, size_t payload_words,
+                                         Rng* rng) {
+  std::vector<std::string> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload;
+    for (size_t w = 0; w < payload_words; ++w) {
+      if (w != 0) payload.push_back(' ');
+      payload += rng->NextIdentifier(static_cast<int>(3 + rng->NextBounded(8)));
+    }
+    records.push_back(StrFormat(
+        "{\"id\":%llu,\"name\":\"%s\",\"score\":%.4f,\"payload\":\"%s\"}",
+        static_cast<unsigned long long>(i), rng->NextIdentifier(8).c_str(),
+        rng->NextDouble() * 100.0, payload.c_str()));
+  }
+  return records;
+}
+
+/// Runs `fn` repeatedly until `min_seconds` elapsed (>= 1 run after one
+/// warmup) and returns mean seconds per run.
+template <typename F>
+double MeasureSecondsPerRun(double min_seconds, const F& fn) {
+  fn();  // warm caches and lazy state
+  int runs = 0;
+  Stopwatch watch;
+  do {
+    fn();
+    ++runs;
+  } while (watch.ElapsedSeconds() < min_seconds);
+  return watch.ElapsedSeconds() / runs;
+}
+
+/// Haystack MB/s of one compiled matcher over the corpus.
+double ScanMbps(const MultiPatternMatcher& matcher,
+                const std::vector<std::string>& records, size_t total_bytes,
+                double min_seconds, size_t* records_with_hit) {
+  MultiPatternHits hits = matcher.MakeHits();
+  if (records_with_hit != nullptr) {
+    *records_with_hit = 0;
+    for (const std::string& r : records) {
+      matcher.Scan(r, &hits);
+      if (hits.found_count() > 0) ++*records_with_hit;
+    }
+  }
+  const double sec = MeasureSecondsPerRun(min_seconds, [&] {
+    for (const std::string& r : records) matcher.Scan(r, &hits);
+  });
+  return static_cast<double>(total_bytes) / sec / 1e6;
+}
+
+// ---- JSON helpers ----
+
+double NumberOr(const json::Value* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->AsNumber() : fallback;
+}
+
+std::string StringOr(const json::Value* v, const std::string& fallback) {
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+bool BoolOr(const json::Value* v, bool fallback) {
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+bool NearlyEqual(double a, double b) {
+  // %.17g round-trips doubles exactly, so this tolerance only guards
+  // against a future lossier writer.
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+// ---- Active-profile global ----
+
+std::mutex g_profile_mu;
+std::shared_ptr<const HardwareProfile> g_profile;  // guarded by g_profile_mu
+std::once_flag g_profile_env_once;
+
+// Installs a profile as the process-wide active one. Called both by the
+// public setter and — with the env once_flag already in flight — by the
+// lazy CIAO_PROFILE load, so it must NOT touch g_profile_env_once.
+void InstallProfile(std::shared_ptr<const HardwareProfile> profile) {
+  {
+    std::lock_guard<std::mutex> lock(g_profile_mu);
+    g_profile = profile;
+  }
+  SetActiveKernelCrossover(profile != nullptr && profile->calibrated
+                               ? profile->crossover
+                               : KernelCrossover{});
+}
+
+void LoadProfileFromEnvOnce() {
+  const char* env = std::getenv("CIAO_PROFILE");
+  if (env == nullptr || *env == '\0') return;
+  Result<HardwareProfile> loaded = LoadProfile(env);
+  if (!loaded.ok()) {
+    // A broken CIAO_PROFILE must not take the process down — callers fall
+    // back to presets/static thresholds, but loudly.
+    std::fprintf(stderr, "ciao: ignoring CIAO_PROFILE=%s: %s\n", env,
+                 loaded.status().ToString().c_str());
+    return;
+  }
+  InstallProfile(std::make_shared<HardwareProfile>(std::move(*loaded)));
+}
+
+}  // namespace
+
+void SetActiveHardwareProfile(std::shared_ptr<const HardwareProfile> profile) {
+  // An explicit install wins over (and suppresses) the lazy env load.
+  std::call_once(g_profile_env_once, [] {});
+  InstallProfile(std::move(profile));
+}
+
+std::shared_ptr<const HardwareProfile> ActiveHardwareProfile() {
+  std::call_once(g_profile_env_once, LoadProfileFromEnvOnce);
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  return g_profile;
+}
+
+CostModel ProfiledCostModel(const CostModel& fallback) {
+  const std::shared_ptr<const HardwareProfile> profile =
+      ActiveHardwareProfile();
+  if (profile != nullptr && profile->calibrated) {
+    return CostModel(profile->true_coeffs, profile->fit_r_squared);
+  }
+  return fallback;
+}
+
+double ResolveRewriteSeedRps(double configured_seed_rps,
+                             const HardwareProfile* profile) {
+  if (profile != nullptr && profile->rewrite_rows_per_second > 0.0) {
+    return std::max(profile->rewrite_rows_per_second, 1.0);
+  }
+  return std::max(configured_seed_rps, 1.0);
+}
+
+KernelCrossover DeriveKernelCrossover(
+    const std::vector<KernelBenchPoint>& kernel_bench) {
+  KernelCrossover cx;
+  // (count, len) -> [teddy mbps, ac mbps]; lengths < 2 never dispatch to
+  // Teddy (structural fingerprint floor) and are excluded.
+  std::map<std::pair<uint32_t, uint32_t>, std::pair<double, double>> cells;
+  for (const KernelBenchPoint& p : kernel_bench) {
+    if (p.pattern_len < 2 || p.mbps <= 0.0) continue;
+    auto& cell = cells[{p.num_patterns, p.pattern_len}];
+    if (p.engine == "teddy") {
+      cell.first = std::max(cell.first, p.mbps);
+    } else if (p.engine == "aho_corasick") {
+      cell.second = std::max(cell.second, p.mbps);
+    }
+  }
+  std::vector<uint32_t> counts;
+  for (const auto& [key, cell] : cells) {
+    if (cell.first > 0.0 && cell.second > 0.0 &&
+        (counts.empty() || counts.back() != key.first)) {
+      counts.push_back(key.first);
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  if (counts.empty()) return cx;  // nothing measured: keep static defaults
+
+  // Pick the cutoff minimizing dominated-kernel picks across the measured
+  // cells. With a clean monotone table (Teddy wins a prefix of counts)
+  // the minimum is zero mispredictions — the calibrated dispatch never
+  // chooses a kernel the matrix measured as slower at that shape. Ties
+  // break toward the larger cutoff (Teddy's wins are usually the bigger
+  // margins, and counts beyond the largest measured one stay Teddy only
+  // if Teddy won everywhere).
+  std::vector<uint32_t> cutoffs = counts;
+  cutoffs.insert(cutoffs.begin(), 0);
+  uint32_t best_cutoff = 0;
+  size_t best_bad = SIZE_MAX;
+  for (const uint32_t cutoff : cutoffs) {
+    size_t bad = 0;
+    for (const auto& [key, cell] : cells) {
+      if (cell.first <= 0.0 || cell.second <= 0.0) continue;
+      const bool picks_teddy = key.first <= cutoff;
+      const double picked = picks_teddy ? cell.first : cell.second;
+      const double other = picks_teddy ? cell.second : cell.first;
+      if (picked < other) ++bad;
+    }
+    if (bad < best_bad || (bad == best_bad && cutoff > best_cutoff)) {
+      best_bad = bad;
+      best_cutoff = cutoff;
+    }
+  }
+  cx.teddy_max_patterns = best_cutoff;
+
+  // Shortest length at which Teddy wins every measured count within the
+  // cutoff; shorter fingerprints fall through to the DFA.
+  cx.teddy_min_len = 2;
+  if (best_cutoff > 0) {
+    std::vector<uint32_t> lens;
+    for (const auto& [key, cell] : cells) lens.push_back(key.second);
+    std::sort(lens.begin(), lens.end());
+    lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+    for (const uint32_t len : lens) {
+      bool teddy_wins_all = true;
+      bool any = false;
+      for (const auto& [key, cell] : cells) {
+        if (key.second != len || key.first > best_cutoff) continue;
+        if (cell.first <= 0.0 || cell.second <= 0.0) continue;
+        any = true;
+        if (cell.first < cell.second) teddy_wins_all = false;
+      }
+      if (any && teddy_wins_all) {
+        cx.teddy_min_len = std::max<uint32_t>(2, len);
+        break;
+      }
+    }
+  }
+  return cx;
+}
+
+Result<HardwareProfile> CalibrateHost(const AutotuneOptions& options) {
+  const double scale = ClampScale(options.scale);
+  const double min_cell_seconds = (options.quick ? 0.01 : 0.04) * scale;
+  Rng rng(options.seed);
+
+  HardwareProfile profile;
+  profile.name = options.name;
+  profile.description =
+      StrFormat("calibrated host profile (%s pass)",
+                options.quick ? "quick" : "full");
+  profile.calibrated = true;
+
+  // ---- 1. Multi-pattern kernel matrix: Teddy vs Aho–Corasick across
+  //         pattern counts × lengths, MB/s of haystack scanned ----
+  const std::vector<std::string> corpus = MakeJsonRecords(
+      Scaled(options.quick ? 768 : 6144, scale, 64), 28, &rng);
+  size_t corpus_bytes = 0;
+  for (const std::string& r : corpus) corpus_bytes += r.size();
+
+  const std::vector<uint32_t> pattern_counts =
+      options.quick ? std::vector<uint32_t>{8, 96}
+                    : std::vector<uint32_t>{4, 16, 48, 96, 192};
+  const std::vector<uint32_t> pattern_lens =
+      options.quick ? std::vector<uint32_t>{3, 8}
+                    : std::vector<uint32_t>{2, 4, 8, 16};
+  for (const uint32_t count : pattern_counts) {
+    for (const uint32_t len : pattern_lens) {
+      // Half the probes are planted corpus substrings (found case), half
+      // random (mostly-miss case at longer lengths), so both engines pay
+      // their verify/report paths.
+      std::vector<std::string> patterns;
+      patterns.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (i % 2 == 0) {
+          const std::string& rec = corpus[rng.NextBounded(corpus.size())];
+          const size_t start = rng.NextBounded(rec.size() - len);
+          patterns.push_back(rec.substr(start, len));
+        } else {
+          patterns.push_back(rng.NextIdentifier(static_cast<int>(len)));
+        }
+      }
+      for (const bool teddy : {true, false}) {
+        MultiPatternOptions mp_options;
+        mp_options.force = teddy ? MultiPatternOptions::Force::kTeddy
+                                 : MultiPatternOptions::Force::kAhoCorasick;
+        const MultiPatternMatcher matcher =
+            MultiPatternMatcher::Build(patterns, {}, mp_options);
+        size_t with_hit = 0;
+        const double mbps = ScanMbps(matcher, corpus, corpus_bytes,
+                                     min_cell_seconds, &with_hit);
+        KernelBenchPoint point;
+        point.engine = teddy ? "teddy" : "aho_corasick";
+        point.num_patterns = count;
+        point.pattern_len = len;
+        point.selectivity = static_cast<double>(with_hit) /
+                            static_cast<double>(corpus.size());
+        point.mbps = mbps;
+        profile.kernel_bench.push_back(std::move(point));
+      }
+    }
+  }
+  profile.crossover = DeriveKernelCrossover(profile.kernel_bench);
+
+  // ---- 2. Cost-surface fit: wall-clock substring sweeps over corpora of
+  //         several record lengths (without the len_t spread the k2/k4
+  //         record-byte terms are unidentifiable), pooled into one fit ----
+  std::vector<CostObservation> observations;
+  const std::vector<size_t> corpus_words =
+      options.quick ? std::vector<size_t>{10, 60} : std::vector<size_t>{8, 36, 100};
+  for (const size_t words : corpus_words) {
+    const std::vector<std::string> fit_corpus = MakeJsonRecords(
+        Scaled(options.quick ? 400 : 1200, scale, 50), words, &rng);
+    const std::vector<std::string> probes = BuildProbePatterns(
+        fit_corpus, options.quick ? 24 : 60, options.seed + words);
+    Result<CalibrationResult> swept = CalibrateWallClock(
+        fit_corpus, probes, SearchKernel::kSwar, options.quick ? 1 : 3);
+    if (swept.ok()) {
+      observations.insert(observations.end(), swept->observations.begin(),
+                          swept->observations.end());
+    }
+  }
+  Result<CostModel> fitted = FitCostModel(observations);
+  if (!fitted.ok()) {
+    return Status::Internal(
+        StrFormat("host cost-surface fit failed: %s",
+                  fitted.status().ToString().c_str()));
+  }
+  profile.true_coeffs = fitted->coefficients();
+  profile.fit_r_squared = fitted->r_squared();
+
+  // ---- 3. Tape-parse MB/s ----
+  {
+    json::TapeParser parser;
+    json::Tape tape;
+    const double sec = MeasureSecondsPerRun(min_cell_seconds, [&] {
+      for (const std::string& r : corpus) (void)parser.Parse(r, &tape);
+    });
+    profile.tape_parse_mbps = static_cast<double>(corpus_bytes) / sec / 1e6;
+  }
+
+  // ---- 4. Columnar decode MB/s + segment-rewrite rows/s ----
+  {
+    columnar::Schema schema(std::vector<columnar::Field>{
+        {"id", columnar::ColumnType::kInt64},
+        {"name", columnar::ColumnType::kString},
+        {"score", columnar::ColumnType::kDouble},
+        {"payload", columnar::ColumnType::kString}});
+    columnar::BatchBuilder builder(schema);
+    const double sec = MeasureSecondsPerRun(min_cell_seconds, [&] {
+      for (const std::string& r : corpus) (void)builder.AppendSerialized(r);
+      (void)builder.Finish();
+    });
+    profile.columnar_decode_mbps =
+        static_cast<double>(corpus_bytes) / sec / 1e6;
+    // A relayout pass re-reads and re-encodes every surviving row; the
+    // JSON→columnar conversion rate is a *conservative* stand-in (the
+    // real rewrite starts from decoded columns, so it can only be
+    // faster). A low seed merely delays the first pass — the safe side
+    // of the regret ledger.
+    profile.rewrite_rows_per_second =
+        static_cast<double>(corpus.size()) / sec;
+  }
+
+  // ---- 5. Bitvector ops (AND + popcount), million bits/s ----
+  {
+    const size_t bits = Scaled(options.quick ? (1u << 18) : (1u << 20),
+                               scale, 1u << 14);
+    BitVector a(bits, true);
+    BitVector b(bits, true);
+    volatile size_t sink = 0;
+    const double sec = MeasureSecondsPerRun(min_cell_seconds, [&] {
+      (void)a.AndWith(b);
+      sink = sink + a.CountOnes();
+    });
+    profile.bitvector_mbits_per_second =
+        static_cast<double>(bits) * 2.0 / sec / 1e6;
+  }
+
+  // ---- 6. Cache-size probe: sequential sum over growing working sets ----
+  {
+    const std::vector<uint32_t> sizes_kb =
+        options.quick ? std::vector<uint32_t>{32, 256, 4096}
+                      : std::vector<uint32_t>{16,  32,   64,   128,  256, 512,
+                                              1024, 2048, 4096, 8192, 16384};
+    for (const uint32_t kb : sizes_kb) {
+      const size_t words = static_cast<size_t>(kb) * 1024 / sizeof(uint64_t);
+      std::vector<uint64_t> data(words);
+      for (size_t i = 0; i < words; ++i) data[i] = HashMix64(i);
+      volatile uint64_t sink = 0;
+      const double sec = MeasureSecondsPerRun(min_cell_seconds, [&] {
+        uint64_t sum = 0;
+        for (const uint64_t w : data) sum += w;
+        sink = sink + sum;
+      });
+      CacheProbePoint point;
+      point.size_kb = kb;
+      point.mbps = static_cast<double>(kb) / 1024.0 / sec;  // MB per pass / s
+      profile.cache_probe.push_back(point);
+    }
+  }
+
+  return profile;
+}
+
+json::Value ProfileToJson(const HardwareProfile& profile) {
+  json::Value root{json::Object{}};
+  root.Add("schema", json::Value(kHardwareProfileSchemaName));
+  root.Add("version", json::Value(kHardwareProfileSchemaVersion));
+  root.Add("name", json::Value(profile.name));
+  root.Add("description", json::Value(profile.description));
+  root.Add("calibrated", json::Value(profile.calibrated));
+
+  json::Value coeffs{json::Object{}};
+  coeffs.Add("k1", json::Value(profile.true_coeffs.k1));
+  coeffs.Add("k2", json::Value(profile.true_coeffs.k2));
+  coeffs.Add("k3", json::Value(profile.true_coeffs.k3));
+  coeffs.Add("k4", json::Value(profile.true_coeffs.k4));
+  coeffs.Add("c", json::Value(profile.true_coeffs.c));
+  root.Add("coeffs", std::move(coeffs));
+  root.Add("fit_r_squared", json::Value(profile.fit_r_squared));
+
+  json::Value noise{json::Object{}};
+  noise.Add("sigma", json::Value(profile.noise_sigma));
+  noise.Add("stall_probability", json::Value(profile.stall_probability));
+  noise.Add("stall_factor", json::Value(profile.stall_factor));
+  root.Add("noise", std::move(noise));
+
+  json::Value crossover{json::Object{}};
+  crossover.Add("teddy_max_patterns",
+                json::Value(static_cast<int64_t>(
+                    profile.crossover.teddy_max_patterns)));
+  crossover.Add("teddy_min_len", json::Value(static_cast<int64_t>(
+                                     profile.crossover.teddy_min_len)));
+  root.Add("crossover", std::move(crossover));
+
+  json::Value throughput{json::Object{}};
+  throughput.Add("tape_parse_mbps", json::Value(profile.tape_parse_mbps));
+  throughput.Add("columnar_decode_mbps",
+                 json::Value(profile.columnar_decode_mbps));
+  throughput.Add("bitvector_mbits_per_second",
+                 json::Value(profile.bitvector_mbits_per_second));
+  throughput.Add("rewrite_rows_per_second",
+                 json::Value(profile.rewrite_rows_per_second));
+  root.Add("throughput", std::move(throughput));
+
+  json::Value bench{json::Array{}};
+  for (const KernelBenchPoint& p : profile.kernel_bench) {
+    json::Value point{json::Object{}};
+    point.Add("engine", json::Value(p.engine));
+    point.Add("num_patterns", json::Value(static_cast<int64_t>(p.num_patterns)));
+    point.Add("pattern_len", json::Value(static_cast<int64_t>(p.pattern_len)));
+    point.Add("selectivity", json::Value(p.selectivity));
+    point.Add("mbps", json::Value(p.mbps));
+    bench.as_array().push_back(std::move(point));
+  }
+  root.Add("kernel_bench", std::move(bench));
+
+  json::Value cache{json::Array{}};
+  for (const CacheProbePoint& p : profile.cache_probe) {
+    json::Value point{json::Object{}};
+    point.Add("size_kb", json::Value(static_cast<int64_t>(p.size_kb)));
+    point.Add("mbps", json::Value(p.mbps));
+    cache.as_array().push_back(std::move(point));
+  }
+  root.Add("cache_probe", std::move(cache));
+  return root;
+}
+
+Result<HardwareProfile> ProfileFromJson(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::Corruption("hardware profile: document is not an object");
+  }
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kHardwareProfileSchemaName) {
+    return Status::Corruption(
+        "hardware profile: missing or foreign \"schema\" marker");
+  }
+  const double version = NumberOr(doc.Find("version"), 0.0);
+  if (version < 1 || version > kHardwareProfileSchemaVersion) {
+    return Status::Unsupported(StrFormat(
+        "hardware profile: version %.0f outside supported range [1, %d]",
+        version, kHardwareProfileSchemaVersion));
+  }
+
+  // Unknown fields are skipped by construction (lookups by key); missing
+  // known fields keep their defaults, so older/minimal profiles load.
+  HardwareProfile profile;
+  profile.name = StringOr(doc.Find("name"), "unnamed");
+  profile.description = StringOr(doc.Find("description"), "");
+  profile.calibrated = BoolOr(doc.Find("calibrated"), false);
+  if (const json::Value* coeffs = doc.Find("coeffs");
+      coeffs != nullptr && coeffs->is_object()) {
+    profile.true_coeffs.k1 = NumberOr(coeffs->Find("k1"), 0.0);
+    profile.true_coeffs.k2 = NumberOr(coeffs->Find("k2"), 0.0);
+    profile.true_coeffs.k3 = NumberOr(coeffs->Find("k3"), 0.0);
+    profile.true_coeffs.k4 = NumberOr(coeffs->Find("k4"), 0.0);
+    profile.true_coeffs.c = NumberOr(coeffs->Find("c"), 0.0);
+  }
+  profile.fit_r_squared = NumberOr(doc.Find("fit_r_squared"), 0.0);
+  if (const json::Value* noise = doc.Find("noise");
+      noise != nullptr && noise->is_object()) {
+    profile.noise_sigma = NumberOr(noise->Find("sigma"), 0.0);
+    profile.stall_probability =
+        NumberOr(noise->Find("stall_probability"), 0.0);
+    profile.stall_factor = NumberOr(noise->Find("stall_factor"), 1.0);
+  }
+  if (const json::Value* crossover = doc.Find("crossover");
+      crossover != nullptr && crossover->is_object()) {
+    profile.crossover.teddy_max_patterns = static_cast<uint32_t>(
+        NumberOr(crossover->Find("teddy_max_patterns"),
+                 KernelCrossover{}.teddy_max_patterns));
+    profile.crossover.teddy_min_len = static_cast<uint32_t>(NumberOr(
+        crossover->Find("teddy_min_len"), KernelCrossover{}.teddy_min_len));
+  }
+  if (const json::Value* throughput = doc.Find("throughput");
+      throughput != nullptr && throughput->is_object()) {
+    profile.tape_parse_mbps =
+        NumberOr(throughput->Find("tape_parse_mbps"), 0.0);
+    profile.columnar_decode_mbps =
+        NumberOr(throughput->Find("columnar_decode_mbps"), 0.0);
+    profile.bitvector_mbits_per_second =
+        NumberOr(throughput->Find("bitvector_mbits_per_second"), 0.0);
+    profile.rewrite_rows_per_second =
+        NumberOr(throughput->Find("rewrite_rows_per_second"), 0.0);
+  }
+  if (const json::Value* bench = doc.Find("kernel_bench");
+      bench != nullptr && bench->is_array()) {
+    for (const json::Value& entry : bench->as_array()) {
+      if (!entry.is_object()) {
+        return Status::Corruption(
+            "hardware profile: kernel_bench entry is not an object");
+      }
+      KernelBenchPoint point;
+      point.engine = StringOr(entry.Find("engine"), "");
+      point.num_patterns =
+          static_cast<uint32_t>(NumberOr(entry.Find("num_patterns"), 0.0));
+      point.pattern_len =
+          static_cast<uint32_t>(NumberOr(entry.Find("pattern_len"), 0.0));
+      point.selectivity = NumberOr(entry.Find("selectivity"), 0.0);
+      point.mbps = NumberOr(entry.Find("mbps"), 0.0);
+      profile.kernel_bench.push_back(std::move(point));
+    }
+  }
+  if (const json::Value* cache = doc.Find("cache_probe");
+      cache != nullptr && cache->is_array()) {
+    for (const json::Value& entry : cache->as_array()) {
+      if (!entry.is_object()) {
+        return Status::Corruption(
+            "hardware profile: cache_probe entry is not an object");
+      }
+      CacheProbePoint point;
+      point.size_kb =
+          static_cast<uint32_t>(NumberOr(entry.Find("size_kb"), 0.0));
+      point.mbps = NumberOr(entry.Find("mbps"), 0.0);
+      profile.cache_probe.push_back(point);
+    }
+  }
+  return profile;
+}
+
+Status SaveProfile(const HardwareProfile& profile, const std::string& path) {
+  const std::string text = json::Write(ProfileToJson(profile));
+
+  // Round-trip validation before touching disk contents the consumer
+  // trusts: re-parse what we are about to write and cross-check the
+  // fields dispatch and costing actually read.
+  Result<json::Value> reparsed = json::Parse(text);
+  if (!reparsed.ok()) {
+    return Status::Internal("profile round-trip: serialized JSON unparseable");
+  }
+  Result<HardwareProfile> back = ProfileFromJson(*reparsed);
+  if (!back.ok()) return back.status();
+  const bool faithful =
+      back->name == profile.name && back->calibrated == profile.calibrated &&
+      NearlyEqual(back->true_coeffs.k1, profile.true_coeffs.k1) &&
+      NearlyEqual(back->true_coeffs.k2, profile.true_coeffs.k2) &&
+      NearlyEqual(back->true_coeffs.k3, profile.true_coeffs.k3) &&
+      NearlyEqual(back->true_coeffs.k4, profile.true_coeffs.k4) &&
+      NearlyEqual(back->true_coeffs.c, profile.true_coeffs.c) &&
+      back->crossover.teddy_max_patterns ==
+          profile.crossover.teddy_max_patterns &&
+      back->crossover.teddy_min_len == profile.crossover.teddy_min_len &&
+      NearlyEqual(back->rewrite_rows_per_second,
+                  profile.rewrite_rows_per_second) &&
+      back->kernel_bench.size() == profile.kernel_bench.size() &&
+      back->cache_probe.size() == profile.cache_probe.size();
+  if (!faithful) {
+    return Status::Internal("profile round-trip: reloaded profile diverges");
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError(StrFormat("cannot write %s", path.c_str()));
+  out << text << "\n";
+  out.close();
+  if (!out) return Status::IOError(StrFormat("write to %s failed", path.c_str()));
+  return Status::OK();
+}
+
+Result<HardwareProfile> LoadProfile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrFormat("cannot read %s", path.c_str()));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Result<json::Value> parsed = json::Parse(buf.str());
+  if (!parsed.ok()) {
+    return Status::Corruption(StrFormat("%s: %s", path.c_str(),
+                                        parsed.status().ToString().c_str()));
+  }
+  return ProfileFromJson(*parsed);
+}
+
+}  // namespace ciao

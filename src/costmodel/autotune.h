@@ -1,0 +1,100 @@
+#ifndef CIAO_COSTMODEL_AUTOTUNE_H_
+#define CIAO_COSTMODEL_AUTOTUNE_H_
+
+// Host calibration: microbenchmark THIS machine across the kernel matrix
+// and persist the result as a versioned JSON HardwareProfile that the
+// optimizer, matcher dispatch, relayout controller, and fleet allocator
+// consume — the paper's per-hardware cost-model discipline (§V-D fits a
+// separate model per machine) extended to every measured constant in the
+// system. `tools/ciao_calibrate` is the CLI front end; the release-bench
+// CI job runs it in --quick mode and feeds the profile to the gating
+// benches via CIAO_PROFILE.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/hardware_profile.h"
+#include "json/value.h"
+#include "matcher/multi_pattern.h"
+
+namespace ciao {
+
+/// Knobs of CalibrateHost.
+struct AutotuneOptions {
+  /// CI mode: coarse kernel matrix, one timing repeat, small corpora.
+  /// A quick pass stays in the low single-digit seconds.
+  bool quick = false;
+  /// Extra multiplier on corpus sizes and timing floors (tests use
+  /// ~0.05 for a sub-second smoke pass). Clamped to [0.01, 10].
+  double scale = 1.0;
+  /// Corpus/pattern seed; identical seeds measure identical inputs.
+  uint64_t seed = 42;
+  /// Profile name recorded in the output ("host" by default).
+  std::string name = "host";
+};
+
+/// Persisted-profile schema identity. Version history:
+///   v2: first calibrated schema (kernel matrix, crossover, throughput
+///       block, cache probe) — extends the v1 preset fields.
+inline constexpr const char* kHardwareProfileSchemaName =
+    "ciao-hardware-profile";
+inline constexpr int kHardwareProfileSchemaVersion = 2;
+
+/// Runs the full microbenchmark pass on this host: per-kernel
+/// multi-pattern throughput across pattern counts × lengths, a wall-clock
+/// cost-surface fit (substring kernel over corpora of several record
+/// lengths), tape-parse and columnar-decode MB/s, bitvector op
+/// throughput, a conservative segment-rewrite rows/s estimate, and a
+/// cache-size probe. Deterministic inputs; the timings are the host's.
+Result<HardwareProfile> CalibrateHost(const AutotuneOptions& options = {});
+
+/// JSON (de)serialization of a HardwareProfile. ProfileFromJson is
+/// unknown-field tolerant and fails cleanly on missing/foreign schema,
+/// unsupported version, or malformed structure — callers fall back to
+/// presets/defaults on error.
+json::Value ProfileToJson(const HardwareProfile& profile);
+Result<HardwareProfile> ProfileFromJson(const json::Value& doc);
+
+/// Save with round-trip validation: the written JSON is re-parsed and
+/// cross-checked against the source profile before the call succeeds.
+Status SaveProfile(const HardwareProfile& profile, const std::string& path);
+Result<HardwareProfile> LoadProfile(const std::string& path);
+
+/// Derives dispatch thresholds from a measured kernel matrix: picks the
+/// teddy_max_patterns cutoff that minimizes dominated-kernel picks over
+/// the measured cells (ties prefer the larger cutoff), and the smallest
+/// pattern length (>= 2, Teddy's structural floor) at which Teddy wins
+/// below the cutoff. An AC-only-winning table yields teddy_max_patterns
+/// = 0 (always DFA); a table with no comparable cells keeps the static
+/// defaults.
+KernelCrossover DeriveKernelCrossover(
+    const std::vector<KernelBenchPoint>& kernel_bench);
+
+/// Installs `profile` as the process-wide active profile and (when it is
+/// calibrated) its crossover as the matcher's kAuto thresholds; nullptr
+/// clears both back to defaults. Thread-safe.
+void SetActiveHardwareProfile(std::shared_ptr<const HardwareProfile> profile);
+
+/// The active profile. On first call, when none was installed and the
+/// CIAO_PROFILE env var names a readable profile JSON, that profile is
+/// loaded and installed (so benches/CI only set the env var). May be
+/// null. Thread-safe.
+std::shared_ptr<const HardwareProfile> ActiveHardwareProfile();
+
+/// The cost model pushdown decisions should use: seeded from the active
+/// calibrated profile's fitted surface when one is installed, else
+/// `fallback` (typically CostModel::Default()).
+CostModel ProfiledCostModel(const CostModel& fallback);
+
+/// Profile-aware relayout rewrite-throughput seed: the profile's measured
+/// rewrite_rows_per_second when present and positive, else the configured
+/// constant, floored at 1 row/s.
+double ResolveRewriteSeedRps(double configured_seed_rps,
+                             const HardwareProfile* profile);
+
+}  // namespace ciao
+
+#endif  // CIAO_COSTMODEL_AUTOTUNE_H_

@@ -1,12 +1,33 @@
 #ifndef CIAO_COSTMODEL_HARDWARE_PROFILE_H_
 #define CIAO_COSTMODEL_HARDWARE_PROFILE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "costmodel/cost_model.h"
+#include "matcher/multi_pattern.h"
 
 namespace ciao {
+
+/// One cell of the calibrated kernel matrix: throughput of a multi-pattern
+/// engine at a (pattern count, pattern length, selectivity) shape. The
+/// autotuner sweeps the matrix and derives the Teddy/Aho–Corasick
+/// crossover from where the winner flips.
+struct KernelBenchPoint {
+  std::string engine;        // "teddy" or "aho_corasick"
+  uint32_t num_patterns = 0;
+  uint32_t pattern_len = 0;
+  double selectivity = 0.0;  // fraction of records containing >= 1 pattern
+  double mbps = 0.0;         // haystack MB scanned per second
+};
+
+/// One cache-size probe: sequential-sum throughput over a working set of
+/// `size_kb`. The knee locations approximate the cache hierarchy.
+struct CacheProbePoint {
+  uint32_t size_kb = 0;
+  double mbps = 0.0;
+};
 
 /// A simulated hardware platform for the Table IV reproduction. We cannot
 /// access the paper's three physical machines (local i7, Alibaba Cloud
@@ -21,13 +42,40 @@ namespace ciao {
 struct HardwareProfile {
   std::string name;
   std::string description;
-  /// Ground-truth coefficients of the platform.
+  /// Cost-model coefficients. Presets: the platform's ground truth the
+  /// noise model perturbs. Calibrated profiles (`calibrated` below): the
+  /// surface *fitted* from this host's wall-clock sweep — what
+  /// ProfiledCostModel seeds the optimizer with.
   CostModelCoefficients true_coeffs;
   /// Relative Gaussian measurement noise (std dev as fraction of T).
   double noise_sigma = 0.0;
   /// Probability of a stall event on a measurement, and its factor.
   double stall_probability = 0.0;
   double stall_factor = 1.0;
+
+  /// ---- Schema v2: host-calibration results (costmodel/autotune) ----
+  /// All zero/empty on the simulated presets above; populated by
+  /// CalibrateHost and persisted as versioned JSON.
+
+  /// True when this profile was measured on a real host (vs a preset).
+  bool calibrated = false;
+  /// R² of the cost-surface fit behind true_coeffs (calibrated only).
+  double fit_r_squared = 0.0;
+  /// Per-kernel multi-pattern throughput matrix.
+  std::vector<KernelBenchPoint> kernel_bench;
+  /// Teddy/AC dispatch thresholds derived from kernel_bench.
+  KernelCrossover crossover;
+  /// Tape-parse throughput (JSON bytes/s, in MB/s).
+  double tape_parse_mbps = 0.0;
+  /// Columnar decode throughput (MB/s of decoded column bytes).
+  double columnar_decode_mbps = 0.0;
+  /// Word-at-a-time bitvector AND+popcount throughput (million bits/s).
+  double bitvector_mbits_per_second = 0.0;
+  /// Segment-rewrite throughput (rows/s) — seeds the relayout regret
+  /// ledger before the first measured pass.
+  double rewrite_rows_per_second = 0.0;
+  /// Working-set sweep; knees mark the cache hierarchy.
+  std::vector<CacheProbePoint> cache_probe;
 
   /// Deterministic noisy measurement for observation index `i` under
   /// `seed` (same (seed, i) -> same value).

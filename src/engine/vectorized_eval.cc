@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "matcher/kernels.h"
+#include "matcher/simd_gate.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -28,14 +29,19 @@ uint64_t WordEqInt64(const int64_t* p, size_t n, int64_t c) {
   uint64_t w = 0;
   size_t j = 0;
 #if defined(__SSE2__)
-  const __m128i vc = _mm_set1_epi64x(c);
-  for (; j + 2 <= n; j += 2) {
-    const __m128i v =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + j));
-    const __m128i eq32 = _mm_cmpeq_epi32(v, vc);
-    const __m128i eq64 = _mm_and_si128(
-        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
-    w |= static_cast<uint64_t>(_mm_movemask_pd(_mm_castsi128_pd(eq64))) << j;
+  // CIAO_DISABLE_SIMD=sse2 keeps j at 0 so the scalar tail below covers
+  // every lane — the forced-fallback differential path.
+  if (!SimdFeatureDisabled(SimdFeature::kSse2)) {
+    const __m128i vc = _mm_set1_epi64x(c);
+    for (; j + 2 <= n; j += 2) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + j));
+      const __m128i eq32 = _mm_cmpeq_epi32(v, vc);
+      const __m128i eq64 = _mm_and_si128(
+          eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+      w |= static_cast<uint64_t>(_mm_movemask_pd(_mm_castsi128_pd(eq64)))
+           << j;
+    }
   }
 #endif
   for (; j < n; ++j) {
@@ -49,11 +55,13 @@ uint64_t WordCmpDouble(const double* p, size_t n, double c) {
   uint64_t w = 0;
   size_t j = 0;
 #if defined(__SSE2__)
-  const __m128d vc = _mm_set1_pd(c);
-  for (; j + 2 <= n; j += 2) {
-    const __m128d v = _mm_loadu_pd(p + j);
-    const __m128d m = kLess ? _mm_cmplt_pd(v, vc) : _mm_cmpeq_pd(v, vc);
-    w |= static_cast<uint64_t>(_mm_movemask_pd(m)) << j;
+  if (!SimdFeatureDisabled(SimdFeature::kSse2)) {
+    const __m128d vc = _mm_set1_pd(c);
+    for (; j + 2 <= n; j += 2) {
+      const __m128d v = _mm_loadu_pd(p + j);
+      const __m128d m = kLess ? _mm_cmplt_pd(v, vc) : _mm_cmpeq_pd(v, vc);
+      w |= static_cast<uint64_t>(_mm_movemask_pd(m)) << j;
+    }
   }
 #endif
   for (; j < n; ++j) {

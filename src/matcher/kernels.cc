@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "matcher/simd_gate.h"
+
 #ifdef __SSE2__
 #include <emmintrin.h>
 #endif
@@ -161,6 +163,11 @@ size_t FindSwarFallback(std::string_view hay, std::string_view needle,
 
 size_t FindSwar(std::string_view hay, std::string_view needle, size_t from) {
 #ifdef __SSE2__
+  // Forced-fallback knob: CIAO_DISABLE_SIMD=sse2 routes to the portable
+  // SWAR path so its correctness is testable on SSE2 hardware.
+  if (SimdFeatureDisabled(SimdFeature::kSse2)) {
+    return FindSwarFallback(hay, needle, from);
+  }
   const size_t m = needle.size();
   // As in FindSwarFallback: degenerate needles route to FindMemchr
   // explicitly instead of threading through the two-byte probe setup.

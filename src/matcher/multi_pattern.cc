@@ -3,11 +3,33 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 
+#include "matcher/simd_gate.h"
 #include "matcher/teddy_impl.h"
 
 namespace ciao {
+
+namespace {
+
+/// Process-wide kAuto crossover. A mutex-guarded copy (not atomics on the
+/// members) so a reader never observes a torn half-installed crossover;
+/// Build() is never hot enough for the lock to matter.
+std::mutex g_crossover_mu;
+KernelCrossover g_crossover;
+
+}  // namespace
+
+void SetActiveKernelCrossover(const KernelCrossover& crossover) {
+  std::lock_guard<std::mutex> lock(g_crossover_mu);
+  g_crossover = crossover;
+}
+
+KernelCrossover ActiveKernelCrossover() {
+  std::lock_guard<std::mutex> lock(g_crossover_mu);
+  return g_crossover;
+}
 
 std::string_view ClientMatcherModeName(ClientMatcherMode mode) {
   switch (mode) {
@@ -229,20 +251,33 @@ MultiPatternMatcher MultiPatternMatcher::Build(
       use_teddy = false;
       break;
     case Options::Force::kAuto:
-    default:
+    default: {
       // 1-byte patterns make the fingerprint fire on every occurrence of
       // a (possibly common) byte, and big sets overflow the 8 buckets into
-      // long verify chains — both are the DFA's strength.
-      use_teddy = live.size() <= 64 && min_len >= 2;
+      // long verify chains — both are the DFA's strength. Where exactly
+      // the crossover sits is hardware-dependent, so the thresholds come
+      // from the calibrated crossover (static defaults when the host was
+      // never profiled). The 2-byte floor is structural — Teddy's
+      // fingerprint needs 2 bytes — and cannot be calibrated away.
+      const KernelCrossover cx =
+          options.has_crossover ? options.crossover : ActiveKernelCrossover();
+      use_teddy = live.size() <= cx.teddy_max_patterns &&
+                  min_len >= std::max<uint32_t>(cx.teddy_min_len, 2);
       break;
+    }
   }
   if (use_teddy) {
     m.engine_ = Engine::kTeddy;
     m.teddy_ = BuildTeddy(m.patterns_, live, min_len);
-    m.teddy_kernel_ = internal::TeddyAvx2Available() ? TeddyKernel::kAvx2
-                      : internal::TeddySimdAvailable()
-                          ? TeddyKernel::kSsse3
-                          : TeddyKernel::kScalar;
+    // CPU capability is the hard guard; CIAO_DISABLE_SIMD can mask a
+    // capability the CPU has (forced-fallback testing) but never add one.
+    const bool avx2 = internal::TeddyAvx2Available() &&
+                      !SimdFeatureDisabled(SimdFeature::kAvx2);
+    const bool ssse3 = internal::TeddySimdAvailable() &&
+                       !SimdFeatureDisabled(SimdFeature::kSsse3);
+    m.teddy_kernel_ = avx2    ? TeddyKernel::kAvx2
+                      : ssse3 ? TeddyKernel::kSsse3
+                              : TeddyKernel::kScalar;
   } else {
     m.engine_ = Engine::kAhoCorasick;
     m.ac_ = BuildAhoCorasick(m.patterns_, live);

@@ -82,13 +82,40 @@ struct TeddyPlan;
 struct AcAutomaton;
 }  // namespace internal
 
+/// Measured Teddy-vs-Aho–Corasick crossover points that drive kAuto
+/// engine dispatch. The defaults reproduce the historical static
+/// heuristic; host calibration (costmodel/autotune) replaces them with
+/// thresholds derived from this machine's per-kernel throughput matrix.
+/// Runtime CPU-feature detection remains the hard guard underneath —
+/// a crossover can only choose *between* kernels the CPU actually has.
+struct KernelCrossover {
+  /// Largest pattern-set size Teddy still wins at on this host; bigger
+  /// sets overflow the 8 fingerprint buckets into long verify chains.
+  uint32_t teddy_max_patterns = 64;
+  /// Shortest pattern Teddy accepts. Sets containing shorter patterns
+  /// (in practice: 1-byte) fall through to the DFA, whose cost is
+  /// pattern-length independent.
+  uint32_t teddy_min_len = 2;
+};
+
+/// Process-wide crossover used by kAuto builds that don't pass their own
+/// (costmodel/autotune's SetActiveHardwareProfile installs the calibrated
+/// one). Thread-safe; defaults to KernelCrossover{}.
+void SetActiveKernelCrossover(const KernelCrossover& crossover);
+KernelCrossover ActiveKernelCrossover();
+
 /// Build options for MultiPatternMatcher (namespace scope so it can be a
 /// default argument of Build).
 struct MultiPatternOptions {
   enum class Force { kAuto, kTeddy, kAhoCorasick };
-  /// Engine override for tests/benches; kAuto applies the heuristic in
-  /// the class comment.
+  /// Engine override for tests/benches; kAuto picks by the crossover
+  /// thresholds (explicit `crossover` below, else the process-wide
+  /// calibrated one).
   Force force = Force::kAuto;
+  /// Per-build crossover override; unset = ActiveKernelCrossover().
+  /// `has_crossover` rather than std::optional keeps this header light.
+  bool has_crossover = false;
+  KernelCrossover crossover;
 };
 
 /// Hyperscan-style batched literal matcher: compiles a set of pattern

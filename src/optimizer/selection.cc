@@ -39,6 +39,7 @@ Result<PushdownPlan> SelectPredicates(
   PushdownPlan plan;
   plan.budget_us = budget_us;
   plan.matcher_mode = matcher_mode;
+  plan.mean_record_len = mean_record_len;
   plan.base_cost_us =
       batched ? cost_model.BatchedScanBaseUs(mean_record_len) : 0.0;
 
@@ -145,6 +146,7 @@ Result<PredicateRegistry> BuildRegistry(const PushdownPlan& plan,
   PredicateRegistry registry;
   registry.set_matcher_mode(plan.matcher_mode);
   registry.set_base_cost_us(plan.base_cost_us);
+  registry.set_mean_record_len(plan.mean_record_len);
   for (const CandidatePredicate& cand : plan.selected) {
     CIAO_RETURN_IF_ERROR(
         registry.Register(cand.clause, cand.selectivity, cand.cost_us, kernel)

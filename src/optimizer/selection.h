@@ -46,6 +46,10 @@ struct PushdownPlan {
   double budget_us = 0.0;
   /// Matcher strategy the costs were modeled for.
   ClientMatcherMode matcher_mode = ClientMatcherMode::kPerPattern;
+  /// Mean record length (bytes) the costs were modeled at; carried into
+  /// the registry so per-client hardware profiles can re-price predicates
+  /// with their own measured cost surface at allocation time.
+  double mean_record_len = 0.0;
   /// Batched mode: the shared scan cost charged once per record; the
   /// selected candidates' cost_us are then marginal verify costs. Zero in
   /// per-pattern mode.

@@ -83,6 +83,12 @@ class PredicateRegistry {
   double base_cost_us() const { return base_cost_us_; }
   void set_base_cost_us(double base) { base_cost_us_ = base; }
 
+  /// Mean record length (bytes) the plan's costs were estimated at; lets
+  /// per-client hardware profiles re-price base + marginal costs with
+  /// their own coefficients (client/fleet.h). 0 when unknown.
+  double mean_record_len() const { return mean_record_len_; }
+  void set_mean_record_len(double len) { mean_record_len_ = len; }
+
   /// Compiles (and caches) the batched program over all registered
   /// clauses. Call once after the last Register; clients then share the
   /// immutable program instead of each compiling their own. Safe to skip
@@ -97,6 +103,7 @@ class PredicateRegistry {
   std::map<std::string, uint32_t> by_key_;
   ClientMatcherMode matcher_mode_ = ClientMatcherMode::kBatched;
   double base_cost_us_ = 0.0;
+  double mean_record_len_ = 0.0;
   std::shared_ptr<const BatchedClauseSet> batched_;
 };
 

@@ -1,0 +1,346 @@
+// ciao_bench: live perf-observability console. Runs the multi-pattern
+// kernel matrix (Teddy vs Aho–Corasick vs calibrated auto dispatch at
+// several pattern-count × pattern-length shapes) plus the tape-parse hot
+// path on this host, re-rendering the throughput table in place as cells
+// complete (ANSI redraw on a tty, plain append otherwise), then diffs
+// every measured cell against the checked-in hot-path baseline
+// in-terminal — cells the baseline lacks are marked "NEW (no baseline)".
+// Results are merged into BENCH_hotpath.json under "ciao_bench/..." keys
+// like every other hot-path bench.
+//
+// Usage: ciao_bench [--quick] [--seed <n>]
+//   CIAO_PROFILE=<path>         consume a calibrated profile (the auto
+//                               column then uses its crossover)
+//   CIAO_BENCH_BASELINE=<path>  baseline to diff against (default:
+//                               bench/baselines/hotpath_baseline.json
+//                               when readable)
+//   CIAO_BENCH_JSON=<path>      merged report file (bench_report.h)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/report.h"
+#include "costmodel/autotune.h"
+#include "costmodel/hardware_profile.h"
+#include "json/parser.h"
+#include "json/tape_parser.h"
+#include "json/value.h"
+#include "matcher/multi_pattern.h"
+
+namespace {
+
+using namespace ciao;
+
+struct CellShape {
+  uint32_t num_patterns;
+  uint32_t pattern_len;
+};
+
+struct CellResult {
+  CellShape shape;
+  double teddy_mbps = 0.0;
+  double aho_mbps = 0.0;
+  double auto_mbps = 0.0;
+  std::string auto_engine;  // which engine auto dispatch picked
+  bool done = false;
+};
+
+/// Synthetic record corpus shared by every cell: JSON-ish lines of random
+/// words, the same generator family the calibrator sweeps.
+std::vector<std::string> MakeCorpus(size_t n, Rng* rng) {
+  std::vector<std::string> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload;
+    for (int w = 0; w < 12; ++w) {
+      payload += rng->NextIdentifier(3 + static_cast<int>(rng->NextBounded(8)));
+      payload.push_back(' ');
+    }
+    records.push_back(StrFormat(
+        "{\"id\":%llu,\"name\":\"%s\",\"score\":%.3f,\"payload\":\"%s\"}",
+        static_cast<unsigned long long>(i), rng->NextIdentifier(8).c_str(),
+        rng->NextDouble() * 100.0, payload.c_str()));
+  }
+  return records;
+}
+
+/// Half planted substrings (real hits), half random (misses) — the mixed
+/// workload shape the dispatch crossover is judged on.
+std::vector<std::string> MakePatterns(const std::vector<std::string>& corpus,
+                                      uint32_t count, uint32_t len, Rng* rng) {
+  std::vector<std::string> patterns;
+  patterns.reserve(count);
+  for (uint32_t p = 0; p < count; ++p) {
+    if (p % 2 == 0) {
+      const std::string& rec = corpus[rng->NextBounded(corpus.size())];
+      const size_t max_start = rec.size() > len ? rec.size() - len : 0;
+      patterns.push_back(rec.substr(rng->NextBounded(max_start + 1), len));
+    } else {
+      patterns.push_back(rng->NextIdentifier(static_cast<int>(len)));
+    }
+  }
+  return patterns;
+}
+
+double ScanMbps(const MultiPatternMatcher& matcher,
+                const std::vector<std::string>& corpus, size_t corpus_bytes,
+                double min_seconds) {
+  MultiPatternHits hits = matcher.MakeHits();
+  // Warmup pass (page in the corpus, settle the branch predictors).
+  for (const std::string& rec : corpus) matcher.Scan(rec, &hits);
+  Stopwatch watch;
+  uint64_t passes = 0;
+  do {
+    for (const std::string& rec : corpus) matcher.Scan(rec, &hits);
+    ++passes;
+  } while (watch.ElapsedSeconds() < min_seconds);
+  const double seconds = watch.ElapsedSeconds();
+  return static_cast<double>(passes) * static_cast<double>(corpus_bytes) /
+         seconds / 1e6;
+}
+
+/// Frame renderer: rewinds `last_lines` with ANSI cursor-up when stdout
+/// is a tty so the table updates in place; appends otherwise.
+class Console {
+ public:
+  Console() : tty_(isatty(fileno(stdout)) != 0) {}
+
+  void Render(const std::string& frame) {
+    if (tty_) {
+      if (last_lines_ > 0) std::printf("\x1b[%dA", last_lines_);
+      int lines = 0;
+      size_t start = 0;
+      while (start <= frame.size()) {
+        const size_t end = frame.find('\n', start);
+        const std::string line =
+            frame.substr(start, end == std::string::npos ? std::string::npos
+                                                         : end - start);
+        std::printf("\x1b[2K%s\n", line.c_str());
+        ++lines;
+        if (end == std::string::npos) break;
+        start = end + 1;
+      }
+      last_lines_ = lines;
+      std::fflush(stdout);
+    } else {
+      // Non-tty (CI logs): nothing to rewind; the caller prints final
+      // state once via Final().
+    }
+  }
+
+  void Final(const std::string& frame) {
+    if (tty_) {
+      Render(frame);
+    } else {
+      std::fputs(frame.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    last_lines_ = 0;  // subsequent sections scroll normally
+  }
+
+  bool tty() const { return tty_; }
+
+ private:
+  bool tty_;
+  int last_lines_ = 0;
+};
+
+std::string RenderMatrix(const std::vector<CellResult>& cells,
+                         double tape_mbps, bool tape_done) {
+  TablePrinter table(
+      {"patterns", "len", "teddy MB/s", "aho MB/s", "auto MB/s", "auto=", ""});
+  for (const CellResult& c : cells) {
+    if (!c.done) {
+      table.AddRow({StrFormat("%u", c.shape.num_patterns),
+                    StrFormat("%u", c.shape.pattern_len), "...", "...", "...",
+                    "", ""});
+      continue;
+    }
+    const double best = std::max(c.teddy_mbps, c.aho_mbps);
+    // Flag auto picks that leave >5% on the table vs the best static
+    // engine for this shape — the dispatch regression signal.
+    const bool dominated = c.auto_mbps < 0.95 * best;
+    table.AddRow({StrFormat("%u", c.shape.num_patterns),
+                  StrFormat("%u", c.shape.pattern_len),
+                  StrFormat("%.0f", c.teddy_mbps),
+                  StrFormat("%.0f", c.aho_mbps),
+                  StrFormat("%.0f", c.auto_mbps), c.auto_engine,
+                  dominated ? "<< dominated" : ""});
+  }
+  std::string out = table.ToString();
+  out += tape_done ? StrFormat("tape parse: %.0f MB/s", tape_mbps)
+                   : "tape parse: ...";
+  return out;
+}
+
+/// Baseline entries ("<binary>/<bench>" -> metric map) from
+/// CIAO_BENCH_BASELINE, or the checked-in default when readable.
+std::map<std::string, bench::BenchMetrics> LoadBaseline(std::string* path_out) {
+  std::string path;
+  if (const char* env = std::getenv("CIAO_BENCH_BASELINE");
+      env != nullptr && *env != '\0') {
+    path = env;
+  } else {
+    path = "bench/baselines/hotpath_baseline.json";
+  }
+  std::map<std::string, bench::BenchMetrics> out;
+  const std::string text = bench::ReadFileOrEmpty(path);
+  if (text.empty()) return out;
+  Result<json::Value> parsed = json::Parse(text);
+  if (!parsed.ok() || !parsed->is_object()) return out;
+  const json::Value* entries = parsed->Find("entries");
+  if (entries == nullptr || !entries->is_object()) return out;
+  for (const auto& [key, metrics] : entries->as_object()) {
+    if (!metrics.is_object()) continue;
+    for (const auto& [name, v] : metrics.as_object()) {
+      if (v.is_number()) out[key][name] = v.AsNumber();
+    }
+  }
+  *path_out = path;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--seed <n>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::shared_ptr<const HardwareProfile> profile =
+      ActiveHardwareProfile();
+  if (profile != nullptr && profile->calibrated) {
+    std::printf(
+        "ciao_bench: calibrated profile '%s' active "
+        "(crossover: <=%u patterns, len >=%u)\n",
+        profile->name.c_str(), profile->crossover.teddy_max_patterns,
+        profile->crossover.teddy_min_len);
+  } else {
+    std::printf("ciao_bench: no calibrated profile (default crossover)\n");
+  }
+
+  Rng rng(seed);
+  const size_t corpus_records = quick ? 1000 : 4000;
+  const double min_seconds = quick ? 0.02 : 0.10;
+  const std::vector<std::string> corpus = MakeCorpus(corpus_records, &rng);
+  size_t corpus_bytes = 0;
+  for (const std::string& r : corpus) corpus_bytes += r.size();
+
+  std::vector<CellShape> shapes;
+  const std::vector<uint32_t> counts =
+      quick ? std::vector<uint32_t>{8, 96}
+            : std::vector<uint32_t>{4, 16, 48, 96, 192};
+  const std::vector<uint32_t> lens = quick ? std::vector<uint32_t>{3, 8}
+                                           : std::vector<uint32_t>{2, 4, 8, 16};
+  for (const uint32_t c : counts) {
+    for (const uint32_t l : lens) shapes.push_back(CellShape{c, l});
+  }
+
+  std::vector<CellResult> cells(shapes.size());
+  for (size_t i = 0; i < shapes.size(); ++i) cells[i].shape = shapes[i];
+
+  Console console;
+  double tape_mbps = 0.0;
+  console.Render(RenderMatrix(cells, tape_mbps, false));
+
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    const CellShape& shape = shapes[i];
+    Rng cell_rng(seed ^ (0x9E37ULL * (i + 1)));
+    const std::vector<std::string> patterns =
+        MakePatterns(corpus, shape.num_patterns, shape.pattern_len, &cell_rng);
+
+    MultiPatternOptions opt;
+    opt.force = MultiPatternOptions::Force::kTeddy;
+    const MultiPatternMatcher teddy =
+        MultiPatternMatcher::Build(patterns, {}, opt);
+    opt.force = MultiPatternOptions::Force::kAhoCorasick;
+    const MultiPatternMatcher aho =
+        MultiPatternMatcher::Build(patterns, {}, opt);
+    const MultiPatternMatcher autom = MultiPatternMatcher::Build(patterns);
+
+    cells[i].teddy_mbps = ScanMbps(teddy, corpus, corpus_bytes, min_seconds);
+    cells[i].aho_mbps = ScanMbps(aho, corpus, corpus_bytes, min_seconds);
+    cells[i].auto_mbps = ScanMbps(autom, corpus, corpus_bytes, min_seconds);
+    cells[i].auto_engine = std::string(autom.engine_name());
+    cells[i].done = true;
+    console.Render(RenderMatrix(cells, tape_mbps, false));
+  }
+
+  {
+    json::TapeParser parser;
+    json::Tape tape;
+    Stopwatch watch;
+    uint64_t passes = 0;
+    do {
+      for (const std::string& rec : corpus) (void)parser.Parse(rec, &tape);
+      ++passes;
+    } while (watch.ElapsedSeconds() < min_seconds);
+    tape_mbps = static_cast<double>(passes) *
+                static_cast<double>(corpus_bytes) / watch.ElapsedSeconds() /
+                1e6;
+  }
+  console.Final(RenderMatrix(cells, tape_mbps, true));
+
+  // Persist under "ciao_bench/..." like every other hot-path bench.
+  std::map<std::string, bench::BenchMetrics> entries;
+  for (const CellResult& c : cells) {
+    bench::BenchMetrics m;
+    m["teddy_mbps"] = c.teddy_mbps;
+    m["aho_mbps"] = c.aho_mbps;
+    m["auto_mbps"] = c.auto_mbps;
+    entries[StrFormat("ciao_bench/matrix/p%u_l%u", c.shape.num_patterns,
+                      c.shape.pattern_len)] = m;
+  }
+  entries["ciao_bench/tape_parse"] = {{"mbytes_per_second", tape_mbps}};
+  bench::MergeIntoReportFile(entries);
+
+  // In-terminal diff against the checked-in baseline. Cells only the new
+  // run has are expected — this binary's keys are deliberately absent
+  // from the baseline until it is next regenerated — and print as
+  // "NEW (no baseline)" rather than vanishing from the report.
+  std::string baseline_path;
+  const std::map<std::string, bench::BenchMetrics> baseline =
+      LoadBaseline(&baseline_path);
+  std::printf("\nbaseline diff (%s)\n",
+              baseline.empty() ? "none found" : baseline_path.c_str());
+  TablePrinter diff({"cell", "metric", "now", "baseline", "delta"});
+  for (const auto& [key, metrics] : entries) {
+    const auto base_it = baseline.find(key);
+    for (const auto& [name, value] : metrics) {
+      if (base_it == baseline.end() ||
+          base_it->second.find(name) == base_it->second.end()) {
+        diff.AddRow({key, name, StrFormat("%.0f", value), "-",
+                     "NEW (no baseline)"});
+        continue;
+      }
+      const double base = base_it->second.at(name);
+      const double delta =
+          base != 0.0 ? (value - base) / base * 100.0 : 0.0;
+      diff.AddRow({key, name, StrFormat("%.0f", value),
+                   StrFormat("%.0f", base), StrFormat("%+.1f%%", delta)});
+    }
+  }
+  std::printf("%s", diff.ToString().c_str());
+  std::printf("report merged into %s\n", bench::ReportPath().c_str());
+  return 0;
+}

@@ -1,0 +1,128 @@
+// ciao_calibrate: microbenchmark this host across the kernel matrix and
+// persist the result as a versioned JSON HardwareProfile (see
+// costmodel/autotune.h). The profile feeds every calibrated constant in
+// the system: CIAO_PROFILE=<path> makes the optimizer, matcher dispatch,
+// relayout controller, and benches consume it.
+//
+// Usage: ciao_calibrate [--quick] [--out <path>] [--name <name>]
+//                       [--seed <n>] [--scale <f>]
+//   --quick   coarse matrix + short timing floors (CI mode, a few seconds)
+//   --out     output path (default: hostprofile.json)
+//   --name    profile name recorded in the JSON (default: host)
+//   --seed    corpus/pattern seed (default: 42)
+//   --scale   corpus-size/timing multiplier, clamped to [0.01, 10]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/report.h"
+#include "costmodel/autotune.h"
+#include "costmodel/hardware_profile.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--out <path>] [--name <name>] "
+               "[--seed <n>] [--scale <f>]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ciao;
+
+  AutotuneOptions options;
+  std::string out_path = "hostprofile.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--name") {
+      options.name = next();
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--scale") {
+      options.scale = std::strtod(next(), nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("ciao_calibrate: measuring host '%s'%s ...\n",
+              options.name.c_str(), options.quick ? " (quick)" : "");
+  Stopwatch watch;
+  auto profile = CalibrateHost(options);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 profile.status().ToString().c_str());
+    return 1;
+  }
+  const double elapsed = watch.ElapsedSeconds();
+
+  // Kernel matrix, one row per (count, len) shape with both engines.
+  TablePrinter matrix({"patterns", "len", "teddy MB/s", "aho MB/s", "winner"});
+  for (size_t i = 0; i + 1 < profile->kernel_bench.size(); i += 2) {
+    const KernelBenchPoint* teddy = &profile->kernel_bench[i];
+    const KernelBenchPoint* aho = &profile->kernel_bench[i + 1];
+    if (teddy->engine != "teddy") std::swap(teddy, aho);
+    matrix.AddRow({StrFormat("%u", teddy->num_patterns),
+                   StrFormat("%u", teddy->pattern_len),
+                   StrFormat("%.0f", teddy->mbps),
+                   StrFormat("%.0f", aho->mbps),
+                   teddy->mbps >= aho->mbps ? "teddy" : "aho"});
+  }
+  std::printf("\nkernel matrix\n%s\n", matrix.ToString().c_str());
+
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"crossover.teddy_max_patterns",
+                  StrFormat("%u", profile->crossover.teddy_max_patterns)});
+  summary.AddRow({"crossover.teddy_min_len",
+                  StrFormat("%u", profile->crossover.teddy_min_len)});
+  summary.AddRow({"cost fit R^2", StrFormat("%.4f", profile->fit_r_squared)});
+  summary.AddRow(
+      {"tape parse MB/s", StrFormat("%.0f", profile->tape_parse_mbps)});
+  summary.AddRow({"columnar decode MB/s",
+                  StrFormat("%.0f", profile->columnar_decode_mbps)});
+  summary.AddRow({"bitvector Mbit/s",
+                  StrFormat("%.0f", profile->bitvector_mbits_per_second)});
+  summary.AddRow({"rewrite rows/s",
+                  StrFormat("%.0f", profile->rewrite_rows_per_second)});
+  for (const CacheProbePoint& p : profile->cache_probe) {
+    summary.AddRow({StrFormat("cache %u KB MB/s", p.size_kb),
+                    StrFormat("%.0f", p.mbps)});
+  }
+  std::printf("%s\n", summary.ToString().c_str());
+
+  const Status st = SaveProfile(*profile, out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("calibrated in %.1fs; profile written to %s\n", elapsed,
+              out_path.c_str());
+  std::printf("consume it with: CIAO_PROFILE=%s <bench|tool>\n",
+              out_path.c_str());
+  return 0;
+}
