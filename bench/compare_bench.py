@@ -32,6 +32,10 @@ METRICS = {
     # Row groups pruned before decode (relayout skew cell): a drop means
     # clustering or the density/zone-map skip path stopped firing.
     "groups_skipped": (True, 0.0),
+    # Physical decode volume (column grouping cell): growth means the
+    # mined vertical layout stopped covering the projection workload and
+    # queries are decoding chunk-mate or whole-row bytes again.
+    "bytes_decoded": (False, 0.0),
 }
 
 

@@ -37,14 +37,16 @@ void AppendRow(RecordBatch* dst, const RecordBatch& src, size_t r) {
 ClusteredSegmentWriter::ClusteredSegmentWriter(const Schema& schema,
                                                size_t num_predicates,
                                                size_t rows_per_group,
-                                               size_t groups_per_file)
+                                               size_t groups_per_file,
+                                               ColumnGroupLayout layout)
     : schema_(schema),
       num_predicates_(num_predicates),
       rows_per_group_(rows_per_group == 0 ? 1 : rows_per_group),
       groups_per_file_(groups_per_file == 0 ? 1 : groups_per_file),
+      layout_(std::move(layout)),
       pending_(schema_),
       pending_bits_(num_predicates),
-      writer_(schema_) {}
+      writer_(schema_, layout_) {}
 
 Status ClusteredSegmentWriter::Append(const RecordBatch& src, size_t row,
                                       const BitVectorSet& src_bits) {
@@ -89,7 +91,7 @@ void ClusteredSegmentWriter::SealFile() {
   file.num_groups = writer_.num_row_groups();
   file.file_bytes = std::move(writer_).Finish();
   sealed_.push_back(std::move(file));
-  writer_ = TableWriter(schema_);
+  writer_ = TableWriter(schema_, layout_);
   file_rows_ = 0;
 }
 

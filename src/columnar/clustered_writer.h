@@ -34,9 +34,13 @@ class ClusteredSegmentWriter {
   /// `rows_per_group` rows are sealed into each row group and
   /// `groups_per_file` groups into each output file (the last of each may
   /// be short). `num_predicates` is the annotation slot count every
-  /// appended row's bits must carry.
+  /// appended row's bits must carry. `layout` (the workload-mined column
+  /// grouping) selects the v4 grouped body for every sealed group; empty
+  /// keeps the legacy per-column body — so one rewrite pass applies the
+  /// row clustering and the vertical re-partitioning together.
   ClusteredSegmentWriter(const Schema& schema, size_t num_predicates,
-                         size_t rows_per_group, size_t groups_per_file);
+                         size_t rows_per_group, size_t groups_per_file,
+                         ColumnGroupLayout layout = {});
 
   /// Appends row `row` of `src` together with its per-predicate bits from
   /// `src_bits` (the source group's annotation set; must have
@@ -59,6 +63,7 @@ class ClusteredSegmentWriter {
   const size_t num_predicates_;
   const size_t rows_per_group_;
   const size_t groups_per_file_;
+  const ColumnGroupLayout layout_;
 
   RecordBatch pending_;
   /// pending_bits_[p][r] = predicate p's bit for pending row r.

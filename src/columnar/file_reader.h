@@ -50,6 +50,18 @@ enum class ChecksumMode {
   kTrust,
 };
 
+/// Decode-volume accounting for one projected read — the physical proof
+/// behind ScanStats.{columns_decoded, bytes_decoded}: which column bytes
+/// a scan actually fed through the decoder, and how many of them belonged
+/// to columns the caller never asked for (decode-to-skip inside a
+/// partially-wanted chunk of a v4 grouped body; always 0 on the legacy
+/// per-column body, whose length prefixes skip for free).
+struct DecodeStats {
+  uint64_t columns_decoded = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t bytes_wasted = 0;
+};
+
 /// Reads files produced by TableWriter. Opening validates magic/footer/
 /// group framing; column payloads are decoded lazily per row group, with
 /// CRC verification per ChecksumMode.
@@ -76,13 +88,18 @@ class TableReader {
   /// Decodes the columns of group `i` (CRC-verified).
   Result<RecordBatch> ReadBatch(size_t i) const;
 
-  /// Column-pruned read: decodes only the columns with `wanted[c]` set;
-  /// the others stay empty placeholder vectors. The returned batch is a
-  /// *projection* — only access wanted columns, and take the row count
+  /// Column-pruned read: decodes only the columns covering `wanted` —
+  /// exactly the wanted columns on a legacy body, every chunk
+  /// intersecting the mask on a v4 grouped body (chunks with no wanted
+  /// column are neither decoded nor checksummed; columns that ride along
+  /// in a touched chunk are decoded and installed). Unread columns stay
+  /// empty placeholder vectors: the returned batch is a *projection* —
+  /// only access wanted (or chunk-mate) columns, and take the row count
   /// from ReadMeta, not from the batch. `wanted` must have one entry per
-  /// schema field.
+  /// schema field. `stats` (optional) accumulates the decode volume.
   Result<RecordBatch> ReadBatchProjected(size_t i,
-                                         const std::vector<bool>& wanted) const;
+                                         const std::vector<bool>& wanted,
+                                         DecodeStats* stats = nullptr) const;
 
   /// Total rows across all groups (from headers; no column decode).
   Result<uint64_t> TotalRows() const;
@@ -99,6 +116,13 @@ class TableReader {
   TableReader() = default;
 
   static Result<TableReader> OpenImpl(TableReader reader);
+
+  /// Decodes a v4 column-grouped body (see file_writer.h): parses the
+  /// chunk directory, then decodes and (in kVerify mode) CRC-checks only
+  /// the chunks intersecting `wanted`.
+  Result<RecordBatch> ReadGroupedBody(std::string_view body,
+                                      const std::vector<bool>& wanted,
+                                      DecodeStats* stats) const;
 
   /// The file bytes: owned_ when Open() was used, borrowed_ otherwise.
   /// Always access through data() — it re-anchors after moves (an SSO

@@ -49,7 +49,59 @@ std::vector<ZoneMap> ComputeZoneMaps(const RecordBatch& batch) {
   return maps;
 }
 
-TableWriter::TableWriter(Schema schema) : schema_(std::move(schema)) {
+Status ColumnGroupLayout::Validate(size_t num_fields) const {
+  std::vector<bool> seen(num_fields, false);
+  size_t covered = 0;
+  for (const std::vector<uint32_t>& group : groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument("column group layout: empty group");
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      const uint32_t c = group[i];
+      if (c >= num_fields) {
+        return Status::InvalidArgument(
+            "column group layout: column index out of range");
+      }
+      if (i > 0 && group[i - 1] >= c) {
+        return Status::InvalidArgument(
+            "column group layout: group columns not ascending");
+      }
+      if (seen[c]) {
+        return Status::InvalidArgument(
+            "column group layout: column in two groups");
+      }
+      seen[c] = true;
+      ++covered;
+    }
+  }
+  if (covered != num_fields) {
+    return Status::InvalidArgument(
+        "column group layout: not a partition of the schema");
+  }
+  return Status::OK();
+}
+
+ColumnGroupLayout ColumnGroupLayout::SingleGroup(size_t num_fields) {
+  ColumnGroupLayout layout;
+  layout.groups.emplace_back();
+  layout.groups.back().reserve(num_fields);
+  for (size_t c = 0; c < num_fields; ++c) {
+    layout.groups.back().push_back(static_cast<uint32_t>(c));
+  }
+  return layout;
+}
+
+ColumnGroupLayout ColumnGroupLayout::PerColumn(size_t num_fields) {
+  ColumnGroupLayout layout;
+  layout.groups.reserve(num_fields);
+  for (size_t c = 0; c < num_fields; ++c) {
+    layout.groups.push_back({static_cast<uint32_t>(c)});
+  }
+  return layout;
+}
+
+TableWriter::TableWriter(Schema schema, ColumnGroupLayout layout)
+    : schema_(std::move(schema)), layout_(std::move(layout)) {
   buffer_.append(kMagic);
   schema_.SerializeTo(&buffer_);
 }
@@ -89,11 +141,40 @@ Status TableWriter::AppendRowGroup(const RecordBatch& batch,
   }
 
   std::string body;
-  wire::PutU32(static_cast<uint32_t>(batch.num_columns()), &body);
-  for (size_t c = 0; c < batch.num_columns(); ++c) {
-    std::string encoded;
-    EncodeColumn(batch.column(c), &encoded);
-    wire::PutBytes(encoded, &body);
+  if (layout_.empty()) {
+    // Legacy per-column body: each column length-prefixed, individually
+    // skippable.
+    wire::PutU32(static_cast<uint32_t>(batch.num_columns()), &body);
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      std::string encoded;
+      EncodeColumn(batch.column(c), &encoded);
+      wire::PutBytes(encoded, &body);
+    }
+  } else {
+    // v4 grouped body: directory of per-chunk (columns, length, crc),
+    // then the chunk payloads back-to-back. Columns inside a chunk carry
+    // no framing — the chunk is the decode unit.
+    CIAO_RETURN_IF_ERROR(layout_.Validate(batch.num_columns()));
+    std::vector<std::string> chunks;
+    chunks.reserve(layout_.groups.size());
+    for (const std::vector<uint32_t>& group : layout_.groups) {
+      std::string chunk;
+      for (const uint32_t c : group) {
+        EncodeColumn(batch.column(c), &chunk);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+    wire::PutU32(kGroupedBodyTag, &body);
+    wire::PutU32(static_cast<uint32_t>(batch.num_columns()), &body);
+    wire::PutU32(static_cast<uint32_t>(layout_.groups.size()), &body);
+    for (size_t g = 0; g < layout_.groups.size(); ++g) {
+      const std::vector<uint32_t>& group = layout_.groups[g];
+      wire::PutU32(static_cast<uint32_t>(group.size()), &body);
+      for (const uint32_t c : group) wire::PutU32(c, &body);
+      wire::PutU32(static_cast<uint32_t>(chunks[g].size()), &body);
+      wire::PutU32(Crc32(chunks[g]), &body);
+    }
+    for (const std::string& chunk : chunks) body.append(chunk);
   }
 
   wire::PutU32(kGroupMarker, &buffer_);

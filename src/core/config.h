@@ -88,6 +88,43 @@ struct IngestOptions {
   }
 };
 
+/// Knobs of workload-driven column grouping — the *vertical* half of
+/// adaptive physical layout. During a re-layout pass the runtime mines a
+/// column co-access profile from the decayed query log (predicate columns
+/// + projected columns, weighted by workload mass), greedily clusters
+/// columns that are accessed together into groups, and rewrites segments
+/// with a grouped (v4) body whose chunks decode and checksum
+/// independently — so a query touching 3 of 30 columns feeds only its
+/// groups through the decoder.
+struct ColumnGroupingOptions {
+  /// Mine and apply a column grouping when re-layout fires. Off = rewrite
+  /// keeps the legacy per-column body (row clustering only).
+  bool enabled = true;
+
+  /// Upper bound on mined groups. The greedy partitioner merges past the
+  /// gain optimum if needed to respect it (more groups = more per-chunk
+  /// framing and directory overhead).
+  size_t max_groups = 8;
+
+  /// Minimum estimated decoded-bytes saving — as a fraction of the
+  /// whole-row baseline decode volume — for the mined layout to be worth
+  /// installing. Below it the rewrite keeps the legacy body: chunk
+  /// framing would cost more than the pruning saves.
+  double min_saving_fraction = 0.02;
+
+  /// Per-chunk access overhead in byte-equivalents (decode dispatch,
+  /// framing, CRC domain) charged by the mining objective for every group
+  /// a query touches. 0 = derive from the active HardwareProfile's
+  /// measured columnar-decode throughput (~2 µs per chunk access,
+  /// floor 512 bytes).
+  double chunk_overhead_bytes = 0.0;
+
+  /// Ablation: skip mining and force the single-group (whole-row) v4
+  /// layout. This is the "ungrouped" baseline of bench_column_grouping —
+  /// physically the same body format, zero vertical pruning.
+  bool force_single_group = false;
+};
+
 /// Knobs of the online segment re-layout pass (adaptive *physical*
 /// layout). When the adaptive runtime detects that queries keep decoding
 /// rows they then discard — hot-predicate matches smeared across every
@@ -133,6 +170,11 @@ struct RelayoutOptions {
   /// only delays the first pass, while an optimistic one would let that
   /// pass overshoot the regret budget before measurement exists.
   double seed_rewrite_rows_per_second = 2.5e5;
+
+  /// Workload-driven column grouping applied by the same rewrite pass
+  /// (one decode+re-encode applies row clustering and the vertical
+  /// re-partitioning together).
+  ColumnGroupingOptions column_grouping;
 };
 
 /// Knobs of the adaptive re-optimization runtime (epoch-versioned plans).

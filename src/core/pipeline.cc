@@ -2,7 +2,20 @@
 
 #include <set>
 
+#include "costmodel/autotune.h"
+
 namespace ciao {
+
+namespace {
+
+/// The substring kernel the client filter actually compiles with: the
+/// active host profile's measured winner when one is calibrated, else the
+/// static config choice.
+SearchKernel ProfiledKernel(const CiaoConfig& config) {
+  return ResolveSearchKernel(config.kernel, ActiveHardwareProfile().get());
+}
+
+}  // namespace
 
 Result<PlanningOutcome> PlanPushdown(
     const Workload& workload, const std::vector<std::string>& sample_records,
@@ -24,7 +37,7 @@ Result<PlanningOutcome> PlanPushdown(
                        estimate.mean_record_len, config.budget_us,
                        config.algorithm, extra, config.matcher));
   CIAO_ASSIGN_OR_RETURN(outcome.registry,
-                        BuildRegistry(outcome.plan, config.kernel));
+                        BuildRegistry(outcome.plan, ProfiledKernel(config)));
   outcome.partial_loading_enabled =
       config.enable_partial_loading && outcome.plan.covers_all_queries &&
       !outcome.registry.empty();
@@ -71,7 +84,7 @@ Result<PlanningOutcome> PlanManualPushdown(
     outcome.plan.total_cost_us += outcome.plan.selected.back().cost_us;
   }
   CIAO_ASSIGN_OR_RETURN(outcome.registry,
-                        BuildRegistry(outcome.plan, config.kernel));
+                        BuildRegistry(outcome.plan, ProfiledKernel(config)));
 
   // Coverage check against the workload.
   std::set<std::string> pushed_keys;

@@ -5,6 +5,7 @@
 
 #include "core/pipeline.h"
 #include "costmodel/autotune.h"
+#include "storage/column_grouping.h"
 
 namespace ciao {
 
@@ -25,6 +26,8 @@ void MergeRelayout(RelayoutStats* into, const RelayoutStats& from) {
   into->groups_written += from.groups_written;
   into->rows_moved += from.rows_moved;
   into->seconds += from.seconds;
+  // Not additive: the vertical layout of the most recent published pass.
+  if (from.column_groups > 0) into->column_groups = from.column_groups;
 }
 
 }  // namespace
@@ -76,18 +79,42 @@ bool ReplanController::ShouldReplanLocked() {
 }
 
 void ReplanController::AccrueWasteLocked(const QueryResult& result) {
+  if (result.seconds <= 0.0) return;
+  // Row-skip waste: the fraction of decoded rows the query then
+  // discarded, charged at the query's wall-clock rate. A selective query
+  // that decodes everything wastes nearly its whole runtime; once
+  // re-layout lets skipping drop non-matching groups before decode,
+  // decoded ≈ matched and the accrual self-limits.
   const double decoded = static_cast<double>(result.stats.rows_decoded);
-  if (decoded <= 0.0 || result.seconds <= 0.0) return;
-  // Decode waste: the fraction of decoded rows the query then discarded,
-  // charged at the query's wall-clock rate. A selective query that
-  // decodes everything wastes nearly its whole runtime; once re-layout
-  // lets skipping drop non-matching groups before decode, decoded ≈
-  // matched and the accrual self-limits.
-  const double useful =
-      std::min(static_cast<double>(result.count), decoded);
-  const double waste = result.seconds * (decoded - useful) / decoded;
+  double row_fraction = 0.0;
+  if (decoded > 0.0) {
+    const double useful =
+        std::min(static_cast<double>(result.count), decoded);
+    row_fraction = (decoded - useful) / decoded;
+  }
+  // Column waste: the fraction of decoded bytes spent on columns the
+  // query never asked for (decode-to-skip inside partially-wanted group
+  // chunks). Zero on the legacy per-column body; once a grouped layout
+  // exists, a drifted workload cutting across its groups accrues here
+  // and pays for the re-grouping pass the same way row waste pays for
+  // re-clustering.
+  double column_fraction = 0.0;
+  if (result.stats.bytes_decoded > 0) {
+    column_fraction = static_cast<double>(result.stats.bytes_decode_waste) /
+                      static_cast<double>(result.stats.bytes_decoded);
+  }
+  const double row_waste = result.seconds * row_fraction;
+  const double column_waste = result.seconds * column_fraction;
+  // The two overlap (a wasted row's bytes can also be wasted columns);
+  // cap the combined accrual at the query's actual runtime so the ledger
+  // never credits more waste than time spent.
+  const double waste =
+      std::min(result.seconds, row_waste + column_waste);
+  if (waste <= 0.0) return;
   waste_credit_ += waste;
   waste_total_ += waste;
+  row_waste_total_ += row_waste;
+  column_waste_total_ += column_waste;
 }
 
 bool ReplanController::OnQueryExecuted(const Query& query,
@@ -224,7 +251,31 @@ Result<bool> ReplanController::RelayoutNow() {
   if (derived.queries.empty()) return false;
   const std::vector<HotPredicate> hot =
       RankHotPredicates(derived, registry, opt.max_cluster_predicates);
-  if (hot.empty()) return false;
+
+  // Mine the vertical layout from the same decayed workload the row
+  // clustering uses, so one rewrite pass applies both. Per-column byte
+  // weights come from a decoded catalog sample; the chunk-access
+  // overhead from the host's measured decode throughput.
+  columnar::ColumnGroupLayout layout;
+  if (opt.column_grouping.enabled || opt.column_grouping.force_single_group) {
+    const Result<std::vector<double>> column_bytes =
+        EstimateColumnBytes(*catalog_);
+    if (column_bytes.ok()) {
+      ColumnGroupingOptions mine_opt = opt.column_grouping;
+      if (mine_opt.chunk_overhead_bytes <= 0.0) {
+        mine_opt.chunk_overhead_bytes =
+            DefaultChunkOverheadBytes(ActiveHardwareProfile().get());
+      }
+      const size_t rows_per_group = opt.rows_per_group == 0
+                                        ? kDefaultRelayoutRowsPerGroup
+                                        : opt.rows_per_group;
+      const ColumnGroupingPlan mined = MineColumnGrouping(
+          ColumnAccessProfile::FromWorkload(derived, catalog_->schema()),
+          *column_bytes, rows_per_group, mine_opt);
+      if (!mined.trivial) layout = mined.layout;
+    }
+  }
+  if (hot.empty() && layout.empty()) return false;
 
   // Exclude in-flight ingest for the duration: appends racing the pass
   // would only produce extra non-participating segments (correct but
@@ -238,8 +289,9 @@ Result<bool> ReplanController::RelayoutNow() {
   }
   RelayoutStats pass;
   bool relaid = false;
-  const Status status = RelayoutSegments(catalog_, registry, hot, epoch->id,
-                                         opt, &pass, &relaid);
+  const Status status =
+      RelayoutSegments(catalog_, registry, hot, epoch->id, opt,
+                       layout.empty() ? nullptr : &layout, &pass, &relaid);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Every second of rewrite work counts against the regret ledger,
@@ -275,7 +327,9 @@ CostModel ReplanController::ModelForReplan(const PlanEpoch& epoch) {
     patterns.insert(patterns.end(), probes.begin(), probes.end());
     if (patterns.size() >= kMinCalibrationObservations) {
       Result<CalibrationResult> sweep = CalibrateWallClock(
-          sample_records_, patterns, config_.kernel, /*repeats=*/1);
+          sample_records_, patterns,
+          ResolveSearchKernel(config_.kernel, ActiveHardwareProfile().get()),
+          /*repeats=*/1);
       if (sweep.ok()) {
         observations.insert(observations.end(), sweep->observations.begin(),
                             sweep->observations.end());
@@ -385,6 +439,16 @@ RelayoutStats ReplanController::relayout_stats() const {
 double ReplanController::relayout_waste_seconds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return waste_total_;
+}
+
+double ReplanController::relayout_row_waste_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return row_waste_total_;
+}
+
+double ReplanController::relayout_column_waste_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return column_waste_total_;
 }
 
 double ReplanController::relayout_spent_seconds() const {

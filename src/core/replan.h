@@ -95,8 +95,16 @@ class ReplanController {
   RelayoutStats relayout_stats() const;
   /// Estimated decode waste accumulated from executed queries (seconds,
   /// monotonic): wall-clock charged to rows that were decoded but did not
-  /// match. The benefit side of the regret ledger.
+  /// match, plus bytes decoded for columns the query never asked for.
+  /// The benefit side of the regret ledger.
   double relayout_waste_seconds() const;
+  /// The row-skip half of the accrual (rows decoded but discarded) —
+  /// what pays for horizontal re-clustering.
+  double relayout_row_waste_seconds() const;
+  /// The column half of the accrual (bytes decoded for unwanted columns
+  /// inside partially-wanted group chunks) — what pays for vertical
+  /// re-grouping. Zero until a grouped layout exists.
+  double relayout_column_waste_seconds() const;
   /// Wall-clock spent rewriting segments (monotonic). The trigger only
   /// fires when accumulated waste since the last pass covers the
   /// estimated rewrite cost `relayout.cost_multiplier` times over, so
@@ -155,6 +163,10 @@ class ReplanController {
   // sides of the bound.
   double waste_credit_ = 0.0;
   double waste_total_ = 0.0;
+  /// Uncapped per-source totals behind waste_total_ (which caps each
+  /// query's combined accrual at its runtime); introspection only.
+  double row_waste_total_ = 0.0;
+  double column_waste_total_ = 0.0;
   double spent_seconds_ = 0.0;
   /// Rewrite throughput measured on the last published pass (rows/s);
   /// 0 until one ran (the config seed is used instead).

@@ -174,6 +174,29 @@ double ResolveRewriteSeedRps(double configured_seed_rps,
   return std::max(configured_seed_rps, 1.0);
 }
 
+SearchKernel ResolveSearchKernel(SearchKernel configured,
+                                 const HardwareProfile* profile) {
+  if (profile == nullptr || !profile->calibrated ||
+      profile->search_kernel_bench.empty()) {
+    return configured;
+  }
+  SearchKernel best = configured;
+  double best_mbps = 0.0;
+  for (const SearchKernelBenchPoint& point : profile->search_kernel_bench) {
+    if (point.mbps <= best_mbps) continue;
+    // Match names back to kernels; entries with foreign names (a newer
+    // profile read by an older binary) are skipped, not errors.
+    for (const SearchKernel kernel : AllSearchKernels()) {
+      if (point.kernel == SearchKernelName(kernel)) {
+        best = kernel;
+        best_mbps = point.mbps;
+        break;
+      }
+    }
+  }
+  return best_mbps > 0.0 ? best : configured;
+}
+
 KernelCrossover DeriveKernelCrossover(
     const std::vector<KernelBenchPoint>& kernel_bench) {
   KernelCrossover cx;
@@ -315,6 +338,37 @@ Result<HardwareProfile> CalibrateHost(const AutotuneOptions& options) {
     }
   }
   profile.crossover = DeriveKernelCrossover(profile.kernel_bench);
+
+  // ---- 1b. Single-pattern SearchKernel matrix: which substring kernel
+  //          the client filter should dispatch to on this host. Probes
+  //          mix planted (found) and random (mostly-miss) needles of a
+  //          few lengths so verify-heavy and skip-heavy kernels each
+  //          show their real cost. ----
+  {
+    std::vector<std::string> needles;
+    for (const uint32_t len : {4u, 8u, 16u}) {
+      const std::string& rec = corpus[rng.NextBounded(corpus.size())];
+      needles.push_back(rec.substr(rng.NextBounded(rec.size() - len), len));
+      needles.push_back(rng.NextIdentifier(static_cast<int>(len)));
+    }
+    for (const SearchKernel kernel : AllSearchKernels()) {
+      volatile size_t sink = 0;
+      const double sec = MeasureSecondsPerRun(min_cell_seconds, [&] {
+        size_t found = 0;
+        for (const std::string& r : corpus) {
+          for (const std::string& needle : needles) {
+            if (Find(kernel, r, needle) != std::string_view::npos) ++found;
+          }
+        }
+        sink = sink + found;
+      });
+      SearchKernelBenchPoint point;
+      point.kernel = std::string(SearchKernelName(kernel));
+      point.mbps = static_cast<double>(corpus_bytes) * needles.size() / sec /
+                   1e6;
+      profile.search_kernel_bench.push_back(std::move(point));
+    }
+  }
 
   // ---- 2. Cost-surface fit: wall-clock substring sweeps over corpora of
   //         several record lengths (without the len_t spread the k2/k4
@@ -470,6 +524,15 @@ json::Value ProfileToJson(const HardwareProfile& profile) {
   }
   root.Add("kernel_bench", std::move(bench));
 
+  json::Value search_bench{json::Array{}};
+  for (const SearchKernelBenchPoint& p : profile.search_kernel_bench) {
+    json::Value point{json::Object{}};
+    point.Add("kernel", json::Value(p.kernel));
+    point.Add("mbps", json::Value(p.mbps));
+    search_bench.as_array().push_back(std::move(point));
+  }
+  root.Add("search_kernel_bench", std::move(search_bench));
+
   json::Value cache{json::Array{}};
   for (const CacheProbePoint& p : profile.cache_probe) {
     json::Value point{json::Object{}};
@@ -557,6 +620,19 @@ Result<HardwareProfile> ProfileFromJson(const json::Value& doc) {
       profile.kernel_bench.push_back(std::move(point));
     }
   }
+  if (const json::Value* bench = doc.Find("search_kernel_bench");
+      bench != nullptr && bench->is_array()) {
+    for (const json::Value& entry : bench->as_array()) {
+      if (!entry.is_object()) {
+        return Status::Corruption(
+            "hardware profile: search_kernel_bench entry is not an object");
+      }
+      SearchKernelBenchPoint point;
+      point.kernel = StringOr(entry.Find("kernel"), "");
+      point.mbps = NumberOr(entry.Find("mbps"), 0.0);
+      profile.search_kernel_bench.push_back(std::move(point));
+    }
+  }
   if (const json::Value* cache = doc.Find("cache_probe");
       cache != nullptr && cache->is_array()) {
     for (const json::Value& entry : cache->as_array()) {
@@ -599,6 +675,7 @@ Status SaveProfile(const HardwareProfile& profile, const std::string& path) {
       NearlyEqual(back->rewrite_rows_per_second,
                   profile.rewrite_rows_per_second) &&
       back->kernel_bench.size() == profile.kernel_bench.size() &&
+      back->search_kernel_bench.size() == profile.search_kernel_bench.size() &&
       back->cache_probe.size() == profile.cache_probe.size();
   if (!faithful) {
     return Status::Internal("profile round-trip: reloaded profile diverges");

@@ -18,6 +18,7 @@
 #include "costmodel/cost_model.h"
 #include "costmodel/hardware_profile.h"
 #include "json/value.h"
+#include "matcher/kernels.h"
 #include "matcher/multi_pattern.h"
 
 namespace ciao {
@@ -94,6 +95,15 @@ CostModel ProfiledCostModel(const CostModel& fallback);
 /// constant, floored at 1 row/s.
 double ResolveRewriteSeedRps(double configured_seed_rps,
                              const HardwareProfile* profile);
+
+/// Profile-aware substring-kernel dispatch: the fastest kernel of the
+/// profile's measured search_kernel_bench matrix (highest MB/s whose name
+/// maps back to a SearchKernel), or `configured` when the profile is
+/// null, uncalibrated, or carries no usable measurements. The pipeline
+/// and the replan-time calibration sweep route their kernel choice
+/// through this instead of trusting the static CiaoConfig::kernel.
+SearchKernel ResolveSearchKernel(SearchKernel configured,
+                                 const HardwareProfile* profile);
 
 }  // namespace ciao
 

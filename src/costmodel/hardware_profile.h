@@ -29,6 +29,15 @@ struct CacheProbePoint {
   double mbps = 0.0;
 };
 
+/// Measured single-pattern substring-search throughput of one
+/// SearchKernel (matcher/kernels.h) on this host — found/miss probe mix
+/// over a JSON corpus. ResolveSearchKernel dispatches the client filter
+/// to the matrix's winner instead of the static config default.
+struct SearchKernelBenchPoint {
+  std::string kernel;  // SearchKernelName(): "std_find", "swar", ...
+  double mbps = 0.0;   // haystack MB scanned per second
+};
+
 /// A simulated hardware platform for the Table IV reproduction. We cannot
 /// access the paper's three physical machines (local i7, Alibaba Cloud
 /// ECS, PKU Weiming cluster); instead each profile defines the platform's
@@ -63,6 +72,9 @@ struct HardwareProfile {
   double fit_r_squared = 0.0;
   /// Per-kernel multi-pattern throughput matrix.
   std::vector<KernelBenchPoint> kernel_bench;
+  /// Per-SearchKernel single-pattern substring throughput; the winner is
+  /// what ResolveSearchKernel dispatches the client filter to.
+  std::vector<SearchKernelBenchPoint> search_kernel_bench;
   /// Teddy/AC dispatch thresholds derived from kernel_bench.
   KernelCrossover crossover;
   /// Tape-parse throughput (JSON bytes/s, in MB/s).

@@ -8,6 +8,7 @@
 
 #include "columnar/file_reader.h"
 #include "common/timer.h"
+#include "engine/projection.h"
 #include "engine/typed_eval.h"
 #include "engine/vectorized_eval.h"
 #include "engine/zone_map_filter.h"
@@ -28,6 +29,10 @@ struct GroupEvaluator {
   std::optional<CompiledTypedQuery> rowwise;
   std::optional<VectorizedQuery> vectorized;
   std::vector<bool> wanted;
+  /// The query's projected columns (may be empty). `wanted` is the union
+  /// of the predicate's referenced columns and these, so one projected
+  /// read feeds both verification and checksum accumulation.
+  ProjectionSpec projection;
 
   static Result<GroupEvaluator> Make(const Query& query,
                                      const columnar::Schema& schema,
@@ -44,35 +49,76 @@ struct GroupEvaluator {
       ev.wanted = cq.ReferencedColumns(schema.num_fields());
       ev.rowwise.emplace(std::move(cq));
     }
+    ev.projection = ProjectionSpec(query, schema);
+    ev.projection.AddWantedColumns(&ev.wanted);
     return ev;
   }
 
   /// Verifies `batch` rows against the full typed predicate, restricted
-  /// to `selection` when non-null, and returns the match count. Stats are
-  /// the caller's job (one add per batch, not per row).
-  Result<uint64_t> CountMatches(const columnar::RecordBatch& batch,
-                                uint64_t num_rows,
-                                const BitVector* selection) const {
+  /// to `selection` when non-null, and returns the match count; when the
+  /// query projects columns, also folds every matching row into `out`'s
+  /// projected checksums. Stats are the caller's job (one add per batch,
+  /// not per row).
+  Result<uint64_t> CountAndProject(const columnar::RecordBatch& batch,
+                                   uint64_t num_rows,
+                                   const BitVector* selection,
+                                   QueryResult* out) const {
     if (vectorized.has_value()) {
       CIAO_ASSIGN_OR_RETURN(
           BitVector hits,
           vectorized->Evaluate(batch, static_cast<size_t>(num_rows),
                                selection));
+      if (!projection.empty()) {
+        projection.EnsureSize(&out->projected_hashes);
+        for (const uint32_t r : hits.SetBits()) {
+          projection.AccumulateRow(batch, r, &out->projected_hashes);
+        }
+      }
       return static_cast<uint64_t>(hits.CountOnes());
     }
+    if (!projection.empty()) projection.EnsureSize(&out->projected_hashes);
     uint64_t matched = 0;
+    const auto visit = [&](size_t r) {
+      if (!rowwise->Matches(batch, r)) return;
+      ++matched;
+      if (!projection.empty()) {
+        projection.AccumulateRow(batch, r, &out->projected_hashes);
+      }
+    };
     if (selection != nullptr) {
-      for (const uint32_t r : selection->SetBits()) {
-        if (rowwise->Matches(batch, r)) ++matched;
-      }
+      for (const uint32_t r : selection->SetBits()) visit(r);
     } else {
-      for (size_t r = 0; r < num_rows; ++r) {
-        if (rowwise->Matches(batch, r)) ++matched;
-      }
+      for (size_t r = 0; r < num_rows; ++r) visit(r);
     }
     return matched;
   }
+
+  /// Folds every candidate row (selection, or all `num_rows` when null)
+  /// into `out`'s projected checksums without re-evaluating the
+  /// predicate — the exact-bits counting path, where the candidates ARE
+  /// the matches.
+  void ProjectCandidates(const columnar::RecordBatch& batch,
+                         uint64_t num_rows, const BitVector* selection,
+                         QueryResult* out) const {
+    projection.EnsureSize(&out->projected_hashes);
+    if (selection != nullptr) {
+      for (const uint32_t r : selection->SetBits()) {
+        projection.AccumulateRow(batch, r, &out->projected_hashes);
+      }
+    } else {
+      for (size_t r = 0; r < num_rows; ++r) {
+        projection.AccumulateRow(batch, r, &out->projected_hashes);
+      }
+    }
+  }
 };
+
+/// Adds one projected read's decode volume into the scan counters.
+void AddDecodeStats(const columnar::DecodeStats& d, ScanStats* stats) {
+  stats->columns_decoded += d.columns_decoded;
+  stats->bytes_decoded += d.bytes_decoded;
+  stats->bytes_decode_waste += d.bytes_wasted;
+}
 
 /// Runs `scan_one` over every snapshotted segment, fanning out across
 /// worker threads when requested. Partial counts/stats accumulate per
@@ -118,8 +164,7 @@ Status ScanSegments(
   for (std::thread& t : pool) t.join();
   for (size_t t = 0; t < threads; ++t) {
     CIAO_RETURN_IF_ERROR(statuses[t]);
-    result->count += partials[t].count;
-    result->stats.MergeFrom(partials[t].stats);
+    result->MergePartial(partials[t]);
   }
   return Status::OK();
 }
@@ -129,13 +174,16 @@ Status ScanSegments(
 Status ScanGroupAllRows(const columnar::TableReader& reader, size_t group,
                         uint64_t num_rows, const GroupEvaluator& eval,
                         QueryResult* out) {
-  CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
-                        reader.ReadBatchProjected(group, eval.wanted));
+  columnar::DecodeStats decode;
+  CIAO_ASSIGN_OR_RETURN(
+      columnar::RecordBatch batch,
+      reader.ReadBatchProjected(group, eval.wanted, &decode));
   ++out->stats.groups_scanned;
   out->stats.rows_decoded += num_rows;
   out->stats.rows_evaluated += num_rows;  // one add per batch, not per row
+  AddDecodeStats(decode, &out->stats);
   CIAO_ASSIGN_OR_RETURN(const uint64_t matched,
-                        eval.CountMatches(batch, num_rows, nullptr));
+                        eval.CountAndProject(batch, num_rows, nullptr, out));
   out->count += matched;
   return Status::OK();
 }
@@ -170,6 +218,7 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
   CIAO_ASSIGN_OR_RETURN(
       GroupEvaluator eval,
       GroupEvaluator::Make(query, catalog_->schema(), options_.query_eval));
+  eval.projection.EnsureSize(&result.projected_hashes);
 
   const auto scan_one = [&](const ColumnarSegment& segment,
                             QueryResult* out) -> Status {
@@ -237,7 +286,15 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
         continue;
       }
       ++jit.records_parsed;
-      if (EvaluateQuery(query, *parsed)) ++matched;
+      if (EvaluateQuery(query, *parsed)) {
+        ++matched;
+        // Sideline records hash through the converter's coercion rules,
+        // so a record contributes the same checksum whether it was loaded
+        // into columns or scanned raw.
+        if (!eval.projection.empty()) {
+          eval.projection.AccumulateParsed(*parsed, &result.projected_hashes);
+        }
+      }
     }
     result.count += matched;
     result.stats.raw_records_screened_out = screened_out;
@@ -263,6 +320,14 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
   CIAO_ASSIGN_OR_RETURN(
       GroupEvaluator eval,
       GroupEvaluator::Make(query, catalog_->schema(), options_.query_eval));
+  eval.projection.EnsureSize(&result.projected_hashes);
+
+  // The exact-bits counting path needs no predicate column at all — with
+  // a projection it decodes just the projected columns and hashes the
+  // candidate rows. On a column-grouped layout this is the best case:
+  // only the chunks holding projected columns are touched.
+  const std::vector<bool> projected_only =
+      eval.projection.WantedColumnsOnly(catalog_->schema().num_fields());
 
   // When every clause of the query was pushed down, the intersected
   // annotation bits decide the whole query — and if a segment's bits
@@ -352,6 +417,15 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
         ++out->stats.groups_counted_exact;
         out->stats.rows_skipped += meta.num_rows - candidates;
         out->count += candidates;
+        if (!eval.projection.empty()) {
+          columnar::DecodeStats decode;
+          CIAO_ASSIGN_OR_RETURN(
+              columnar::RecordBatch batch,
+              reader.ReadBatchProjected(g, projected_only, &decode));
+          out->stats.rows_decoded += meta.num_rows;
+          AddDecodeStats(decode, &out->stats);
+          eval.ProjectCandidates(batch, meta.num_rows, selection, out);
+        }
         continue;
       }
       if (options_.use_zone_maps &&
@@ -361,18 +435,21 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
         out->stats.rows_skipped += meta.num_rows;
         continue;
       }
-      CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch,
-                            reader.ReadBatchProjected(g, eval.wanted));
+      columnar::DecodeStats decode;
+      CIAO_ASSIGN_OR_RETURN(
+          columnar::RecordBatch batch,
+          reader.ReadBatchProjected(g, eval.wanted, &decode));
       ++out->stats.groups_scanned;
       out->stats.rows_decoded += meta.num_rows;
       out->stats.rows_skipped += meta.num_rows - candidates;
       out->stats.rows_evaluated += candidates;
+      AddDecodeStats(decode, &out->stats);
       // Verify candidates with the full typed predicate: bitvectors may
       // contain false positives and the query may have non-pushed clauses.
       // The candidate mask is the vectorized path's selection vector.
       CIAO_ASSIGN_OR_RETURN(
           const uint64_t matched,
-          eval.CountMatches(batch, meta.num_rows, selection));
+          eval.CountAndProject(batch, meta.num_rows, selection, out));
       out->count += matched;
     }
     return Status::OK();

@@ -66,6 +66,20 @@ struct ScanStats {
   /// Raw sideline records ruled out by the no-false-negative pattern
   /// screen without being parsed (adaptive full-scan path).
   uint64_t raw_records_screened_out = 0;
+  /// Columns whose encoded payload was actually decoded, summed over
+  /// scanned row groups. With a column-grouped (v4) layout this counts
+  /// every column of every touched group chunk; with the per-column
+  /// (legacy) body it counts exactly the wanted columns.
+  uint64_t columns_decoded = 0;
+  /// Encoded bytes fed through the column decoder — the physical decode
+  /// volume column grouping exists to shrink. The before/after of this
+  /// counter is the bench gate (>= 60% reduction on the wide-schema
+  /// projection workload).
+  uint64_t bytes_decoded = 0;
+  /// The subset of bytes_decoded spent on columns the query never asked
+  /// for (decode-to-skip inside a partially-wanted group chunk) — the
+  /// column half of the relayout regret ledger's waste accrual.
+  uint64_t bytes_decode_waste = 0;
 
   /// Accumulates another worker's counters (parallel segment scan).
   void MergeFrom(const ScanStats& other) {
@@ -81,6 +95,9 @@ struct ScanStats {
     raw_records_scanned += other.raw_records_scanned;
     raw_parse_errors += other.raw_parse_errors;
     raw_records_screened_out += other.raw_records_screened_out;
+    columns_decoded += other.columns_decoded;
+    bytes_decoded += other.bytes_decoded;
+    bytes_decode_waste += other.bytes_decode_waste;
   }
 };
 
@@ -89,8 +106,28 @@ struct QueryResult {
   uint64_t count = 0;
   PlanKind plan = PlanKind::kFullScan;
   ScanStats stats;
+  /// One order-independent checksum per Query::projected entry: the sum
+  /// (mod 2^64) of a typed FNV-1a hash of the column's value over every
+  /// matching row. Commutative, so parallel scan workers merge by
+  /// element-wise addition and any thread count / scan order / physical
+  /// layout yields byte-identical values — the differential suites pin
+  /// grouped against ungrouped layouts with it. Empty when the query
+  /// projects nothing.
+  std::vector<uint64_t> projected_hashes;
   /// Wall-clock execution time (the paper's per-query "Query Time").
   double seconds = 0.0;
+
+  /// Merges a parallel worker's partial result (count, stats, hashes).
+  void MergePartial(const QueryResult& other) {
+    count += other.count;
+    stats.MergeFrom(other.stats);
+    if (projected_hashes.size() < other.projected_hashes.size()) {
+      projected_hashes.resize(other.projected_hashes.size(), 0);
+    }
+    for (size_t i = 0; i < other.projected_hashes.size(); ++i) {
+      projected_hashes[i] += other.projected_hashes[i];
+    }
+  }
 };
 
 /// The planner's decision for a query (see planner.h).

@@ -117,7 +117,13 @@ Clause Clause::Or(std::vector<SimplePredicate> ps) {
 }
 
 std::string Query::ToSql() const {
-  std::string out = "SELECT COUNT(*) FROM t WHERE ";
+  std::string out = "SELECT COUNT(*)";
+  for (const std::string& col : projected) {
+    out += ", CHECKSUM(";
+    out += col;
+    out += ")";
+  }
+  out += " FROM t WHERE ";
   for (size_t i = 0; i < clauses.size(); ++i) {
     if (i > 0) out += " AND ";
     out += clauses[i].ToSql();

@@ -68,13 +68,23 @@ struct Clause {
 };
 
 /// A workload query: `SELECT COUNT(*) FROM t WHERE c1 AND c2 AND ...`
-/// (the paper's single query template, §VII-C).
+/// (the paper's single query template, §VII-C), optionally extended with
+/// projected columns whose values the executor must materialize for the
+/// matching rows.
 struct Query {
   std::vector<Clause> clauses;
   /// Relative execution frequency (the paper's experiments use uniform).
   double frequency = 1.0;
   /// Identifier for reports ("q0", "q1", ...).
   std::string name;
+  /// Columns whose values are projected/aggregated over the matching rows
+  /// (by schema field name; unknown names project NULL). Empty = the
+  /// paper's plain COUNT(*). Projected columns participate in the column
+  /// co-access profile the affinity miner clusters on, and the executor
+  /// returns one order-independent value checksum per entry (see
+  /// QueryResult::projected_hashes). Last so existing positional
+  /// aggregate initializers (`Query{{c}, 1.0, "q0"}`) stay valid.
+  std::vector<std::string> projected;
 
   std::string ToSql() const;
 };

@@ -7,15 +7,22 @@ namespace ciao {
 
 void TableCatalog::AddSegment(std::string file_bytes, uint64_t num_rows,
                               uint64_t annotation_epoch) {
-  loaded_rows_.fetch_add(num_rows, std::memory_order_relaxed);
-  columnar_bytes_.fetch_add(file_bytes.size(), std::memory_order_relaxed);
-  auto segment = std::make_shared<const ColumnarSegment>(
-      ColumnarSegment{std::move(file_bytes), num_rows, annotation_epoch});
+  AddSegment(ColumnarSegment{std::move(file_bytes), num_rows,
+                             annotation_epoch,
+                             /*annotations_exact=*/false});
+}
+
+void TableCatalog::AddSegment(ColumnarSegment segment) {
+  loaded_rows_.fetch_add(segment.num_rows, std::memory_order_relaxed);
+  columnar_bytes_.fetch_add(segment.file_bytes.size(),
+                            std::memory_order_relaxed);
+  auto published =
+      std::make_shared<const ColumnarSegment>(std::move(segment));
   Shard& shard =
       shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
               shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.segments.push_back(std::move(segment));
+  shard.segments.push_back(std::move(published));
 }
 
 bool TableCatalog::ReplaceSegment(const SegmentRef& old_segment,

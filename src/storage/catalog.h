@@ -91,6 +91,11 @@ class TableCatalog {
   void AddSegment(std::string file_bytes, uint64_t num_rows,
                   uint64_t annotation_epoch = 0);
 
+  /// Full-struct variant: publishes `segment` as-is, including its
+  /// annotations_exact provenance (tests and benches seeding a catalog
+  /// with exactly-annotated segments).
+  void AddSegment(ColumnarSegment segment);
+
   /// Atomically replaces the published segment `old_segment` (matched by
   /// identity) with `replacement`. Readers holding a snapshot of the old
   /// segment keep it alive; new snapshots see the replacement. Row-count

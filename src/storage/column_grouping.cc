@@ -1,0 +1,267 @@
+#include "storage/column_grouping.h"
+
+#include <algorithm>
+#include <map>
+
+#include "columnar/encoding.h"
+#include "columnar/file_reader.h"
+#include "costmodel/hardware_profile.h"
+
+namespace ciao {
+
+namespace {
+
+/// Floor on the per-chunk access price: even an infinitely fast decoder
+/// pays directory parsing, dispatch, and a separate CRC domain per chunk.
+constexpr double kMinChunkOverheadBytes = 512.0;
+
+/// Seconds of fixed work charged per chunk access when converting the
+/// profile's decode throughput into byte-equivalents.
+constexpr double kChunkAccessSeconds = 2e-6;
+
+}  // namespace
+
+double ColumnAccessProfile::TotalWeight() const {
+  double total = 0.0;
+  for (const Entry& e : entries) total += e.weight;
+  return total;
+}
+
+ColumnAccessProfile ColumnAccessProfile::FromWorkload(
+    const Workload& workload, const columnar::Schema& schema) {
+  ColumnAccessProfile profile;
+  profile.num_fields = schema.num_fields();
+  std::map<std::vector<uint32_t>, double> mass;
+  for (const Query& query : workload.queries) {
+    std::vector<uint32_t> cols;
+    const auto add = [&](const std::string& field) {
+      const int idx = schema.FieldIndex(field);
+      if (idx >= 0) cols.push_back(static_cast<uint32_t>(idx));
+    };
+    for (const Clause& clause : query.clauses) {
+      for (const SimplePredicate& term : clause.terms) add(term.field);
+    }
+    for (const std::string& name : query.projected) add(name);
+    if (cols.empty()) continue;
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    mass[cols] += query.frequency;
+  }
+  profile.entries.reserve(mass.size());
+  for (auto& [cols, weight] : mass) {
+    profile.entries.push_back(Entry{weight, cols});
+  }
+  return profile;
+}
+
+double DefaultChunkOverheadBytes(const HardwareProfile* profile) {
+  if (profile == nullptr || !profile->calibrated ||
+      profile->columnar_decode_mbps <= 0.0) {
+    return kMinChunkOverheadBytes;
+  }
+  const double bytes =
+      profile->columnar_decode_mbps * 1e6 * kChunkAccessSeconds;
+  return std::max(kMinChunkOverheadBytes, bytes);
+}
+
+Result<std::vector<double>> EstimateColumnBytes(const TableCatalog& catalog) {
+  const columnar::Schema& schema = catalog.schema();
+  for (const SegmentRef& segment : catalog.SnapshotSegments()) {
+    if (segment->num_rows == 0) continue;
+    CIAO_ASSIGN_OR_RETURN(
+        columnar::TableReader reader,
+        columnar::TableReader::OpenBorrowed(segment->file_bytes,
+                                            columnar::ChecksumMode::kTrust));
+    if (reader.num_row_groups() == 0) continue;
+    CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(0));
+    if (meta.num_rows == 0) continue;
+    CIAO_ASSIGN_OR_RETURN(columnar::RecordBatch batch, reader.ReadBatch(0));
+    std::vector<double> bytes(schema.num_fields(), 0.0);
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      std::string encoded;
+      columnar::EncodeColumn(batch.column(c), &encoded);
+      bytes[c] = static_cast<double>(encoded.size()) /
+                 static_cast<double>(meta.num_rows);
+    }
+    return bytes;
+  }
+  return Status::NotFound(
+      "EstimateColumnBytes: catalog holds no decodable rows");
+}
+
+namespace {
+
+/// Working state of the greedy partitioner: groups as column lists plus
+/// cached per-group byte totals and per-entry touch masks.
+struct Partition {
+  std::vector<std::vector<uint32_t>> groups;
+  std::vector<double> bytes;  // per group
+  /// touches[e][g] = entry e accesses >= 1 column of group g.
+  std::vector<std::vector<bool>> touches;
+
+  /// Merges group b into group a; drops b.
+  void Merge(size_t a, size_t b) {
+    groups[a].insert(groups[a].end(), groups[b].begin(), groups[b].end());
+    std::sort(groups[a].begin(), groups[a].end());
+    bytes[a] += bytes[b];
+    groups.erase(groups.begin() + b);
+    bytes.erase(bytes.begin() + b);
+    for (std::vector<bool>& t : touches) {
+      t[a] = t[a] || t[b];
+      t.erase(t.begin() + b);
+    }
+  }
+};
+
+/// gain(a, b) under the decode-volume objective; see header.
+double MergeGain(const Partition& p, const ColumnAccessProfile& profile,
+                 double overhead_row, size_t a, size_t b) {
+  double w_both = 0.0, w_only_a = 0.0, w_only_b = 0.0;
+  for (size_t e = 0; e < profile.entries.size(); ++e) {
+    const bool ta = p.touches[e][a];
+    const bool tb = p.touches[e][b];
+    if (ta && tb) {
+      w_both += profile.entries[e].weight;
+    } else if (ta) {
+      w_only_a += profile.entries[e].weight;
+    } else if (tb) {
+      w_only_b += profile.entries[e].weight;
+    }
+  }
+  return overhead_row * w_both - (w_only_a * p.bytes[b] + w_only_b * p.bytes[a]);
+}
+
+/// Total estimated decode bytes per row under the partition, weighted by
+/// workload mass: every touched group costs its bytes plus one amortized
+/// chunk-access overhead.
+double PartitionCost(const Partition& p, const ColumnAccessProfile& profile,
+                     double overhead_row) {
+  double cost = 0.0;
+  for (size_t e = 0; e < profile.entries.size(); ++e) {
+    for (size_t g = 0; g < p.groups.size(); ++g) {
+      if (p.touches[e][g]) {
+        cost += profile.entries[e].weight * (p.bytes[g] + overhead_row);
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+ColumnGroupingPlan MineColumnGrouping(const ColumnAccessProfile& profile,
+                                      const std::vector<double>& column_bytes,
+                                      size_t rows_per_group,
+                                      const ColumnGroupingOptions& options) {
+  ColumnGroupingPlan plan;
+  const size_t n = profile.num_fields;
+  if (n == 0 || column_bytes.size() != n) return plan;
+
+  if (options.force_single_group) {
+    plan.layout = columnar::ColumnGroupLayout::SingleGroup(n);
+    plan.trivial = false;
+    return plan;
+  }
+  if (profile.entries.empty() || profile.TotalWeight() <= 0.0) return plan;
+
+  const double overhead_bytes = options.chunk_overhead_bytes > 0.0
+                                    ? options.chunk_overhead_bytes
+                                    : kMinChunkOverheadBytes;
+  const double overhead_row =
+      overhead_bytes / static_cast<double>(std::max<size_t>(rows_per_group, 1));
+
+  // Singleton groups for accessed columns; all cold columns share one
+  // group (no query touches them, so keeping them apart buys nothing and
+  // costs group slots under max_groups).
+  std::vector<bool> accessed(n, false);
+  for (const ColumnAccessProfile::Entry& e : profile.entries) {
+    for (const uint32_t c : e.columns) accessed[c] = true;
+  }
+  Partition part;
+  std::vector<uint32_t> cold;
+  for (uint32_t c = 0; c < n; ++c) {
+    if (accessed[c]) {
+      part.groups.push_back({c});
+      part.bytes.push_back(column_bytes[c]);
+    } else {
+      cold.push_back(c);
+    }
+  }
+  if (!cold.empty()) {
+    double cold_bytes = 0.0;
+    for (const uint32_t c : cold) cold_bytes += column_bytes[c];
+    part.groups.push_back(std::move(cold));
+    part.bytes.push_back(cold_bytes);
+  }
+  part.touches.resize(profile.entries.size());
+  for (size_t e = 0; e < profile.entries.size(); ++e) {
+    part.touches[e].assign(part.groups.size(), false);
+    for (size_t g = 0; g < part.groups.size(); ++g) {
+      for (const uint32_t c : part.groups[g]) {
+        if (std::binary_search(profile.entries[e].columns.begin(),
+                               profile.entries[e].columns.end(), c)) {
+          part.touches[e][g] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  const size_t max_groups = std::max<size_t>(options.max_groups, 1);
+  // Phase 1: merge while some pair strictly improves the objective.
+  // Phase 2: if still over the cap, keep taking the least-damaging merge.
+  while (part.groups.size() > 1) {
+    double best_gain = 0.0;
+    size_t best_a = 0, best_b = 0;
+    bool have = false;
+    for (size_t a = 0; a + 1 < part.groups.size(); ++a) {
+      for (size_t b = a + 1; b < part.groups.size(); ++b) {
+        const double gain = MergeGain(part, profile, overhead_row, a, b);
+        if (!have || gain > best_gain) {
+          best_gain = gain;
+          best_a = a;
+          best_b = b;
+          have = true;
+        }
+      }
+    }
+    const bool over_cap = part.groups.size() > max_groups;
+    if (!over_cap && best_gain <= 0.0) break;
+    part.Merge(best_a, best_b);
+  }
+
+  // Cost both ways; install only when the estimated saving clears the
+  // significance floor (otherwise the legacy body's exact per-column
+  // pruning beats chunked framing).
+  Partition single;
+  single.groups.push_back({});
+  double total_bytes = 0.0;
+  for (uint32_t c = 0; c < n; ++c) {
+    single.groups[0].push_back(c);
+    total_bytes += column_bytes[c];
+  }
+  single.bytes.push_back(total_bytes);
+  single.touches.assign(profile.entries.size(), {true});
+
+  const double total_w = profile.TotalWeight();
+  plan.baseline_bytes_per_row =
+      PartitionCost(single, profile, overhead_row) / total_w;
+  plan.grouped_bytes_per_row =
+      PartitionCost(part, profile, overhead_row) / total_w;
+  if (plan.baseline_bytes_per_row > 0.0) {
+    plan.saving_fraction =
+        (plan.baseline_bytes_per_row - plan.grouped_bytes_per_row) /
+        plan.baseline_bytes_per_row;
+  }
+  if (part.groups.size() <= 1 ||
+      plan.saving_fraction < options.min_saving_fraction) {
+    return plan;  // trivial: not worth the chunk framing
+  }
+
+  std::sort(part.groups.begin(), part.groups.end());
+  plan.layout.groups = std::move(part.groups);
+  plan.trivial = false;
+  return plan;
+}
+
+}  // namespace ciao

@@ -1,0 +1,98 @@
+#ifndef CIAO_STORAGE_COLUMN_GROUPING_H_
+#define CIAO_STORAGE_COLUMN_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/file_writer.h"
+#include "columnar/schema.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "predicate/predicate.h"
+#include "storage/catalog.h"
+
+namespace ciao {
+
+struct HardwareProfile;
+
+/// Which columns the workload's queries touch, and with how much mass —
+/// the affinity signal the column-grouping partitioner clusters on. One
+/// entry per distinct column-access *set* (queries with the same set pool
+/// their mass): a query's set is the union of the schema columns its
+/// predicates reference and the columns it projects. Queries touching no
+/// in-schema column contribute nothing (they decode nothing).
+struct ColumnAccessProfile {
+  struct Entry {
+    /// Summed workload frequency of the queries with this access set.
+    double weight = 0.0;
+    /// Accessed schema column indices, ascending, deduplicated.
+    std::vector<uint32_t> columns;
+  };
+  std::vector<Entry> entries;
+  size_t num_fields = 0;
+
+  /// Total workload mass across entries.
+  double TotalWeight() const;
+
+  /// Mines the profile from a (decayed-log-derived) workload.
+  static ColumnAccessProfile FromWorkload(const Workload& workload,
+                                          const columnar::Schema& schema);
+};
+
+/// Output of the affinity partitioner: the physical layout plus the cost
+/// estimates that justified (or rejected) it.
+struct ColumnGroupingPlan {
+  columnar::ColumnGroupLayout layout;
+  /// Estimated decode volume per row under the whole-row (single-group)
+  /// baseline, weighted by workload mass.
+  double baseline_bytes_per_row = 0.0;
+  /// Same under `layout`.
+  double grouped_bytes_per_row = 0.0;
+  /// (baseline - grouped) / baseline; 0 when the baseline is empty.
+  double saving_fraction = 0.0;
+  /// True when mining found no layout worth installing (estimated saving
+  /// below ColumnGroupingOptions::min_saving_fraction, or no usable
+  /// workload signal). The caller should then keep the legacy per-column
+  /// body, which decodes wanted columns exactly with no chunk framing.
+  bool trivial = true;
+};
+
+/// Per-chunk access overhead in byte-equivalents: the mining objective's
+/// price for every extra group a query must touch. Derived from the
+/// profile's measured columnar-decode throughput (~2 µs of decode time
+/// per chunk access — dispatch, framing, CRC domain), floored at 512
+/// bytes; the floor alone when `profile` is null or uncalibrated.
+double DefaultChunkOverheadBytes(const HardwareProfile* profile);
+
+/// Exact per-column encoded bytes per row, measured by decoding the first
+/// non-empty row group in the catalog and re-encoding each column (works
+/// on both the legacy and the v4 grouped body, which does not expose
+/// per-column sizes without decoding). One entry per schema field.
+/// NotFound when the catalog holds no decodable rows.
+Result<std::vector<double>> EstimateColumnBytes(const TableCatalog& catalog);
+
+/// Greedy affinity clustering. Starts from singleton groups (cold —
+/// never-accessed — columns pre-merged into one group), repeatedly merges
+/// the pair with the largest positive gain
+///
+///   gain(g1, g2) = OH * W_both - (W_only1 * bytes(g2) + W_only2 * bytes(g1))
+///
+/// (OH = per-row share of `chunk_overhead_bytes`; W_both / W_only = the
+/// workload mass touching both / exactly one of the pair), then keeps
+/// merging least-damaging pairs past the optimum if needed to respect
+/// `options.max_groups`. The objective is exactly the estimated decode
+/// volume: merging saves one chunk-access overhead for co-accessed mass
+/// and costs decode-to-skip bytes for mass touching only one side.
+///
+/// `column_bytes` has one entry per schema field (EstimateColumnBytes);
+/// `rows_per_group` amortizes the per-chunk overhead per row. Honors
+/// `options.force_single_group` (returns the whole-row layout, non-
+/// trivial, for the ablation baseline).
+ColumnGroupingPlan MineColumnGrouping(const ColumnAccessProfile& profile,
+                                      const std::vector<double>& column_bytes,
+                                      size_t rows_per_group,
+                                      const ColumnGroupingOptions& options);
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_COLUMN_GROUPING_H_

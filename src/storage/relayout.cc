@@ -13,10 +13,6 @@ namespace ciao {
 
 namespace {
 
-/// Matches the ingest pipeline's default chunk granularity (and
-/// backfill's group cap).
-constexpr size_t kDefaultRowsPerGroup = 4096;
-
 /// Row groups sealed per output file. Re-layout coalesces many one-chunk
 /// ingest segments; this keeps enough output files for the parallel
 /// segment scan to fan out over while amortizing per-file framing.
@@ -117,11 +113,15 @@ Status RelayoutSegments(TableCatalog* catalog,
                         const PredicateRegistry& registry,
                         const std::vector<HotPredicate>& hot,
                         uint64_t annotation_epoch,
-                        const RelayoutOptions& options, RelayoutStats* stats,
-                        bool* relaid) {
+                        const RelayoutOptions& options,
+                        const columnar::ColumnGroupLayout* column_groups,
+                        RelayoutStats* stats, bool* relaid) {
   *relaid = false;
   ScopedTimer timer(&stats->seconds);
-  if (hot.empty() || registry.empty()) return Status::OK();
+  const bool grouping = column_groups != nullptr && !column_groups->empty();
+  // Without hot predicates the row permutation is the identity, which is
+  // only worth a rewrite when a vertical layout is being applied.
+  if ((hot.empty() || registry.empty()) && !grouping) return Status::OK();
 
   // Only segments already annotated for this epoch participate: their
   // bits index the registry being re-evaluated. Anything stale is
@@ -213,10 +213,11 @@ Status RelayoutSegments(TableCatalog* catalog,
                    });
 
   const size_t rows_per_group = options.rows_per_group == 0
-                                    ? kDefaultRowsPerGroup
+                                    ? kDefaultRelayoutRowsPerGroup
                                     : options.rows_per_group;
-  columnar::ClusteredSegmentWriter writer(schema, registry.size(),
-                                          rows_per_group, kGroupsPerFile);
+  columnar::ClusteredSegmentWriter writer(
+      schema, registry.size(), rows_per_group, kGroupsPerFile,
+      grouping ? *column_groups : columnar::ColumnGroupLayout{});
   for (const RowSlot& slot : slots) {
     const SourceGroup& group = groups[slot.group];
     CIAO_RETURN_IF_ERROR(writer.Append(group.batch, slot.row, group.bits));
@@ -247,6 +248,7 @@ Status RelayoutSegments(TableCatalog* catalog,
   stats->segments_written = files.size();
   stats->groups_written = groups_written;
   stats->rows_moved = total_rows;
+  if (grouping) stats->column_groups = column_groups->groups.size();
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "columnar/file_writer.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "predicate/predicate.h"
@@ -11,6 +12,10 @@
 #include "storage/catalog.h"
 
 namespace ciao {
+
+/// Rows per rewritten row group when RelayoutOptions::rows_per_group is 0
+/// (matches the ingest pipeline's default chunk granularity).
+inline constexpr size_t kDefaultRelayoutRowsPerGroup = 4096;
 
 /// Counters of one segment re-layout pass.
 struct RelayoutStats {
@@ -22,6 +27,9 @@ struct RelayoutStats {
   uint64_t groups_written = 0;
   /// Rows re-clustered (decoded, permuted, re-encoded).
   uint64_t rows_moved = 0;
+  /// Column groups of the vertical layout applied to the rewritten
+  /// segments (0 = legacy per-column body, no grouping).
+  uint64_t column_groups = 0;
   /// Wall-clock of the whole pass — the cost the regret accounting
   /// charges against realized query waste.
   double seconds = 0.0;
@@ -67,13 +75,21 @@ std::vector<HotPredicate> RankHotPredicates(const Workload& workload,
 /// concurrent rewrite replaces an input segment mid-pass, the publish
 /// aborts and `*relaid` is false (the catalog is untouched).
 ///
+/// `column_groups` (optional) is the workload-mined vertical layout the
+/// same rewrite applies: sealed groups get the v4 column-grouped body so
+/// queries decode only the chunks covering their columns. Null or empty
+/// keeps the legacy per-column body. A non-empty layout also lets the
+/// pass run with *no* hot predicates (vertical-only rewrite: rows keep
+/// their order, columns move).
+///
 /// Returns true in `*relaid` iff the replacement set was published.
 Status RelayoutSegments(TableCatalog* catalog,
                         const PredicateRegistry& registry,
                         const std::vector<HotPredicate>& hot,
                         uint64_t annotation_epoch,
-                        const RelayoutOptions& options, RelayoutStats* stats,
-                        bool* relaid);
+                        const RelayoutOptions& options,
+                        const columnar::ColumnGroupLayout* column_groups,
+                        RelayoutStats* stats, bool* relaid);
 
 }  // namespace ciao
 

@@ -17,6 +17,21 @@ std::string QueryLog::Signature(const Query& query) {
     sig += k;
     sig += " && ";
   }
+  // Projected columns distinguish queries too: the affinity miner needs
+  // `WHERE stars=5` and `WHERE stars=5 PROJECT useful,funny` to keep
+  // separate (decayed) masses. Appended only when non-empty so every
+  // projection-free signature — everything recorded before projections
+  // existed — is byte-identical to the legacy form.
+  if (!query.projected.empty()) {
+    std::vector<std::string> cols = query.projected;
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    sig += "PROJ ";
+    for (const std::string& c : cols) {
+      sig += c;
+      sig += ',';
+    }
+  }
   return sig;
 }
 

@@ -47,7 +47,11 @@ class QueryLog {
   /// Drops everything.
   void Clear();
 
-  /// Signature used for dedup: sorted canonical clause keys.
+  /// Signature used for dedup: sorted canonical clause keys, plus the
+  /// sorted projected-column set when non-empty (queries with identical
+  /// predicates but different projections access different columns and
+  /// must keep separate masses for the column-grouping affinity miner).
+  /// Projection-free queries keep the legacy clause-only signature.
   static std::string Signature(const Query& query);
 
  private:

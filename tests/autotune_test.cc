@@ -51,6 +51,12 @@ HardwareProfile MakeCalibratedProfile() {
       {"aho_corasick", 96, 4, 0.25, 340.0},
   };
   p.crossover = {8, 4};
+  p.search_kernel_bench = {
+      {"std_find", 900.0},
+      {"memchr", 1800.0},
+      {"horspool", 1200.0},
+      {"swar", 2600.0},
+  };
   p.tape_parse_mbps = 512.0;
   p.columnar_decode_mbps = 300.0;
   p.bitvector_mbits_per_second = 30000.0;
@@ -83,6 +89,12 @@ void ExpectProfilesEqual(const HardwareProfile& a, const HardwareProfile& b) {
   }
   EXPECT_EQ(a.crossover.teddy_max_patterns, b.crossover.teddy_max_patterns);
   EXPECT_EQ(a.crossover.teddy_min_len, b.crossover.teddy_min_len);
+  ASSERT_EQ(a.search_kernel_bench.size(), b.search_kernel_bench.size());
+  for (size_t i = 0; i < a.search_kernel_bench.size(); ++i) {
+    EXPECT_EQ(a.search_kernel_bench[i].kernel, b.search_kernel_bench[i].kernel);
+    EXPECT_DOUBLE_EQ(a.search_kernel_bench[i].mbps,
+                     b.search_kernel_bench[i].mbps);
+  }
   EXPECT_DOUBLE_EQ(a.tape_parse_mbps, b.tape_parse_mbps);
   EXPECT_DOUBLE_EQ(a.columnar_decode_mbps, b.columnar_decode_mbps);
   EXPECT_DOUBLE_EQ(a.bitvector_mbits_per_second, b.bitvector_mbits_per_second);
@@ -306,6 +318,48 @@ TEST(SimdGateTest, MaskForcesScalarKernels) {
   EXPECT_FALSE(SimdFeatureDisabled(SimdFeature::kSse2));
 }
 
+// ---------- Substring kernel dispatch ----------
+
+TEST(ResolveSearchKernelTest, MeasuredWinnerOverridesConfigured) {
+  HardwareProfile p = MakeCalibratedProfile();
+  // MakeCalibratedProfile measures swar fastest (2600 MB/s).
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kStdFind, &p),
+            SearchKernel::kSwar);
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kSwar, &p),
+            SearchKernel::kSwar);
+
+  // Re-rank: memchr measured fastest -> memchr wins regardless of config.
+  for (auto& point : p.search_kernel_bench) {
+    if (point.kernel == "memchr") point.mbps = 9000.0;
+  }
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kHorspool, &p),
+            SearchKernel::kMemchr);
+}
+
+TEST(ResolveSearchKernelTest, FallsBackToConfiguredWithoutSignal) {
+  // No profile at all.
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kHorspool, nullptr),
+            SearchKernel::kHorspool);
+  // Uncalibrated profile.
+  HardwareProfile p = MakeCalibratedProfile();
+  p.calibrated = false;
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kMemchr, &p),
+            SearchKernel::kMemchr);
+  // Calibrated but no substring sweep (an older profile file).
+  p = MakeCalibratedProfile();
+  p.search_kernel_bench.clear();
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kStdFind, &p),
+            SearchKernel::kStdFind);
+  // Foreign kernel names only (a newer profile): skipped, not trusted.
+  p.search_kernel_bench = {{"quantum_find", 99999.0}};
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kStdFind, &p),
+            SearchKernel::kStdFind);
+  // Zero-rate measurements carry no signal either.
+  p.search_kernel_bench = {{"swar", 0.0}};
+  EXPECT_EQ(ResolveSearchKernel(SearchKernel::kMemchr, &p),
+            SearchKernel::kMemchr);
+}
+
 // ---------- Relayout seed ----------
 
 TEST(ResolveRewriteSeedTest, ProfilePresentWinsElseConfigured) {
@@ -331,6 +385,12 @@ TEST(CalibrateHostTest, QuickPassProducesConsistentProfile) {
   EXPECT_FALSE(profile->kernel_bench.empty());
   for (const KernelBenchPoint& p : profile->kernel_bench) {
     EXPECT_GT(p.mbps, 0.0) << p.engine;
+  }
+  // The substring-kernel sweep covers every dispatchable kernel, so the
+  // resolved kernel is always backed by a measurement.
+  EXPECT_EQ(profile->search_kernel_bench.size(), AllSearchKernels().size());
+  for (const SearchKernelBenchPoint& p : profile->search_kernel_bench) {
+    EXPECT_GT(p.mbps, 0.0) << p.kernel;
   }
   EXPECT_GT(profile->tape_parse_mbps, 0.0);
   EXPECT_GT(profile->columnar_decode_mbps, 0.0);

@@ -377,6 +377,159 @@ TEST(TableFileTest, OpenBorrowedDoesNotCopy) {
   EXPECT_TRUE(decoded->Equals(batch));
 }
 
+// ---------- Column-grouped (v4) bodies ----------
+
+TEST(ColumnGroupLayoutTest, FactoriesAndValidate) {
+  const ColumnGroupLayout single = ColumnGroupLayout::SingleGroup(4);
+  ASSERT_EQ(single.groups.size(), 1u);
+  EXPECT_EQ(single.groups[0], (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(single.Validate(4).ok());
+
+  const ColumnGroupLayout per_col = ColumnGroupLayout::PerColumn(3);
+  ASSERT_EQ(per_col.groups.size(), 3u);
+  EXPECT_TRUE(per_col.Validate(3).ok());
+  EXPECT_TRUE(ColumnGroupLayout{}.empty());
+
+  ColumnGroupLayout bad;
+  bad.groups = {{0, 1}, {1, 2}};  // duplicate column 1
+  EXPECT_TRUE(bad.Validate(3).IsInvalidArgument());
+  bad.groups = {{0}, {2}};  // column 1 uncovered
+  EXPECT_TRUE(bad.Validate(3).IsInvalidArgument());
+  bad.groups = {{0, 1, 2, 3}};  // index out of range
+  EXPECT_TRUE(bad.Validate(3).IsInvalidArgument());
+  bad.groups = {{0, 1, 2}, {}};  // empty group
+  EXPECT_TRUE(bad.Validate(3).IsInvalidArgument());
+}
+
+TEST(TableFileTest, GroupedBodyRoundTripsAllLayouts) {
+  Rng rng(101);
+  RecordBatch batch1 = MakeBatch(60, &rng);
+  RecordBatch batch2 = MakeBatch(23, &rng);
+  BitVectorSet ann(1, 60);
+  for (size_t r = 0; r < 60; ++r) ann.mutable_vector(0)->Set(r, rng.NextBool());
+
+  ColumnGroupLayout mined;
+  mined.groups = {{0, 2}, {1, 3}};
+  for (const ColumnGroupLayout& layout :
+       {ColumnGroupLayout::SingleGroup(4), ColumnGroupLayout::PerColumn(4),
+        mined}) {
+    TableWriter writer(batch1.schema(), layout);
+    ASSERT_TRUE(writer.AppendRowGroup(batch1, ann).ok());
+    ASSERT_TRUE(writer.AppendRowGroup(batch2, BitVectorSet()).ok());
+    auto reader = TableReader::Open(std::move(writer).Finish());
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+    // Header metadata is layout-independent.
+    auto meta = reader->ReadMeta(0);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_EQ(meta->num_rows, 60u);
+    EXPECT_TRUE(meta->annotations == ann);
+
+    // Whole-batch decode is byte-identical to the input.
+    auto decoded1 = reader->ReadBatch(0);
+    ASSERT_TRUE(decoded1.ok()) << decoded1.status().ToString();
+    EXPECT_TRUE(decoded1->Equals(batch1));
+    auto decoded2 = reader->ReadBatch(1);
+    ASSERT_TRUE(decoded2.ok());
+    EXPECT_TRUE(decoded2->Equals(batch2));
+  }
+}
+
+TEST(TableFileTest, GroupedProjectedReadTouchesOnlyCoveringChunks) {
+  Rng rng(103);
+  RecordBatch batch = MakeBatch(80, &rng);
+  ColumnGroupLayout layout;
+  layout.groups = {{0, 1}, {2, 3}};
+  TableWriter writer(batch.schema(), layout);
+  ASSERT_TRUE(writer.AppendRowGroup(batch, BitVectorSet()).ok());
+  const std::string file = std::move(writer).Finish();
+  auto reader = TableReader::Open(file);
+  ASSERT_TRUE(reader.ok());
+
+  // Wanting only column 0 decodes chunk {0,1}: its chunk-mate column 1
+  // rides along (counted as waste), chunk {2,3} is never touched.
+  DecodeStats stats;
+  auto projected = reader->ReadBatchProjected(0, {true, false, false, false},
+                                              &stats);
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+  EXPECT_TRUE(projected->column(0).Equals(batch.column(0)));
+  EXPECT_TRUE(projected->column(1).Equals(batch.column(1)));
+  EXPECT_EQ(projected->column(2).size(), 0u);
+  EXPECT_EQ(projected->column(3).size(), 0u);
+  EXPECT_EQ(stats.columns_decoded, 2u);
+  EXPECT_GT(stats.bytes_decoded, 0u);
+  EXPECT_GT(stats.bytes_wasted, 0u);
+  EXPECT_LT(stats.bytes_wasted, stats.bytes_decoded);
+
+  // A mask covering both chunks decodes everything with no waste beyond
+  // unwanted chunk-mates (here: none — all four columns wanted).
+  DecodeStats all_stats;
+  auto all = reader->ReadBatchProjected(0, {true, true, true, true},
+                                        &all_stats);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all_stats.columns_decoded, 4u);
+  EXPECT_EQ(all_stats.bytes_wasted, 0u);
+  EXPECT_GT(all_stats.bytes_decoded, stats.bytes_decoded);
+
+  // Per-column layout: exactly the wanted column, zero waste.
+  TableWriter pc_writer(batch.schema(), ColumnGroupLayout::PerColumn(4));
+  ASSERT_TRUE(pc_writer.AppendRowGroup(batch, BitVectorSet()).ok());
+  auto pc_reader = TableReader::Open(std::move(pc_writer).Finish());
+  ASSERT_TRUE(pc_reader.ok());
+  DecodeStats pc_stats;
+  auto pc = pc_reader->ReadBatchProjected(0, {false, false, false, true},
+                                          &pc_stats);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_TRUE(pc->column(3).Equals(batch.column(3)));
+  EXPECT_EQ(pc_stats.columns_decoded, 1u);
+  EXPECT_EQ(pc_stats.bytes_wasted, 0u);
+}
+
+TEST(TableFileTest, GroupedChunkCrcIsolatesCorruption) {
+  // A fat unique marker makes the string column's chunk easy to find in
+  // the file bytes so the corruption lands in exactly one chunk.
+  Schema schema({{"id", ColumnType::kInt64}, {"tag", ColumnType::kString}});
+  RecordBatch batch(schema);
+  const std::string marker = "CHUNK-CORRUPTION-MARKER-PAYLOAD";
+  for (size_t i = 0; i < 32; ++i) {
+    batch.mutable_column(0)->AppendInt64(static_cast<int64_t>(i));
+    batch.mutable_column(1)->AppendString(marker + std::to_string(i));
+  }
+  TableWriter writer(schema, ColumnGroupLayout::PerColumn(2));
+  ASSERT_TRUE(writer.AppendRowGroup(batch, BitVectorSet()).ok());
+  std::string file = std::move(writer).Finish();
+
+  const size_t pos = file.find(marker);
+  ASSERT_NE(pos, std::string::npos);
+  file[pos] ^= 0x01;
+
+  auto reader = TableReader::OpenBorrowed(file);  // kVerify
+  ASSERT_TRUE(reader.ok());
+  // The untouched id chunk still reads and verifies.
+  DecodeStats stats;
+  auto ids = reader->ReadBatchProjected(0, {true, false}, &stats);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  EXPECT_TRUE(ids->column(0).Equals(batch.column(0)));
+  // Touching the corrupted tag chunk fails its CRC.
+  EXPECT_TRUE(
+      reader->ReadBatchProjected(0, {false, true}).status().IsCorruption());
+  EXPECT_FALSE(reader->ReadBatch(0).ok());
+  // kTrust skips the check (in-process bytes); decode still proceeds.
+  auto trusting = TableReader::OpenBorrowed(file, ChecksumMode::kTrust);
+  ASSERT_TRUE(trusting.ok());
+  (void)trusting->ReadBatchProjected(0, {true, false});
+}
+
+TEST(TableFileTest, GroupedWriterRejectsInvalidLayout) {
+  Rng rng(105);
+  RecordBatch batch = MakeBatch(5, &rng);
+  ColumnGroupLayout bad;
+  bad.groups = {{0, 1}};  // does not cover columns 2, 3
+  TableWriter writer(batch.schema(), bad);
+  EXPECT_TRUE(
+      writer.AppendRowGroup(batch, BitVectorSet()).IsInvalidArgument());
+}
+
 // ---------- JSON converter ----------
 
 TEST(ConverterTest, SchemaDropsAndCoerces) {

@@ -414,6 +414,69 @@ TEST(QueryLogTest, SignatureIsClauseOrderInvariant) {
   EXPECT_EQ(log.distinct_queries(), 1u);
 }
 
+TEST(QueryLogTest, SignatureSeparatesProjectionSets) {
+  // Identical predicates but different projected columns access
+  // different physical columns, so the affinity miner needs their masses
+  // kept apart; projection order and duplicates must not split them.
+  Clause c = Clause::Of(SimplePredicate::KeyValue("x", 1));
+  Query plain;
+  plain.clauses = {c};
+  Query proj_ab;
+  proj_ab.clauses = {c};
+  proj_ab.projected = {"a", "b"};
+  Query proj_ba;
+  proj_ba.clauses = {c};
+  proj_ba.projected = {"b", "a", "b"};  // order/dup-invariant
+  Query proj_c;
+  proj_c.clauses = {c};
+  proj_c.projected = {"c"};
+
+  EXPECT_NE(QueryLog::Signature(plain), QueryLog::Signature(proj_ab));
+  EXPECT_NE(QueryLog::Signature(proj_ab), QueryLog::Signature(proj_c));
+  EXPECT_EQ(QueryLog::Signature(proj_ab), QueryLog::Signature(proj_ba));
+  // Projection-free queries keep the legacy clause-only signature, so
+  // pre-projection logs dedupe exactly as before.
+  Query reordered = plain;
+  EXPECT_EQ(QueryLog::Signature(plain), QueryLog::Signature(reordered));
+
+  QueryLog log;
+  log.Record(plain);
+  log.Record(proj_ab);
+  log.Record(proj_ba);
+  log.Record(proj_c);
+  EXPECT_EQ(log.distinct_queries(), 3u);
+
+  // The derived workload keeps the projected sets for the miner.
+  const Workload wl = log.DeriveWorkload();
+  size_t with_projection = 0;
+  for (const Query& q : wl.queries) {
+    if (!q.projected.empty()) ++with_projection;
+  }
+  EXPECT_EQ(with_projection, 2u);
+}
+
+TEST(QueryLogTest, ProjectedQueriesDecayLikeClauseOnlyOnes) {
+  Clause c = Clause::Of(SimplePredicate::KeyValue("x", 1));
+  Query old_query;
+  old_query.clauses = {c};
+  old_query.projected = {"a"};
+  Query new_query;
+  new_query.clauses = {c};
+  new_query.projected = {"b"};
+
+  QueryLog log(/*half_life=*/10);
+  for (int i = 0; i < 10; ++i) log.Record(old_query);
+  for (int i = 0; i < 10; ++i) log.Record(new_query);
+  const Workload wl = log.DeriveWorkload();
+  ASSERT_EQ(wl.queries.size(), 2u);
+  double old_freq = 0.0, new_freq = 0.0;
+  for (const Query& q : wl.queries) {
+    if (q.projected == std::vector<std::string>{"a"}) old_freq = q.frequency;
+    if (q.projected == std::vector<std::string>{"b"}) new_freq = q.frequency;
+  }
+  EXPECT_GT(new_freq, old_freq * 1.5);
+}
+
 TEST(QueryLogTest, DecayForgetsOldQueries) {
   Query old_query;
   old_query.clauses = {Clause::Of(SimplePredicate::KeyValue("old", 1))};
