@@ -1,0 +1,174 @@
+// Out-of-core correctness + throughput gate. Ingests a YCSB dataset into
+// a storage-backed system whose memory budget is far below the dataset
+// size — so query scans run through evicting mmap pins — and demands the
+// Fig-5-style workload answers byte-identical (counts AND projected
+// hashes) to the all-in-RAM pipeline, before and after a clean-shutdown
+// recovery cycle. Any divergence, missing spill, or scan that dodged the
+// mapping path exits non-zero: this binary is its own gate, CI only has
+// to run it. One query-throughput cell per phase is merged into
+// BENCH_hotpath.json (see bench_report.h) so the mmap scan path is also
+// regression-gated by compare_bench.py.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using ciao::bench::BenchMetrics;
+
+struct PhaseRun {
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> results;
+  double query_seconds = 0.0;
+  uint64_t segments_mapped = 0;
+  uint64_t bytes_mapped = 0;
+};
+
+PhaseRun RunWorkload(ciao::CiaoSystem* system, const ciao::Workload& wl) {
+  PhaseRun run;
+  for (const ciao::Query& q : wl.queries) {
+    auto r = system->ExecuteQuery(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: query error: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    run.results.emplace_back(r->count, r->projected_hashes);
+    run.query_seconds += r->seconds;
+    run.segments_mapped += r->stats.segments_mapped;
+    run.bytes_mapped += r->stats.bytes_mapped;
+  }
+  return run;
+}
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+void EmitCell(std::map<std::string, BenchMetrics>& entries,
+              const std::string& key, const PhaseRun& run) {
+  BenchMetrics& m = entries[key];
+  m["query_seconds"] = run.query_seconds;
+  if (run.query_seconds > 0) {
+    m["items_per_second"] =
+        static_cast<double>(run.results.size()) / run.query_seconds;
+  }
+  m["segments_mapped"] = static_cast<double>(run.segments_mapped);
+  m["bytes_mapped"] = static_cast<double>(run.bytes_mapped);
+}
+
+}  // namespace
+
+int main() {
+  namespace bench = ciao::bench;
+  namespace workload = ciao::workload;
+  bench::WarmUp();
+
+  workload::GeneratorOptions gen;
+  gen.num_records = bench::Scaled(6000);
+  gen.seed = 42;
+  const workload::Dataset ds =
+      workload::GenerateDataset(workload::DatasetKind::kYcsb, gen);
+  size_t dataset_bytes = 0;
+  for (const std::string& r : ds.records) dataset_bytes += r.size();
+
+  const auto pool =
+      workload::TemplatesFor(workload::DatasetKind::kYcsb).AllCandidates();
+  ciao::Workload wl = workload::WorkloadA(pool);
+  wl.queries.resize(std::min(wl.queries.size(), bench::NumQueries()));
+
+  // Budget at ~1/16 of the raw dataset: the columnar segments cannot all
+  // stay pinned, so the scan path must page through the mapping cache.
+  const uint64_t budget_bytes =
+      std::max<uint64_t>(dataset_bytes / 16, 64 << 10);
+
+  ciao::CiaoConfig config;
+  config.budget_us = 50.0;
+  config.chunk_size = 1000;
+  config.sample_size = 2000;
+
+  std::printf("=== out-of-core gate: records=%zu (%.1f MB), queries=%zu, "
+              "memory budget=%.1f MB ===\n",
+              ds.records.size(), dataset_bytes / 1048576.0,
+              wl.queries.size(), budget_bytes / 1048576.0);
+  Check(dataset_bytes > budget_bytes, "dataset must exceed memory budget");
+
+  // Phase 1: all-in-RAM reference.
+  auto ram = ciao::CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                         ciao::CostModel::Default());
+  Check(ram.ok(), "in-RAM bootstrap");
+  Check((*ram)->IngestRecords(ds.records).ok(), "in-RAM ingest");
+  const PhaseRun ram_run = RunWorkload(ram->get(), wl);
+  ram->reset();
+
+  // Phase 2: same pipeline, disk-resident.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ciao_bench_ooc").string();
+  std::filesystem::remove_all(dir);
+  config.storage.enabled = true;
+  config.storage.dir = dir;
+  config.storage.memory_budget_bytes = budget_bytes;
+  PhaseRun disk_run;
+  {
+    auto disk = ciao::CiaoSystem::Bootstrap(ds.schema, wl, ds.records, config,
+                                            ciao::CostModel::Default());
+    Check(disk.ok(), "out-of-core bootstrap");
+    Check((*disk)->IngestRecords(ds.records).ok(), "out-of-core ingest");
+    Check((*disk)->segment_store() != nullptr, "segment store attached");
+    Check((*disk)->segment_store()->segments_spilled() > 0,
+          "ingest spilled segments to disk");
+    disk_run = RunWorkload(disk->get(), wl);
+    Check(disk_run.segments_mapped > 0, "scans pinned mmapped segments");
+    Check(disk_run.bytes_mapped > 0, "scans mapped bytes from disk");
+    Check(disk_run.results == ram_run.results,
+          "disk-resident results byte-identical to in-RAM");
+    // Destructor checkpoints: manifest + WAL reset on the way out.
+  }
+
+  // Phase 3: recovery — reopen the directory without re-ingesting and
+  // demand the same answers from the recovered image.
+  PhaseRun recovered_run;
+  {
+    // Same planning sample as before (bootstrap records feed the cost
+    // model, they are not ingested); rows come from the recovered image.
+    auto reopened = ciao::CiaoSystem::Bootstrap(ds.schema, wl, ds.records,
+                                                config,
+                                                ciao::CostModel::Default());
+    Check(reopened.ok(), "recovery bootstrap");
+    Check((*reopened)->load_stats().records_in == 0,
+          "recovery must not re-ingest");
+    recovered_run = RunWorkload(reopened->get(), wl);
+    Check(recovered_run.results == ram_run.results,
+          "recovered results byte-identical to in-RAM");
+  }
+  std::filesystem::remove_all(dir);
+
+  std::printf("in-RAM:     query=%.3fs\n", ram_run.query_seconds);
+  std::printf("out-of-core: query=%.3fs, segments mapped=%llu, "
+              "bytes mapped=%.1f MB\n",
+              disk_run.query_seconds,
+              static_cast<unsigned long long>(disk_run.segments_mapped),
+              disk_run.bytes_mapped / 1048576.0);
+  std::printf("recovered:  query=%.3fs, segments mapped=%llu\n",
+              recovered_run.query_seconds,
+              static_cast<unsigned long long>(recovered_run.segments_mapped));
+  std::printf("PASS: %zu queries byte-identical across in-RAM, "
+              "out-of-core, and recovered phases\n",
+              wl.queries.size());
+
+  std::map<std::string, BenchMetrics> entries;
+  EmitCell(entries, "bench_out_of_core/ycsb_a/out_of_core", disk_run);
+  EmitCell(entries, "bench_out_of_core/ycsb_a/recovered", recovered_run);
+  bench::MergeIntoReportFile(entries);
+  return 0;
+}

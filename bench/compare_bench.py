@@ -72,7 +72,22 @@ def main():
     for key, base_metrics in sorted(baseline.items()):
         for metric, (higher_is_better, min_baseline) in METRICS.items():
             base = base_metrics.get(metric)
-            if base is None or base <= min_baseline:
+            if base is None:
+                continue
+            if base <= min_baseline:
+                # A lower-is-better metric with a zero baseline is a
+                # perfect score (0 bytes decoded, 0 seconds): any nonzero
+                # current value above the noise floor is a real
+                # regression, not an ungateable cell. (base/cur division
+                # is impossible here, so gate on the absolute value.)
+                cur = entries.get(key, {}).get(metric)
+                if (not higher_is_better and base == 0 and cur is not None
+                        and cur > min_baseline):
+                    compared += 1
+                    print(f"  [REGRESSED] {key}/{metric}: "
+                          f"{base:.4g} -> {cur:.4g} (was zero)")
+                    regressions.append((f"{key}/{metric}", base, cur,
+                                        float("-inf")))
                 continue
             cur = entries.get(key, {}).get(metric)
             if cur is None:

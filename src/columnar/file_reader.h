@@ -104,6 +104,13 @@ class TableReader {
   /// Total rows across all groups (from headers; no column decode).
   Result<uint64_t> TotalRows() const;
 
+  /// CRC-checks every row group (header + body bytes) without decoding a
+  /// single column — one linear pass over the file. The disk-resident
+  /// scan path runs this once per fresh mmap, after which per-query
+  /// readers open the mapping with ChecksumMode::kTrust: the bytes were
+  /// proven intact at map time and mappings are immutable thereafter.
+  Status VerifyAllGroups() const;
+
  private:
   struct GroupIndex {
     size_t header_offset = 0;

@@ -228,6 +228,47 @@ struct AdaptiveOptions {
   RelayoutOptions relayout;
 };
 
+/// Knobs of the persistent out-of-core segment store (storage/
+/// segment_store.h). Off by default: the in-memory pipeline is unchanged.
+/// With `enabled`, every published segment is spilled to `dir` as a
+/// columnar file and queried via mmap under an LRU residency budget,
+/// ingest batches are WAL-logged before acknowledgement, and reopening a
+/// CiaoSystem over the same directory recovers every acknowledged batch.
+struct StorageOptions {
+  /// Master switch for durable, out-of-core storage.
+  bool enabled = false;
+
+  /// Store directory (created if missing). Required when enabled.
+  std::string dir;
+
+  /// LRU budget for cached segment mmaps. Bounds cached residency, not a
+  /// single scan's working set: one segment larger than the whole budget
+  /// still maps (and is dropped from the cache first).
+  uint64_t memory_budget_bytes = 256ull << 20;
+
+  /// fsync the WAL on every ingest batch. True (default) = a batch is
+  /// durable the moment IngestRecords returns OK, surviving power loss.
+  /// False = appends ride the page cache: a *process* crash still
+  /// recovers them, machine loss may drop the tail. For benches that do
+  /// not measure durability.
+  bool wal_sync = true;
+
+  /// Checkpoint (fsync segments, publish manifest, truncate WAL) once the
+  /// WAL tail grows past this many bytes. 0 = only explicit/periodic
+  /// checkpoints.
+  uint64_t checkpoint_wal_bytes = 64ull << 20;
+
+  /// Background compactor tick interval. Each tick promotes the raw
+  /// sideline into a columnar segment (off the query path) and
+  /// checkpoints. 0 = no background thread (checkpoints still fire on
+  /// the WAL-size trigger and at shutdown).
+  uint64_t compaction_interval_ms = 0;
+
+  /// Sideline rows that must accumulate before a compaction tick bothers
+  /// promoting (a checkpoint still runs either way).
+  uint64_t compaction_min_raw_rows = 1;
+};
+
 /// Tuning knobs of a CIAO deployment. The one the administrator actually
 /// sets is `budget_us` — "the average amount of computation cost of
 /// evaluating predicates for each new tuple" (paper §III). Budget 0 is
@@ -276,6 +317,10 @@ struct CiaoConfig {
   /// annotation backfill, query-driven JIT promotion). Default off:
   /// the plan chosen at bootstrap is frozen, as in the paper.
   AdaptiveOptions adaptive;
+
+  /// Persistent out-of-core segment store + crash-recoverable ingest.
+  /// Default off: everything stays in RAM, as in the paper pipeline.
+  StorageOptions storage;
 
   /// Worker threads for the executor's segment scan; 1 = sequential,
   /// 0 = one per hardware thread.

@@ -36,6 +36,16 @@ CiaoSystem::CiaoSystem(columnar::Schema schema, Workload workload,
   }
 }
 
+CiaoSystem::~CiaoSystem() {
+  if (compactor_ != nullptr) compactor_->Stop();
+  if (store_ != nullptr) {
+    // Best-effort final checkpoint: a clean shutdown reopens with an
+    // empty WAL. Failure is fine — the WAL still covers everything.
+    const Status st = CheckpointStorage();
+    (void)st;
+  }
+}
+
 Result<std::unique_ptr<CiaoSystem>> CiaoSystem::Bootstrap(
     columnar::Schema schema, Workload workload,
     const std::vector<std::string>& sample_records, const CiaoConfig& config,
@@ -43,9 +53,11 @@ Result<std::unique_ptr<CiaoSystem>> CiaoSystem::Bootstrap(
   CIAO_ASSIGN_OR_RETURN(
       PlanningOutcome outcome,
       PlanPushdown(workload, sample_records, config, cost_model));
-  return std::unique_ptr<CiaoSystem>(
+  auto system = std::unique_ptr<CiaoSystem>(
       new CiaoSystem(std::move(schema), std::move(workload), config,
                      cost_model, std::move(outcome), sample_records));
+  CIAO_RETURN_IF_ERROR(system->OpenStorage());
+  return system;
 }
 
 Result<std::unique_ptr<CiaoSystem>> CiaoSystem::BootstrapManual(
@@ -57,9 +69,128 @@ Result<std::unique_ptr<CiaoSystem>> CiaoSystem::BootstrapManual(
       PlanningOutcome outcome,
       PlanManualPushdown(push_down, workload, sample_records, config,
                          cost_model));
-  return std::unique_ptr<CiaoSystem>(
+  auto system = std::unique_ptr<CiaoSystem>(
       new CiaoSystem(std::move(schema), std::move(workload), config,
                      cost_model, std::move(outcome), sample_records));
+  CIAO_RETURN_IF_ERROR(system->OpenStorage());
+  return system;
+}
+
+Status CiaoSystem::OpenStorage() {
+  if (!config_.storage.enabled) return Status::OK();
+  SegmentStore::Options options;
+  options.dir = config_.storage.dir;
+  options.memory_budget_bytes = config_.storage.memory_budget_bytes;
+  options.wal_sync = config_.storage.wal_sync ? WalSyncMode::kAlways
+                                              : WalSyncMode::kNever;
+  CIAO_ASSIGN_OR_RETURN(store_, SegmentStore::Open(options));
+  catalog_->AttachStore(store_.get());
+
+  SegmentStore::Recovered recovered = store_->TakeRecovered();
+
+  // Trust rule for recovered annotation bitvectors: the bits index a
+  // predicate-id space, and only the manifest's registry fingerprint
+  // proves it is the SAME space this process planned. Matching segments
+  // are adopted into the bootstrap epoch (0); everything else gets the
+  // foreign epoch, which routes every scan through the stale-annotations
+  // full-verify path — pessimistic but always sound.
+  const uint64_t fingerprint =
+      RegistryFingerprint(bootstrap_epoch_->registry());
+  for (ColumnarSegment& segment : recovered.segments) {
+    const bool trusted =
+        recovered.registry_fingerprint == fingerprint &&
+        segment.annotation_epoch == recovered.checkpoint_epoch_id;
+    if (trusted) {
+      segment.annotation_epoch = 0;
+    } else {
+      segment.annotation_epoch = kForeignAnnotationEpoch;
+      segment.annotations_exact = false;
+    }
+    // The disk handle is already attached, so the catalog re-publishes
+    // without copying or re-spilling a single byte.
+    catalog_->AddSegment(std::move(segment));
+  }
+  if (!recovered.sideline.empty()) {
+    std::vector<std::string_view> views;
+    views.reserve(recovered.sideline.size());
+    for (const std::string& record : recovered.sideline) {
+      views.emplace_back(record);
+    }
+    catalog_->AppendRawBatch(views);
+  }
+
+  // Re-ingest acknowledged batches the last checkpoint missed, through
+  // the normal pipeline (so they are prefiltered, annotated, and spilled
+  // exactly as the original call would have) but without re-logging.
+  next_ingest_seq_.store(recovered.applied_seq, std::memory_order_relaxed);
+  wal_replaying_ = true;
+  for (const WalBatch& batch : recovered.wal_batches) {
+    const Status st = IngestRecords(batch.records);
+    if (!st.ok()) {
+      wal_replaying_ = false;
+      return st.WithContext("storage recovery: WAL replay");
+    }
+    if (batch.seq > next_ingest_seq_.load(std::memory_order_relaxed)) {
+      next_ingest_seq_.store(batch.seq, std::memory_order_relaxed);
+    }
+  }
+  wal_replaying_ = false;
+
+  // Checkpoint the recovered state: the WAL empties and any orphan from
+  // the previous run is collected, so recovery cost is paid once.
+  CIAO_RETURN_IF_ERROR(
+      CheckpointStorage().WithContext("storage recovery: checkpoint"));
+
+  if (config_.storage.compaction_interval_ms > 0) {
+    compactor_ = std::make_unique<BackgroundCompactor>(
+        [this] {
+          const Status st = CompactAndCheckpoint();
+          (void)st;  // best-effort; the next tick retries
+        },
+        std::chrono::milliseconds(config_.storage.compaction_interval_ms));
+    compactor_->Start();
+  }
+  return Status::OK();
+}
+
+Status CiaoSystem::CheckpointStorage() {
+  if (store_ == nullptr) return Status::OK();
+  // Exclusive side of the ingest gate: ingest and re-plans quiesce, so
+  // the snapshot below is the complete acknowledged state. Queries never
+  // take this gate — checkpoints stay off the query path.
+  std::unique_lock<std::shared_mutex> gate(ingest_replan_gate_);
+  return CheckpointStorageLocked();
+}
+
+Status CiaoSystem::CheckpointStorageLocked() {
+  if (store_ == nullptr) return Status::OK();
+  CIAO_RETURN_IF_ERROR(catalog_->EnsureAllPersisted());
+  const CatalogSnapshot snapshot = catalog_->Snapshot();
+  const std::shared_ptr<const PlanEpoch> epoch = epochs_.current();
+  return store_->Checkpoint(snapshot.segments, *snapshot.raw,
+                            next_ingest_seq_.load(std::memory_order_relaxed),
+                            RegistryFingerprint(epoch->registry()),
+                            epoch->id);
+}
+
+Status CiaoSystem::CompactAndCheckpoint() {
+  if (store_ == nullptr) return Status::OK();
+  std::unique_lock<std::shared_mutex> gate(ingest_replan_gate_);
+  if (catalog_->raw_rows() >= config_.storage.compaction_min_raw_rows &&
+      catalog_->raw_rows() > 0) {
+    // Merge the sideline into a columnar segment with the re-evaluating
+    // promotion: annotations are recomputed for the live epoch, so
+    // skipping scans keep their benefit on the promoted rows.
+    const std::shared_ptr<const PlanEpoch> epoch = epochs_.current();
+    JitStats jit;
+    CIAO_RETURN_IF_ERROR(PromoteRawToColumnar(
+        catalog_.get(), epoch->registry(), epoch->id, &jit));
+    std::lock_guard<std::mutex> lock(query_stats_mu_);
+    jit_stats_.records_parsed += jit.records_parsed;
+    jit_stats_.parse_errors += jit.parse_errors;
+    jit_stats_.seconds += jit.seconds;
+  }
+  return CheckpointStorageLocked();
 }
 
 Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
@@ -69,6 +200,16 @@ Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
   // sideline rebuild. Taken before the epoch snapshot, so the plan also
   // cannot flip mid-call.
   std::shared_lock<std::shared_mutex> gate(ingest_replan_gate_);
+  // WAL-first: the batch is durable (per storage.wal_sync) before any
+  // pipeline work. Whatever happens after this point — crash included —
+  // recovery re-ingests the batch, so an OK return really is an
+  // acknowledgement. Replayed batches skip this (their frames are the
+  // WAL being replayed).
+  if (store_ != nullptr && !wal_replaying_) {
+    const uint64_t seq =
+        next_ingest_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    CIAO_RETURN_IF_ERROR(store_->LogBatch(seq, records));
+  }
   const std::shared_ptr<const PlanEpoch> epoch = epochs_.current();
   Status st;
   if (config_.ingest.concurrent()) {
@@ -89,6 +230,16 @@ Status CiaoSystem::IngestRecords(const std::vector<std::string>& records) {
     }
   }
   ingest_wall_seconds_ += watch.ElapsedSeconds();
+  gate.unlock();
+  // Opportunistic checkpoint once the WAL tail outgrows the knob: bounds
+  // replay time and reclaims superseded files. Best-effort — the batch
+  // above is already acknowledged and durable either way.
+  if (st.ok() && store_ != nullptr && !wal_replaying_ &&
+      config_.storage.checkpoint_wal_bytes > 0 &&
+      store_->wal_tail_bytes() >= config_.storage.checkpoint_wal_bytes) {
+    const Status checkpoint = CheckpointStorage();
+    (void)checkpoint;
+  }
   return st;
 }
 

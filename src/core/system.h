@@ -1,6 +1,7 @@
 #ifndef CIAO_CORE_SYSTEM_H_
 #define CIAO_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -20,8 +21,10 @@
 #include "engine/plan.h"
 #include "predicate/registry.h"
 #include "storage/catalog.h"
+#include "storage/compactor.h"
 #include "storage/jit_loader.h"
 #include "storage/partial_loader.h"
+#include "storage/segment_store.h"
 #include "storage/transport.h"
 
 namespace ciao {
@@ -67,6 +70,12 @@ class CiaoSystem {
 
   CiaoSystem(const CiaoSystem&) = delete;
   CiaoSystem& operator=(const CiaoSystem&) = delete;
+
+  /// Stops the background compactor and (storage mode) runs a final
+  /// best-effort checkpoint, so a clean shutdown reopens without WAL
+  /// replay. Crash-at-any-point stays safe regardless — the WAL covers
+  /// every acknowledged batch since the last checkpoint.
+  ~CiaoSystem();
 
   /// One call = the full ingest path. With the default IngestOptions
   /// (1 client / 1 loader) this is the paper's sequential pipeline:
@@ -129,6 +138,19 @@ class CiaoSystem {
 
   const TableCatalog& catalog() const { return *catalog_; }
   const LoadStats& load_stats() const { return load_stats_; }
+
+  // --- Durable storage (config.storage.enabled) ---
+  /// The segment store, or nullptr when storage is off.
+  const SegmentStore* segment_store() const { return store_.get(); }
+  /// Makes the current catalog state durable and truncates the WAL.
+  /// No-op without storage. Also fires automatically when the WAL tail
+  /// passes `storage.checkpoint_wal_bytes`, on compactor ticks, and at
+  /// destruction.
+  Status CheckpointStorage();
+  /// One compaction pass, synchronously: promotes the raw sideline into
+  /// a columnar segment (off the query path) and checkpoints — what a
+  /// background compactor tick runs. No-op without storage.
+  Status CompactAndCheckpoint();
   /// Client-side counters, merged across the sequential session and any
   /// concurrent client pools.
   PrefilterStats prefilter_stats() const {
@@ -161,6 +183,16 @@ class CiaoSystem {
   Status IngestRecordsConcurrent(const std::vector<std::string>& records,
                                  const PlanEpoch& epoch);
 
+  /// Opens the segment store, republishes the last checkpoint's segments
+  /// and sideline into the catalog, re-ingests acknowledged WAL batches
+  /// the checkpoint missed, and starts the background compactor. Called
+  /// by Bootstrap/BootstrapManual right after construction; no-op when
+  /// storage is off.
+  Status OpenStorage();
+
+  /// Checkpoint body; caller holds ingest_replan_gate_ exclusively.
+  Status CheckpointStorageLocked();
+
   columnar::Schema schema_;
   Workload workload_;
   CiaoConfig config_;
@@ -175,9 +207,17 @@ class CiaoSystem {
   // enclosing unique_ptr<CiaoSystem> moves.
   std::unique_ptr<InMemoryTransport> transport_;
   std::unique_ptr<ClientSession> client_;
+  std::unique_ptr<SegmentStore> store_;  // storage mode only
   std::unique_ptr<TableCatalog> catalog_;
   std::unique_ptr<QueryExecutor> executor_;
   std::unique_ptr<ReplanController> replan_;  // adaptive mode only
+
+  /// Highest WAL sequence number assigned; a checkpoint's applied_seq.
+  /// Atomic for safety, though ingest is a single-caller phase.
+  std::atomic<uint64_t> next_ingest_seq_{0};
+  /// Set while OpenStorage re-ingests WAL batches: the replayed calls
+  /// must not re-log (their frames are already in the WAL).
+  bool wal_replaying_ = false;
 
   /// Held shared by IngestRecords and exclusively by a re-plan's
   /// backfill+install, so a sideline rebuild can never race in-flight
@@ -197,6 +237,10 @@ class CiaoSystem {
   uint64_t total_result_rows_ = 0;
   JitStats jit_stats_;
   QueryPromotionStats promotion_stats_;
+
+  /// Declared last so it is destroyed (and its thread joined) before any
+  /// member its pass touches; ~CiaoSystem additionally stops it first.
+  std::unique_ptr<BackgroundCompactor> compactor_;  // storage mode only
 };
 
 }  // namespace ciao

@@ -16,6 +16,7 @@
 #include "predicate/pattern_compiler.h"
 #include "predicate/semantic_eval.h"
 #include "storage/jit_loader.h"
+#include "storage/segment_file.h"
 
 namespace ciao {
 
@@ -222,12 +223,19 @@ Result<QueryResult> QueryExecutor::ExecuteFullScan(const Query& query) const {
 
   const auto scan_one = [&](const ColumnarSegment& segment,
                             QueryResult* out) -> Status {
-    // kTrust: segment bytes come from the in-process TableWriter and have
-    // lived in memory since; re-hashing every group body per query would
-    // dwarf the projected decode itself.
+    // kTrust: heap segments were written by the in-process TableWriter
+    // and have lived in memory since; disk-resident segments were
+    // CRC-verified once when their mmap was created (PinSegment), and
+    // mappings are immutable. Re-hashing every group body per query
+    // would dwarf the projected decode itself.
+    CIAO_ASSIGN_OR_RETURN(const PinnedSegment pin, PinSegment(segment));
+    if (pin.fresh_mapping) {
+      ++out->stats.segments_mapped;
+      out->stats.bytes_mapped += pin.bytes.size();
+    }
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(segment.file_bytes,
+        columnar::TableReader::OpenBorrowed(pin.bytes,
                                             columnar::ChecksumMode::kTrust));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMetaLite meta,
@@ -346,9 +354,16 @@ Result<QueryResult> QueryExecutor::ExecuteWithSkipping(
     const bool annotations_fresh = segment.annotation_epoch == epoch_id;
     const bool count_from_bits =
         annotations_fresh && segment.annotations_exact && full_cover;
+    // kTrust is sound for disk segments too: PinSegment CRC-verified the
+    // bytes when the mapping was created (see ExecuteFullScan).
+    CIAO_ASSIGN_OR_RETURN(const PinnedSegment pin, PinSegment(segment));
+    if (pin.fresh_mapping) {
+      ++out->stats.segments_mapped;
+      out->stats.bytes_mapped += pin.bytes.size();
+    }
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(segment.file_bytes,
+        columnar::TableReader::OpenBorrowed(pin.bytes,
                                             columnar::ChecksumMode::kTrust));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMetaLite meta,

@@ -80,6 +80,12 @@ struct ScanStats {
   /// for (decode-to-skip inside a partially-wanted group chunk) — the
   /// column half of the relayout regret ledger's waste accrual.
   uint64_t bytes_decode_waste = 0;
+  /// Disk-resident segments this query faulted into the mapping cache
+  /// (mmap created + CRC-verified during the scan). 0 on cache hits and
+  /// on the in-memory pipeline — the out-of-core cold/warm signal.
+  uint64_t segments_mapped = 0;
+  /// File bytes of those fresh mappings.
+  uint64_t bytes_mapped = 0;
 
   /// Accumulates another worker's counters (parallel segment scan).
   void MergeFrom(const ScanStats& other) {
@@ -98,6 +104,8 @@ struct ScanStats {
     columns_decoded += other.columns_decoded;
     bytes_decoded += other.bytes_decoded;
     bytes_decode_waste += other.bytes_decode_waste;
+    segments_mapped += other.segments_mapped;
+    bytes_mapped += other.bytes_mapped;
   }
 };
 

@@ -128,8 +128,9 @@ Result<std::string> RebuildSegment(const ColumnarSegment& segment,
                                    const columnar::Schema& schema,
                                    const std::vector<CompiledTypedQuery>& preds,
                                    BackfillStats* stats) {
+  CIAO_ASSIGN_OR_RETURN(const PinnedSegment pin, PinSegment(segment));
   CIAO_ASSIGN_OR_RETURN(columnar::TableReader reader,
-                        columnar::TableReader::OpenBorrowed(segment.file_bytes));
+                        columnar::TableReader::OpenBorrowed(pin.bytes));
   columnar::TableWriter writer(schema);
   GroupAccumulator hot(schema, preds.size());
   GroupAccumulator cold(schema, preds.size());

@@ -3,19 +3,40 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "storage/segment_store.h"
+
 namespace ciao {
 
 void TableCatalog::AddSegment(std::string file_bytes, uint64_t num_rows,
                               uint64_t annotation_epoch) {
-  AddSegment(ColumnarSegment{std::move(file_bytes), num_rows,
-                             annotation_epoch,
-                             /*annotations_exact=*/false});
+  ColumnarSegment segment;
+  segment.file_bytes = std::move(file_bytes);
+  segment.num_rows = num_rows;
+  segment.annotation_epoch = annotation_epoch;
+  AddSegment(std::move(segment));
+}
+
+void TableCatalog::SpillForPublish(ColumnarSegment* segment) {
+  if (store_ == nullptr || segment->disk != nullptr ||
+      segment->file_bytes.empty()) {
+    return;
+  }
+  // Best-effort: a failed spill leaves the bytes on the heap — the
+  // segment stays fully readable and the next checkpoint retries via
+  // EnsureAllPersisted. Durability is not at stake either way (the WAL
+  // covers acknowledged batches until a checkpoint lists the file).
+  const Status spill = store_->SpillSegment(segment);
+  (void)spill;
 }
 
 void TableCatalog::AddSegment(ColumnarSegment segment) {
+  SpillForPublish(&segment);
+  AddSegmentPrepared(std::move(segment));
+}
+
+void TableCatalog::AddSegmentPrepared(ColumnarSegment segment) {
   loaded_rows_.fetch_add(segment.num_rows, std::memory_order_relaxed);
-  columnar_bytes_.fetch_add(segment.file_bytes.size(),
-                            std::memory_order_relaxed);
+  columnar_bytes_.fetch_add(segment.byte_size(), std::memory_order_relaxed);
   auto published =
       std::make_shared<const ColumnarSegment>(std::move(segment));
   Shard& shard =
@@ -27,15 +48,16 @@ void TableCatalog::AddSegment(ColumnarSegment segment) {
 
 bool TableCatalog::ReplaceSegment(const SegmentRef& old_segment,
                                   ColumnarSegment replacement) {
+  SpillForPublish(&replacement);
   auto fresh =
       std::make_shared<const ColumnarSegment>(std::move(replacement));
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (SegmentRef& slot : shard.segments) {
       if (slot.get() == old_segment.get()) {
-        columnar_bytes_.fetch_add(fresh->file_bytes.size(),
+        columnar_bytes_.fetch_add(fresh->byte_size(),
                                   std::memory_order_relaxed);
-        columnar_bytes_.fetch_sub(slot->file_bytes.size(),
+        columnar_bytes_.fetch_sub(slot->byte_size(),
                                   std::memory_order_relaxed);
         slot = std::move(fresh);
         return true;
@@ -49,6 +71,12 @@ bool TableCatalog::ReplaceSegments(
     const std::vector<SegmentRef>& old_segments,
     std::vector<ColumnarSegment> replacements) {
   if (old_segments.empty()) return false;
+  // Spill before any lock: file I/O must never run under snapshot_mu_.
+  // If the swap below loses its race the spilled files become orphans,
+  // collected by the next checkpoint's GC.
+  for (ColumnarSegment& replacement : replacements) {
+    SpillForPublish(&replacement);
+  }
   std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
   // Every shard stays locked for the whole swap so no path that reads
   // shards directly (ReplaceSegment, num_segments) can observe a partial
@@ -79,7 +107,7 @@ bool TableCatalog::ReplaceSegments(
                              [&](const SegmentRef& slot) {
                                if (!is_old(slot)) return false;
                                columnar_bytes_.fetch_sub(
-                                   slot->file_bytes.size(),
+                                   slot->byte_size(),
                                    std::memory_order_relaxed);
                                loaded_rows_.fetch_sub(
                                    slot->num_rows, std::memory_order_relaxed);
@@ -89,7 +117,7 @@ bool TableCatalog::ReplaceSegments(
   }
   for (ColumnarSegment& replacement : replacements) {
     loaded_rows_.fetch_add(replacement.num_rows, std::memory_order_relaxed);
-    columnar_bytes_.fetch_add(replacement.file_bytes.size(),
+    columnar_bytes_.fetch_add(replacement.byte_size(),
                               std::memory_order_relaxed);
     auto segment =
         std::make_shared<const ColumnarSegment>(std::move(replacement));
@@ -101,6 +129,20 @@ bool TableCatalog::ReplaceSegments(
     shard.segments.push_back(std::move(segment));
   }
   return true;
+}
+
+Status TableCatalog::EnsureAllPersisted() {
+  if (store_ == nullptr) return Status::OK();
+  for (SegmentRef& ref : SnapshotSegments()) {
+    if (ref->disk != nullptr || ref->file_bytes.empty()) continue;
+    ColumnarSegment copy = *ref;  // copies the heap bytes
+    CIAO_RETURN_IF_ERROR(store_->SpillSegment(&copy));
+    // Quiescent caller (checkpoint under the exclusive gate): the swap
+    // cannot lose a race, but tolerate it anyway — a false return just
+    // leaves an orphan file for GC.
+    ReplaceSegment(ref, std::move(copy));
+  }
+  return Status::OK();
 }
 
 std::vector<SegmentRef> TableCatalog::SnapshotSegments() const {
@@ -128,9 +170,15 @@ CatalogSnapshot TableCatalog::Snapshot() const {
 
 void TableCatalog::PublishPromotion(std::string file_bytes, uint64_t num_rows,
                                     uint64_t annotation_epoch, RawStore kept) {
+  ColumnarSegment segment;
+  segment.file_bytes = std::move(file_bytes);
+  segment.num_rows = num_rows;
+  segment.annotation_epoch = annotation_epoch;
+  const bool publish_segment = !segment.file_bytes.empty() && num_rows > 0;
+  if (publish_segment) SpillForPublish(&segment);  // I/O before the lock
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  if (!file_bytes.empty() && num_rows > 0) {
-    AddSegment(std::move(file_bytes), num_rows, annotation_epoch);
+  if (publish_segment) {
+    AddSegmentPrepared(std::move(segment));
   }
   ReplaceRaw(std::move(kept));
 }

@@ -11,8 +11,11 @@
 
 #include "columnar/schema.h"
 #include "storage/raw_store.h"
+#include "storage/segment_file.h"
 
 namespace ciao {
+
+class SegmentStore;
 
 /// One encoded columnar file (one row group per ingested chunk in the
 /// normal pipeline). Kept as bytes; queries open a TableReader over it —
@@ -21,8 +24,17 @@ namespace ciao {
 /// Immutable once published to the catalog: the adaptive runtime replaces
 /// whole segments (ReplaceSegment) instead of mutating bytes in place, so
 /// in-flight scans holding a snapshot keep reading a consistent file.
+///
+/// Residency is dual: either `file_bytes` holds the file on the heap
+/// (the in-memory pipeline, and the fallback when a spill fails), or
+/// `disk` points at a store file and `file_bytes` is empty — readers go
+/// through PinSegment(), which mmaps on demand under the store's
+/// residency budget. Exactly one of the two is populated for a non-empty
+/// segment.
 struct ColumnarSegment {
   std::string file_bytes;
+  /// Disk residency handle (null = in-memory). See storage/segment_file.h.
+  std::shared_ptr<SegmentFile> disk;
   uint64_t num_rows = 0;
   /// The plan epoch whose predicate-id space the embedded annotation
   /// bitvectors use. Executors planned against a different epoch must not
@@ -38,6 +50,11 @@ struct ColumnarSegment {
   /// fully covered by pushed clauses can then be COUNTed directly from
   /// the candidate bits without decoding a column.
   bool annotations_exact = false;
+
+  /// Size of the columnar file, wherever it lives.
+  uint64_t byte_size() const {
+    return disk != nullptr ? disk->size : file_bytes.size();
+  }
 };
 
 /// Refcounted handle to an immutable published segment.
@@ -86,6 +103,19 @@ class TableCatalog {
 
   const columnar::Schema& schema() const { return schema_; }
 
+  /// Attaches the durable store: from now on every published segment is
+  /// spilled to disk first (out-of-core mode). The store must outlive the
+  /// catalog. Call before any segment is published (system bootstrap).
+  void AttachStore(SegmentStore* store) { store_ = store; }
+  SegmentStore* store() const { return store_; }
+
+  /// Spills any still-in-memory segment to the store (publish-time spill
+  /// failures fall back to heap residency; a checkpoint retries here).
+  /// No-op without an attached store. Callers must guarantee quiescence
+  /// against concurrent ReplaceSegments (the checkpoint path holds the
+  /// ingest/replan gate exclusively).
+  Status EnsureAllPersisted();
+
   /// Appends one columnar segment; safe to call from many loader threads.
   /// `annotation_epoch` tags the id-space of the embedded annotations.
   void AddSegment(std::string file_bytes, uint64_t num_rows,
@@ -93,7 +123,9 @@ class TableCatalog {
 
   /// Full-struct variant: publishes `segment` as-is, including its
   /// annotations_exact provenance (tests and benches seeding a catalog
-  /// with exactly-annotated segments).
+  /// with exactly-annotated segments). With an attached store the
+  /// segment's bytes are spilled to disk first (unless already
+  /// disk-resident — the recovery path).
   void AddSegment(ColumnarSegment segment);
 
   /// Atomically replaces the published segment `old_segment` (matched by
@@ -135,6 +167,13 @@ class TableCatalog {
   /// this publish.
   void PublishPromotion(std::string file_bytes, uint64_t num_rows,
                         uint64_t annotation_epoch, RawStore kept);
+
+ private:
+  /// AddSegment body after any spill already happened; takes only the
+  /// target shard lock (and may run under snapshot_mu_).
+  void AddSegmentPrepared(ColumnarSegment segment);
+
+ public:
 
   /// Appends one record to the raw sideline; safe from many threads.
   void AppendRaw(std::string_view record);
@@ -215,6 +254,13 @@ class TableCatalog {
 
   /// SnapshotSegments body; requires snapshot_mu_ held.
   std::vector<SegmentRef> SnapshotSegmentsLocked() const;
+  /// Best-effort spill of a segment about to be published; called BEFORE
+  /// any catalog lock is taken (file I/O must never run under
+  /// snapshot_mu_ or a shard lock). On failure the segment keeps its
+  /// heap bytes — still correct, retried by the next checkpoint.
+  void SpillForPublish(ColumnarSegment* segment);
+
+  SegmentStore* store_ = nullptr;
   std::shared_ptr<RawStore> raw_;
   std::atomic<uint64_t> loaded_rows_{0};
   std::atomic<uint64_t> columnar_bytes_{0};

@@ -68,9 +68,10 @@ Result<std::vector<double>> EstimateColumnBytes(const TableCatalog& catalog) {
   const columnar::Schema& schema = catalog.schema();
   for (const SegmentRef& segment : catalog.SnapshotSegments()) {
     if (segment->num_rows == 0) continue;
+    CIAO_ASSIGN_OR_RETURN(const PinnedSegment pin, PinSegment(*segment));
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(segment->file_bytes,
+        columnar::TableReader::OpenBorrowed(pin.bytes,
                                             columnar::ChecksumMode::kTrust));
     if (reader.num_row_groups() == 0) continue;
     CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(0));

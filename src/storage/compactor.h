@@ -1,0 +1,51 @@
+#ifndef CIAO_STORAGE_COMPACTOR_H_
+#define CIAO_STORAGE_COMPACTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ciao {
+
+/// Periodic background worker driving storage maintenance off the query
+/// path: each tick runs the owner-supplied pass (CiaoSystem's sideline
+/// promotion + checkpoint), which internally takes the exclusive
+/// ingest/re-plan gate — so compaction contends with ingest, never with
+/// queries. Stop() (and the destructor) wakes and joins the thread; a
+/// pass in flight finishes first.
+class BackgroundCompactor {
+ public:
+  using PassFn = std::function<void()>;
+
+  BackgroundCompactor(PassFn pass, std::chrono::milliseconds interval)
+      : pass_(std::move(pass)), interval_(interval) {}
+
+  ~BackgroundCompactor() { Stop(); }
+  BackgroundCompactor(const BackgroundCompactor&) = delete;
+  BackgroundCompactor& operator=(const BackgroundCompactor&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Runs one pass synchronously on the caller's thread (tests; also
+  /// safe while the ticker runs — the pass itself serialises via the
+  /// ingest gate).
+  void RunOnce() { pass_(); }
+
+ private:
+  void Loop();
+
+  PassFn pass_;
+  std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_COMPACTOR_H_

@@ -1,0 +1,141 @@
+#include "storage/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace ciao::fs {
+
+namespace {
+
+std::string Errno(std::string_view what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create_directories " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& dir, const std::string& name,
+                       std::string_view bytes, bool sync_file) {
+  // A process-wide counter keeps concurrent writers (loader pool workers
+  // spilling segments) off each other's temp names.
+  static std::atomic<uint64_t> temp_counter{0};
+  const std::string temp_name =
+      ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed)) +
+      "." + name;
+  const std::string temp_path = dir + "/" + temp_name;
+  const std::string final_path = dir + "/" + name;
+
+  const int fd = ::open(temp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Status::IOError(Errno("open", temp_path));
+
+  Status failed;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed = Status::IOError(Errno("write", temp_path));
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (failed.ok() && sync_file && ::fsync(fd) != 0) {
+    failed = Status::IOError(Errno("fsync", temp_path));
+  }
+  if (::close(fd) != 0 && failed.ok()) {
+    failed = Status::IOError(Errno("close", temp_path));
+  }
+  if (failed.ok() && ::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    failed = Status::IOError(Errno("rename", final_path));
+  }
+  if (!failed.ok()) {
+    ::unlink(temp_path.c_str());  // never leave a torn temp behind
+    return failed;
+  }
+  if (sync_file) return SyncDir(dir);
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError(Errno("open", path));
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError(Errno("read", path));
+  return Status::OK();
+}
+
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(Errno("open", path));
+  Status st;
+  if (::fsync(fd) != 0) st = Status::IOError(Errno("fsync", path));
+  ::close(fd);
+  return st;
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError(Errno("open dir", dir));
+  Status st;
+  if (::fsync(fd) != 0) st = Status::IOError(Errno("fsync dir", dir));
+  ::close(fd);
+  return st;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(Errno("unlink", path));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(Errno("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  return names;
+}
+
+}  // namespace ciao::fs

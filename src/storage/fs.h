@@ -1,0 +1,55 @@
+#ifndef CIAO_STORAGE_FS_H_
+#define CIAO_STORAGE_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ciao::fs {
+
+/// POSIX filesystem helpers shared by the durable-storage layer (segment
+/// store, WAL, file transport). Everything that *publishes* bytes goes
+/// through AtomicWriteFile: readers — including another process, or this
+/// process after a crash — can only ever observe a complete file or no
+/// file, never a torn prefix.
+
+/// Creates `dir` (and parents); ok if it already exists.
+Status CreateDirs(const std::string& dir);
+
+/// Writes `bytes` as `dir/name` with the crash-safe publish discipline:
+/// write to a temp file in `dir`, fsync the file, rename() over the final
+/// name, fsync the directory. On any failure the temp file is unlinked
+/// and the final name is untouched. `sync_file` = false skips the file
+/// fsync (visibility stays atomic via rename; durability is then the
+/// caller's problem — used for segment spills whose durability the WAL
+/// covers until the next checkpoint).
+Status AtomicWriteFile(const std::string& dir, const std::string& name,
+                       std::string_view bytes, bool sync_file = true);
+
+/// Reads the whole file into `out`.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// fsyncs an already-written file by path (used to upgrade a spilled
+/// segment to durable before it enters a checkpoint manifest).
+Status SyncFile(const std::string& path);
+
+/// fsyncs the directory entry metadata (after renames/unlinks).
+Status SyncDir(const std::string& dir);
+
+/// Deletes a file; ok if it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// Size of the file at `path`.
+Result<uint64_t> FileSize(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Names (not paths) of regular files directly inside `dir`.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace ciao::fs
+
+#endif  // CIAO_STORAGE_FS_H_

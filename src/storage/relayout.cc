@@ -145,9 +145,13 @@ Status RelayoutSegments(TableCatalog* catalog,
   std::vector<RowSlot> slots;
   uint64_t total_rows = 0;
   for (const SegmentRef& segment : inputs) {
+    // Disk-resident inputs are pinned through the mapping cache (CRC
+    // verified at map time); the rewritten outputs spill back to disk in
+    // ReplaceSegments' publish path.
+    CIAO_ASSIGN_OR_RETURN(const PinnedSegment pin, PinSegment(*segment));
     CIAO_ASSIGN_OR_RETURN(
         columnar::TableReader reader,
-        columnar::TableReader::OpenBorrowed(segment->file_bytes,
+        columnar::TableReader::OpenBorrowed(pin.bytes,
                                             columnar::ChecksumMode::kTrust));
     for (size_t g = 0; g < reader.num_row_groups(); ++g) {
       CIAO_ASSIGN_OR_RETURN(columnar::RowGroupMeta meta, reader.ReadMeta(g));

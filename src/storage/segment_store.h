@@ -1,0 +1,162 @@
+#ifndef CIAO_STORAGE_SEGMENT_STORE_H_
+#define CIAO_STORAGE_SEGMENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "predicate/registry.h"
+#include "storage/catalog.h"
+#include "storage/segment_file.h"
+#include "storage/wal.h"
+
+namespace ciao {
+
+/// Order-independent fingerprint of a registry's predicate set (ids +
+/// canonical clause keys). Stored in the checkpoint manifest so recovery
+/// can decide whether on-disk annotation bitvectors still index the live
+/// predicate-id space; any mismatch demotes the bits to "foreign" and the
+/// executor's stale-epoch path re-verifies every row (always sound).
+uint64_t RegistryFingerprint(const PredicateRegistry& registry);
+
+/// The annotation epoch recovery assigns to segments whose on-disk bits
+/// cannot be trusted (registry changed, or they were checkpointed under a
+/// later adaptive epoch). Never equals a live epoch id — ids count up
+/// from 0 — so every scan takes the full-verify path on such segments.
+inline constexpr uint64_t kForeignAnnotationEpoch = UINT64_MAX;
+
+/// Durable home of a table's columnar segments — the out-of-core layer.
+///
+/// On-disk layout (all files inside one directory):
+///   MANIFEST            checkpoint manifest: the source of truth. Lists
+///                       the segment files, the sideline snapshot, the
+///                       WAL sequence number the listed state covers
+///                       (applied_seq), and the registry fingerprint.
+///   wal.log             record-batch WAL (storage/wal.h). Covers every
+///                       acknowledged ingest batch newer than applied_seq.
+///   seg_<id>.ciao       one columnar file each (TableWriter output,
+///                       verbatim). Spilled rename-atomic but UNSYNCED
+///                       during ingest; fsynced — and only then listed in
+///                       a manifest — at checkpoint.
+///   sideline_<seq>.raw  raw sideline snapshot of the last checkpoint.
+///
+/// Crash story: every publish is write-temp → fsync → rename, so readers
+/// and recovery only ever see whole files. A segment file not reachable
+/// from the manifest is an orphan (spilled after the last checkpoint, or
+/// superseded by a re-layout) — recovery deletes it and rebuilds the
+/// state from manifest + WAL replay instead, so nothing is double-counted
+/// and nothing acknowledged is lost. The WAL is truncated only AFTER a
+/// manifest is durable; a crash between the two merely re-replays batches
+/// the manifest already covers (skipped via applied_seq).
+class SegmentStore {
+ public:
+  struct Options {
+    std::string dir;
+    /// LRU budget for cached mmap residency (not a hard cap on a single
+    /// scan's working set).
+    uint64_t memory_budget_bytes = 256ull << 20;
+    WalSyncMode wal_sync = WalSyncMode::kAlways;
+  };
+
+  /// Durable state reconstructed by Open().
+  struct Recovered {
+    /// Checkpointed segments, disk handles attached. annotation_epoch /
+    /// annotations_exact are as checkpointed — the caller decides trust
+    /// against `registry_fingerprint` + `checkpoint_epoch_id` and
+    /// re-tags before publishing to a catalog.
+    std::vector<ColumnarSegment> segments;
+    /// Raw sideline records of the last checkpoint.
+    std::vector<std::string> sideline;
+    /// Every batch up to this WAL sequence number is inside the
+    /// checkpointed state above.
+    uint64_t applied_seq = 0;
+    uint64_t registry_fingerprint = 0;
+    /// Live plan-epoch id at checkpoint time (the id space the segment
+    /// annotations were written for).
+    uint64_t checkpoint_epoch_id = 0;
+    /// Acknowledged-but-not-checkpointed batches (seq > applied_seq), in
+    /// log order — the caller re-ingests them.
+    std::vector<WalBatch> wal_batches;
+  };
+
+  /// Opens (creating if needed) the store directory: reads the manifest,
+  /// deletes orphan files, truncates the WAL's torn tail, and stages the
+  /// recovered state (fetch it once with TakeRecovered).
+  static Result<std::unique_ptr<SegmentStore>> Open(const Options& options);
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// Moves `segment`'s heap bytes into a fresh store file (rename-atomic,
+  /// unsynced) and attaches the disk handle. The catalog calls this for
+  /// every published segment.
+  Status SpillSegment(ColumnarSegment* segment);
+
+  /// Appends one acknowledged ingest batch to the WAL (fsyncs per
+  /// Options::wal_sync). The ingest acknowledgement point.
+  Status LogBatch(uint64_t seq, const std::vector<std::string>& records);
+
+  /// WAL bytes accumulated since the last checkpoint (trigger input).
+  uint64_t wal_tail_bytes() const { return wal_->tail_bytes(); }
+
+  /// Makes the given catalog state durable and prunes the WAL:
+  /// fsyncs every listed segment file, snapshots the sideline, publishes
+  /// a manifest covering WAL sequences <= `applied_seq`, truncates the
+  /// WAL, and garbage-collects store files that are neither
+  /// manifest-listed nor still referenced by a live segment handle (an
+  /// in-flight scan may yet mmap a superseded file; its handle keeps the
+  /// file alive until the next checkpoint after the ref drops).
+  /// Every segment must already be disk-resident (EnsureAllPersisted).
+  Status Checkpoint(const std::vector<SegmentRef>& segments,
+                    const RawStore& sideline, uint64_t applied_seq,
+                    uint64_t registry_fingerprint, uint64_t epoch_id);
+
+  /// Hands out the state recovered at Open (call once; empties it).
+  Recovered TakeRecovered();
+
+  const std::shared_ptr<MappingCache>& cache() const { return cache_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t checkpoints_completed() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  uint64_t segments_spilled() const {
+    return segments_spilled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SegmentStore(std::string dir, std::shared_ptr<MappingCache> cache,
+               std::unique_ptr<WriteAheadLog> wal);
+
+  /// Builds (and registers) the live handle for an existing store file.
+  std::shared_ptr<SegmentFile> MakeFileHandle(const std::string& name,
+                                              uint64_t size, bool synced);
+
+  std::string dir_;
+  std::shared_ptr<MappingCache> cache_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::atomic<uint64_t> next_file_id_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> segments_spilled_{0};
+
+  /// One checkpoint at a time (serialises manifest/GC against itself;
+  /// the caller's exclusive ingest gate already serialises it against
+  /// spills).
+  std::mutex checkpoint_mu_;
+
+  /// Live file handles, for GC: a store file still referenced by some
+  /// snapshot's SegmentFile must not be unlinked even when no manifest
+  /// lists it anymore (an in-flight scan may still pin it).
+  std::mutex files_mu_;
+  std::unordered_map<std::string, std::weak_ptr<SegmentFile>> live_files_;
+
+  Recovered recovered_;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_SEGMENT_STORE_H_

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
+#include "storage/fs.h"
 
 namespace ciao {
 
@@ -219,46 +221,61 @@ size_t BoundedTransport::pending() const {
 
 FileTransport::FileTransport(std::string dir) : dir_(std::move(dir)) {}
 
+namespace {
+
+/// On-disk frame of one FileTransport message. A consumer — possibly
+/// another process, possibly after the producer crashed — must be able to
+/// tell a complete message from a torn or rotted one, so the payload is
+/// wrapped in magic + length + CRC rather than trusted as-is.
+constexpr std::string_view kFileFrameMagic = "CFT1";
+constexpr size_t kFileFrameHeader = 4 + 4 + 4;  // magic | len | crc
+
+}  // namespace
+
 Status FileTransport::Send(std::string payload) {
-  const std::string path =
-      StrFormat("%s/msg_%08llu.bin", dir_.c_str(),
-                static_cast<unsigned long long>(next_send_));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("FileTransport: cannot open " + path);
-  }
-  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
-  std::fclose(f);
-  if (written != payload.size()) {
-    return Status::IOError("FileTransport: short write to " + path);
-  }
+  const std::string name = StrFormat(
+      "msg_%08llu.bin", static_cast<unsigned long long>(next_send_));
+  std::string framed;
+  framed.reserve(kFileFrameHeader + payload.size());
+  framed.append(kFileFrameMagic);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload);
+  framed.append(reinterpret_cast<const char*>(&len), 4);
+  framed.append(reinterpret_cast<const char*>(&crc), 4);
+  framed.append(payload);
+  // Atomic publish (temp + fsync + rename): a concurrent or post-crash
+  // Receive can never observe a half-written msg_N file under its final
+  // name.
+  CIAO_RETURN_IF_ERROR(fs::AtomicWriteFile(dir_, name, framed));
   bytes_sent_ += payload.size();
   ++next_send_;
   return Status::OK();
 }
 
 Result<std::optional<std::string>> FileTransport::Receive() {
-  if (next_recv_ >= next_send_) {
-    // Probe the directory in case another process produced messages.
-    const std::string probe =
-        StrFormat("%s/msg_%08llu.bin", dir_.c_str(),
-                  static_cast<unsigned long long>(next_recv_));
-    std::FILE* f = std::fopen(probe.c_str(), "rb");
-    if (f == nullptr) return std::optional<std::string>();
-    std::fclose(f);
-  }
   const std::string path =
       StrFormat("%s/msg_%08llu.bin", dir_.c_str(),
                 static_cast<unsigned long long>(next_recv_));
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::optional<std::string>();
-  std::string payload;
-  char buf[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    payload.append(buf, n);
+  std::string framed;
+  const Status read = fs::ReadFile(path, &framed);
+  if (!read.ok()) return std::optional<std::string>();  // no message yet
+  if (framed.size() < kFileFrameHeader ||
+      std::string_view(framed).substr(0, 4) != kFileFrameMagic) {
+    return Status::Corruption("FileTransport: bad frame header in " + path);
   }
-  std::fclose(f);
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  std::memcpy(&len, framed.data() + 4, 4);
+  std::memcpy(&crc, framed.data() + 8, 4);
+  if (framed.size() != kFileFrameHeader + len) {
+    return Status::Corruption("FileTransport: frame length mismatch in " +
+                              path);
+  }
+  std::string payload = framed.substr(kFileFrameHeader);
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("FileTransport: payload CRC mismatch in " +
+                              path);
+  }
   std::remove(path.c_str());
   ++next_recv_;
   return std::optional<std::string>(std::move(payload));

@@ -1,0 +1,102 @@
+#ifndef CIAO_STORAGE_WAL_H_
+#define CIAO_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ciao {
+
+/// When WAL appends reach stable storage.
+enum class WalSyncMode {
+  /// fsync after every appended batch: a batch is durable the moment
+  /// IngestRecords acknowledges it (the crash-recovery guarantee).
+  kAlways,
+  /// No fsync — appends sit in the page cache until the OS flushes or a
+  /// checkpoint fsyncs. A process crash still recovers (the kernel holds
+  /// the bytes); a power loss may lose the tail. For benches and tests
+  /// that do not measure durability.
+  kNever,
+};
+
+/// One replayed ingest batch: the sequence number it was acknowledged
+/// under and the raw records as the client handed them in.
+struct WalBatch {
+  uint64_t seq = 0;
+  std::vector<std::string> records;
+};
+
+/// Result of scanning a WAL file: every fully-framed batch, in file
+/// order, plus where the valid prefix ended. A torn tail (crash mid
+/// append) is normal — `truncated_tail` reports it; it is NOT an error,
+/// because only unacknowledged bytes can be torn under kAlways sync.
+struct WalReplayResult {
+  std::vector<WalBatch> batches;
+  /// Byte offset where the last valid frame ended; anything after it was
+  /// torn or corrupt and is discarded on the next Append (the writer
+  /// truncates to this offset on open).
+  uint64_t valid_bytes = 0;
+  bool truncated_tail = false;
+};
+
+/// Minimal record-batch write-ahead log: append-only, one CRC-framed
+/// record batch per acknowledged ingest call, replayed on open.
+///
+/// Frame layout (little-endian):
+///   u32 magic "CWLF" | u32 payload_len | u32 crc32(payload) | payload
+///   payload: u64 seq | u32 num_records | (u32 len | bytes)*
+///
+/// The CRC is over the payload only, so a frame is valid iff it is fully
+/// present AND its bytes match — a torn write at ANY prefix boundary
+/// either leaves the previous frames intact (short tail, dropped) or is
+/// caught by the CRC (partial frame with garbage length). Appends take an
+/// internal mutex; replay is a static scan of the file bytes.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log for appending, truncating any
+  /// torn tail left by a crash so new frames never follow garbage.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(std::string path,
+                                                     WalSyncMode sync);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one batch frame and (kAlways) fsyncs. When this returns OK
+  /// the batch survives a crash — the ingest acknowledgement point.
+  Status Append(uint64_t seq, const std::vector<std::string>& records);
+
+  /// Truncates the log to empty — called after a checkpoint made every
+  /// appended batch redundant (the manifest's applied_seq covers them).
+  /// Ordering matters: the manifest must be durable FIRST; a crash
+  /// between manifest and truncate only re-replays frames the manifest
+  /// already skips via applied_seq.
+  Status Reset();
+
+  /// Bytes appended since open/Reset (checkpoint-trigger heuristic).
+  uint64_t tail_bytes() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Scans `path` and returns every fully-framed batch. A missing file is
+  /// an empty log. Only I/O errors fail; torn/corrupt tails are reported,
+  /// not fatal.
+  static Result<WalReplayResult> Replay(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, WalSyncMode sync, int fd, uint64_t size);
+
+  std::string path_;
+  WalSyncMode sync_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace ciao
+
+#endif  // CIAO_STORAGE_WAL_H_

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "columnar/file_reader.h"
 #include "common/random.h"
@@ -219,6 +220,102 @@ TEST(TransportTest, FileTransportRoundTrip) {
   EXPECT_EQ(**first, std::string("payload with \0 binary", 21));
   EXPECT_EQ(**transport.Receive(), "second");
   EXPECT_FALSE(transport.Receive()->has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TransportTest, FileTransportPublishesAtomicallyNoTempFiles) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ciao_transport_atomic")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FileTransport transport(dir);
+  ASSERT_TRUE(transport.Send("alpha").ok());
+  ASSERT_TRUE(transport.Send("beta").ok());
+  // Publish discipline: after Send returns, the directory holds exactly
+  // the renamed message files — no temp residue a concurrent consumer
+  // could mistake for a message.
+  size_t messages = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name.rfind("msg_", 0) == 0 &&
+                name.find(".bin") != std::string::npos)
+        << "unexpected file: " << name;
+    ++messages;
+  }
+  EXPECT_EQ(messages, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TransportTest, FileTransportRejectsTruncatedMessage) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ciao_transport_trunc")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const std::string payload = "truncation target payload 0123456789";
+  // One sender per truncation point: simulate a torn write (pre-fix Send
+  // could leave one; current Send cannot, but a foreign producer or a
+  // dying filesystem still can) at every prefix length.
+  {
+    FileTransport sender(dir);
+    ASSERT_TRUE(sender.Send(payload).ok());
+  }
+  const std::string path = dir + "/msg_00000000.bin";
+  const auto full_size = std::filesystem::file_size(path);
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_EQ(full.size(), full_size);
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    FileTransport receiver(dir);
+    auto received = receiver.Receive();
+    if (cut == 0) {
+      // Empty file: indistinguishable from "not yet published" only in
+      // size, but it fails the header check like any other prefix.
+      EXPECT_FALSE(received.ok()) << "cut=" << cut;
+    } else {
+      ASSERT_FALSE(received.ok()) << "cut=" << cut;
+      EXPECT_TRUE(received.status().IsCorruption()) << "cut=" << cut;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TransportTest, FileTransportRejectsCorruptPayload) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ciao_transport_corrupt")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  {
+    FileTransport sender(dir);
+    ASSERT_TRUE(sender.Send("bytes that will rot").ok());
+  }
+  const std::string path = dir + "/msg_00000000.bin";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  bytes.back() ^= 0x40;  // flip one payload bit
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  FileTransport receiver(dir);
+  auto received = receiver.Receive();
+  ASSERT_FALSE(received.ok());
+  EXPECT_TRUE(received.status().IsCorruption());
   std::filesystem::remove_all(dir);
 }
 
